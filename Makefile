@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race bench experiments fuzz cover clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	go run ./cmd/nnexus-bench -exp all
+
+# Run each fuzz target briefly.
+fuzz:
+	go test ./internal/tokenizer -fuzz=FuzzTokenize -fuzztime=30s
+	go test ./internal/latex -fuzz=FuzzToText -fuzztime=30s
+	go test ./internal/policy -fuzz=FuzzParse -fuzztime=30s
+	go test ./internal/wire -fuzz=FuzzDecodeRequest -fuzztime=30s
+	go test ./internal/storage -fuzz=FuzzDecodeBody -fuzztime=30s
+	go test ./internal/morph -fuzz=FuzzNormalize -fuzztime=30s
+
+cover:
+	go test -cover ./...
+
+clean:
+	go clean ./...

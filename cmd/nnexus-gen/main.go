@@ -1,0 +1,122 @@
+// Command nnexus-gen emits a synthetic PlanetMath-scale corpus as an
+// OAI-style XML dump (plus, optionally, its ground truth), so the corpora
+// behind the evaluation can be inspected, imported with `nnexus import`,
+// or used as test fixtures by other linking systems.
+//
+// Usage:
+//
+//	nnexus-gen -entries 2000 -out corpus.xml -truth truth.json
+//	nnexus-gen -entries 500 -latex -out tex-corpus.xml
+//
+// The dump includes the linking policies of the common-word entries, so an
+// import reproduces the full steered+policies configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nnexus/internal/corpus"
+	"nnexus/internal/owl"
+	"nnexus/internal/workload"
+)
+
+func main() {
+	var (
+		entries   = flag.Int("entries", 2000, "corpus size")
+		seed      = flag.Int64("seed", 20090601, "generation seed")
+		latex     = flag.Bool("latex", false, "emit LaTeX-marked bodies")
+		out       = flag.String("out", "", "output XML file (default stdout)")
+		truthPath = flag.String("truth", "", "also write ground truth JSON here")
+		schemeOut = flag.String("scheme", "", "also write the classification scheme as OWL here")
+		policies  = flag.Bool("policies", true, "embed the overlink-fixing policies")
+	)
+	flag.Parse()
+
+	p := workload.DefaultParams(*entries)
+	p.Seed = *seed
+	p.LaTeX = *latex
+	c, err := workload.Generate(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Attach policies to the common-word definers.
+	if *policies {
+		for label := range c.CommonDefiners {
+			idx, text, err := c.PolicyFor(label)
+			if err != nil {
+				fatal(err)
+			}
+			c.Entries[idx-1].Entry.Policy = text
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	dump := make([]*corpus.Entry, len(c.Entries))
+	for i, ge := range c.Entries {
+		entry := *ge.Entry
+		if entry.ExternalID == "" {
+			entry.ExternalID = fmt.Sprintf("%d", ge.Index)
+		}
+		dump[i] = &entry
+	}
+	if err := corpus.ExportOAI(w, "planetmath.example", c.Scheme.Name(), dump); err != nil {
+		fatal(err)
+	}
+
+	if *truthPath != "" {
+		type truthEntry struct {
+			Index int                   `json:"index"`
+			Truth []workload.Invocation `json:"truth"`
+		}
+		var truth []truthEntry
+		for _, ge := range c.Entries {
+			truth = append(truth, truthEntry{Index: ge.Index, Truth: ge.Truth})
+		}
+		f, err := os.Create(*truthPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(truth); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *schemeOut != "" {
+		f, err := os.Create(*schemeOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := owl.WriteScheme(f, c.Scheme); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "generated %d entries (%d homonym labels, %d common-word concepts)\n",
+		len(c.Entries), len(c.HomonymSenses), len(c.CommonDefiners))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nnexus-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,472 @@
+// Command nnexus is the NNexus command-line tool: it manages a local
+// collection (or talks to a running nnexusd) and links documents against
+// it.
+//
+// Subcommands:
+//
+//	nnexus import  -data DIR corpus.xml        ingest an OAI-style dump
+//	nnexus link    -data DIR [-classes 05C10] [file]   link a file or stdin
+//	nnexus policy  -data DIR -id N policy.txt  install a linking policy
+//	nnexus relink  -data DIR                   re-link invalidated entries
+//	nnexus stats   -data DIR                   print collection statistics
+//	nnexus scheme  -data DIR -out msc.owl      export the scheme as OWL
+//
+// Every subcommand accepts -server HOST:PORT to run against a live nnexusd
+// instead of a local data directory (link, policy, relink, stats only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nnexus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "import":
+		err = runImport(args)
+	case "link":
+		err = runLink(args)
+	case "policy":
+		err = runPolicy(args)
+	case "relink":
+		err = runRelink(args)
+	case "stats":
+		err = runStats(args)
+	case "scheme":
+		err = runScheme(args)
+	case "suggest":
+		err = runSuggest(args)
+	case "network":
+		err = runNetwork(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nnexus: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nnexus:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: nnexus <command> [flags] [args]
+
+commands:
+  import   ingest an OAI-style corpus dump into a data directory
+  link     link a document (file or stdin) against the collection
+  policy   install a linking policy on an entry
+  relink   re-link all invalidated entries
+  stats    print collection statistics
+  scheme   export the classification scheme as OWL
+  suggest  extract keyword candidates and overlink suspects
+  network  materialize the semantic network (stats or Graphviz DOT)
+`)
+}
+
+// commonFlags are shared by local-engine subcommands.
+type commonFlags struct {
+	fs      *flag.FlagSet
+	dataDir *string
+	server  *string
+	scheme  *string
+	name    *string
+	base    *int
+}
+
+func newFlags(cmd string) *commonFlags {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	return &commonFlags{
+		fs:      fs,
+		dataDir: fs.String("data", "", "data directory"),
+		server:  fs.String("server", "", "nnexusd address (use instead of -data)"),
+		scheme:  fs.String("scheme", "sample", `classification scheme: "sample" or OWL file`),
+		name:    fs.String("scheme-name", "msc", "scheme name"),
+		base:    fs.Int("base", nnexus.DefaultBaseWeight, "classification weight base"),
+	}
+}
+
+func (c *commonFlags) engine() (*nnexus.Engine, error) {
+	var (
+		s   *nnexus.Scheme
+		err error
+	)
+	if *c.scheme == "sample" {
+		s = nnexus.SampleMSC(*c.base)
+	} else {
+		s, err = nnexus.LoadSchemeOWLFile(*c.scheme, *c.name, *c.base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nnexus.New(nnexus.Config{Scheme: s, DataDir: *c.dataDir})
+}
+
+func runImport(args []string) error {
+	c := newFlags("import")
+	domain := c.fs.String("domain-url", "http://{domain}/?op=getobj&id={id}", "URL template for the imported domain ({domain} replaced)")
+	priority := c.fs.Int("priority", 1, "collection priority of the imported domain")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("import: need exactly one corpus XML file")
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	f, err := os.Open(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Peek the domain attribute by importing; register a domain first with
+	// a template derived from the dump's domain name.
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	domName, schemeName, err := sniffRecords(data)
+	if err != nil {
+		return err
+	}
+	if err := engine.AddDomain(nnexus.Domain{
+		Name:        domName,
+		URLTemplate: strings.ReplaceAll(*domain, "{domain}", domName),
+		Scheme:      schemeName,
+		Priority:    *priority,
+	}); err != nil {
+		return err
+	}
+	ids, err := engine.ImportOAI(strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	if err := engine.Compact(); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d entries into domain %s (%d concepts total)\n",
+		len(ids), domName, engine.NumConcepts())
+	return nil
+}
+
+func runLink(args []string) error {
+	c := newFlags("link")
+	classes := c.fs.String("classes", "", "comma-separated source classes")
+	srcScheme := c.fs.String("source-scheme", "", "scheme of the source classes")
+	mode := c.fs.String("mode", "", "pipeline mode: lexical, steered, steered+policies")
+	format := c.fs.String("format", "html", "output format: html or markdown")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	text, err := readInput(c.fs.Args())
+	if err != nil {
+		return err
+	}
+	var cls []string
+	if *classes != "" {
+		for _, s := range strings.Split(*classes, ",") {
+			cls = append(cls, strings.TrimSpace(s))
+		}
+	}
+
+	if *c.server != "" {
+		cli, err := nnexus.Dial(*c.server)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		res, err := cli.LinkText(text, cls, *srcScheme, *mode, *format)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Output)
+		fmt.Fprintf(os.Stderr, "%d links created\n", len(res.Links))
+		return nil
+	}
+
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	opts := nnexus.LinkOptions{SourceClasses: cls, SourceScheme: *srcScheme}
+	switch strings.ToLower(*mode) {
+	case "", "default":
+	case "lexical":
+		opts.Mode = nnexus.ModeLexical
+	case "steered":
+		opts.Mode = nnexus.ModeSteered
+	case "steered+policies", "full":
+		opts.Mode = nnexus.ModeSteeredPolicies
+	default:
+		return fmt.Errorf("link: unknown mode %q", *mode)
+	}
+	if strings.EqualFold(*format, "markdown") || strings.EqualFold(*format, "md") {
+		f := nnexus.Markdown
+		opts.Format = &f
+	}
+	res, err := engine.LinkText(text, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Output)
+	fmt.Fprintf(os.Stderr, "%d links created, %d matches skipped\n", len(res.Links), len(res.Skips))
+	return nil
+}
+
+func runPolicy(args []string) error {
+	c := newFlags("policy")
+	id := c.fs.Int64("id", 0, "entry ID")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	text, err := readInput(c.fs.Args())
+	if err != nil {
+		return err
+	}
+	if *id == 0 {
+		return fmt.Errorf("policy: -id is required")
+	}
+	if *c.server != "" {
+		cli, err := nnexus.Dial(*c.server)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		return cli.SetPolicy(*id, text)
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	return engine.SetPolicy(*id, text)
+}
+
+func runRelink(args []string) error {
+	c := newFlags("relink")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if *c.server != "" {
+		cli, err := nnexus.Dial(*c.server)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		n, err := cli.Relink()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("re-linked %d entries\n", n)
+		return nil
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	results, err := engine.RelinkInvalidated()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("re-linked %d entries\n", len(results))
+	return nil
+}
+
+func runStats(args []string) error {
+	c := newFlags("stats")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if *c.server != "" {
+		cli, err := nnexus.Dial(*c.server)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		s, err := cli.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("entries: %d\nconcepts: %d\ndomains: %d\ninvalidated: %d\n",
+			s.Entries, s.Concepts, s.Domains, s.Invalidated)
+		return nil
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	fmt.Printf("entries: %d\nconcepts: %d\ndomains: %s\ninvalidated: %d\n",
+		engine.NumEntries(), engine.NumConcepts(),
+		strings.Join(engine.Domains(), ", "), len(engine.Invalidated()))
+	return nil
+}
+
+func runScheme(args []string) error {
+	c := newFlags("scheme")
+	out := c.fs.String("out", "", "output OWL file (default stdout)")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return nnexus.SaveSchemeOWL(w, engine.Scheme())
+}
+
+func runSuggest(args []string) error {
+	c := newFlags("suggest")
+	max := c.fs.Int("max", 15, "maximum keywords to suggest")
+	suspects := c.fs.Bool("suspects", false, "list overlink suspects among the collection's concepts instead")
+	threshold := c.fs.Float64("threshold", 0.006, "document-frequency fraction above which a concept is an overlink suspect")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	extractor := nnexus.NewKeywordExtractor()
+	var labels []string
+	for _, id := range engine.Entries() {
+		entry, ok := engine.Entry(id)
+		if !ok {
+			continue
+		}
+		extractor.AddDocument(entry.Body)
+		labels = append(labels, entry.Labels()...)
+	}
+	if *suspects {
+		out := extractor.OverlinkSuspects(labels, *threshold)
+		if len(out) == 0 {
+			fmt.Println("no overlink suspects found")
+			return nil
+		}
+		fmt.Println("concept labels that likely need linking policies:")
+		for _, label := range out {
+			fmt.Printf("  %-30s in %d/%d entries\n", label,
+				extractor.DocFrequency(label), extractor.Docs())
+		}
+		return nil
+	}
+	text, err := readInput(c.fs.Args())
+	if err != nil {
+		return err
+	}
+	for _, kw := range extractor.Keywords(text, *max) {
+		fmt.Printf("%8.2f  %s (×%d)\n", kw.Score, kw.Label, kw.Count)
+	}
+	return nil
+}
+
+func runNetwork(args []string) error {
+	c := newFlags("network")
+	dot := c.fs.String("dot", "", "write the network as Graphviz DOT to this file")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := c.engine()
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	g, err := engine.SemanticNetwork()
+	if err != nil {
+		return err
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f, "nnexus"); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d nodes, %d edges)\n", *dot, g.Nodes(), g.Edges())
+		return nil
+	}
+	sample := 1
+	if g.Nodes() > 2000 {
+		sample = g.Nodes() / 500
+	}
+	s := g.Stats(sample)
+	fmt.Printf("nodes: %d\nedges: %d\navg out-degree: %.1f\n", s.Nodes, s.Edges, s.AvgOutDegree)
+	fmt.Printf("largest component: %d (%d components, %d isolated)\n",
+		s.LargestComponent, s.Components, s.Isolated)
+	fmt.Printf("avg reachable: %.0f\n", s.AvgReachable)
+	fmt.Println("most-cited entries:")
+	for _, id := range g.TopHubs(10) {
+		fmt.Printf("  %6d  %-30s ← %d links\n", id, g.Title(id), g.InDegree(id))
+	}
+	return nil
+}
+
+// readInput reads the single file argument, or stdin when absent.
+func readInput(args []string) (string, error) {
+	switch len(args) {
+	case 0:
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	case 1:
+		data, err := os.ReadFile(args[0])
+		return string(data), err
+	default:
+		return "", fmt.Errorf("expected at most one input file")
+	}
+}
+
+// sniffRecords extracts the domain and scheme attributes of a records dump.
+func sniffRecords(data []byte) (domain, scheme string, err error) {
+	s := string(data)
+	domain = attr(s, "domain")
+	scheme = attr(s, "scheme")
+	if domain == "" {
+		return "", "", fmt.Errorf("corpus dump has no domain attribute")
+	}
+	return domain, scheme, nil
+}
+
+func attr(doc, name string) string {
+	i := strings.Index(doc, name+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := doc[i+len(name)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

@@ -1,0 +1,123 @@
+// Command nnexusd runs the NNexus server daemon: it loads (or creates) a
+// persistent collection and answers XML requests over TCP, as the deployed
+// Perl system did (paper §3.1).
+//
+// Usage:
+//
+//	nnexusd -addr 127.0.0.1:7070 -data /var/lib/nnexus -scheme msc.owl
+//
+// With -scheme sample the built-in MSC fixture is used, which is enough to
+// play with the protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nnexus"
+	"nnexus/internal/config"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		dataDir  = flag.String("data", "", "data directory (empty = memory only)")
+		scheme   = flag.String("scheme", "sample", `classification scheme: "sample" or a path to an OWL file`)
+		name     = flag.String("scheme-name", "msc", "classification scheme name")
+		base     = flag.Int("base", nnexus.DefaultBaseWeight, "classification weight base (1 = non-weighted)")
+		sync     = flag.Bool("sync", false, "fsync every write")
+		httpAddr = flag.String("http", "", "also serve the HTTP API on this address (e.g. 127.0.0.1:8080)")
+		confPath = flag.String("config", "", "XML deployment configuration file (overrides the flags above)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
+
+	var (
+		s    *nnexus.Scheme
+		err  error
+		conf *config.Config
+	)
+	if *confPath != "" {
+		conf, err = config.Load(*confPath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		s, err = conf.BuildScheme()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if conf.Server.Addr != "" {
+			*addr = conf.Server.Addr
+		}
+		if conf.Server.HTTP != "" {
+			*httpAddr = conf.Server.HTTP
+		}
+		if conf.Server.Data != "" {
+			*dataDir = conf.Server.Data
+		}
+		if conf.Server.Sync {
+			*sync = true
+		}
+	} else if *scheme == "sample" {
+		s = nnexus.SampleMSC(*base)
+	} else {
+		s, err = nnexus.LoadSchemeOWLFile(*scheme, *name, *base)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	engine, err := nnexus.New(nnexus.Config{
+		Scheme:     s,
+		DataDir:    *dataDir,
+		SyncWrites: *sync,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer engine.Close()
+	if conf != nil {
+		if err := engine.ApplyConfig(conf); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	srv, bound, err := engine.Serve(*addr, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("nnexusd listening on %s (%d entries, %d concepts)\n",
+		bound, engine.NumEntries(), engine.NumConcepts())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: engine.HTTPHandler()}
+		go func() {
+			fmt.Printf("nnexusd HTTP API on %s\n", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Print(err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Print("shutting down")
+	if httpSrv != nil {
+		if err := httpSrv.Close(); err != nil {
+			logger.Print(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		logger.Print(err)
+	}
+	if err := engine.Compact(); err != nil {
+		logger.Print(err)
+	}
+}

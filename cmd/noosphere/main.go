@@ -1,0 +1,81 @@
+// Command noosphere runs a small collaborative encyclopedia in the style
+// of PlanetMath: a web wiki whose every page view is automatically linked
+// by NNexus (the paper's §1: NNexus generalizes "the automatic linking
+// component of the Noosphere system, which is the platform of PlanetMath").
+//
+// Usage:
+//
+//	noosphere -addr 127.0.0.1:8080 -data /var/lib/noosphere
+//
+// The wiki is served at /, and the NNexus JSON API at /api/ (see the
+// httpapi package).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/core"
+	"nnexus/internal/corpus"
+	"nnexus/internal/httpapi"
+	"nnexus/internal/noosphere"
+	"nnexus/internal/storage"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		dataDir = flag.String("data", "", "data directory (empty = memory only)")
+		domain  = flag.String("domain", "planetmath.local", "wiki domain name")
+		base    = flag.Int("base", classification.DefaultBaseWeight, "classification weight base")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "noosphere: ", log.LstdFlags)
+
+	var store *storage.Store
+	if *dataDir != "" {
+		var err error
+		store, err = storage.Open(*dataDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer store.Close()
+	}
+	engine, err := core.NewEngine(core.Config{
+		Scheme: classification.MSC2000(*base),
+		Store:  store,
+		LaTeX:  true,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if err := engine.AddDomain(corpus.Domain{
+		Name:        *domain,
+		URLTemplate: "/entry/{id}",
+		Scheme:      "msc",
+		Priority:    1,
+	}); err != nil {
+		logger.Fatal(err)
+	}
+
+	var wikiOpts []noosphere.Option
+	if store != nil {
+		wikiOpts = append(wikiOpts, noosphere.WithStore(store))
+	}
+	wiki, err := noosphere.New(engine, *domain, wikiOpts...)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/api/", httpapi.New(engine))
+	mux.Handle("/", wiki)
+
+	fmt.Printf("noosphere wiki on http://%s/ (%d entries)\n", *addr, engine.NumEntries())
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package nnexus_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nnexus"
+)
+
+// The basic flow: register a domain, add entries, link text.
+func Example() {
+	engine, err := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	_ = engine.AddDomain(nnexus.Domain{
+		Name:        "planetmath.org",
+		URLTemplate: "http://planetmath.org/?op=getobj&id={id}",
+		Scheme:      "msc",
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{
+		Domain:  "planetmath.org",
+		Title:   "planar graph",
+		Classes: []string{"05C10"},
+	})
+
+	res, _ := engine.LinkText("every planar graph embeds in the plane",
+		nnexus.LinkOptions{SourceClasses: []string{"05C10"}})
+	fmt.Println(res.Output)
+	// Output:
+	// every <a href="http://planetmath.org/?op=getobj&amp;id=1" title="planar graph">planar graph</a> embeds in the plane
+}
+
+// Classification steering disambiguates homonyms: "graph" links to the
+// graph-theory entry when cited from a graph-theory article.
+func ExampleEngine_LinkText_steering() {
+	engine, _ := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	defer engine.Close()
+	_ = engine.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc",
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: "graph", Classes: []string{"05C99"},
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: "graph", Classes: []string{"03E20"},
+	})
+
+	res, _ := engine.LinkText("the graph", nnexus.LinkOptions{
+		SourceClasses: []string{"05C40"}, // graph-theory source
+	})
+	fmt.Println("target:", res.Links[0].Target)
+	res, _ = engine.LinkText("the graph", nnexus.LinkOptions{
+		SourceClasses: []string{"03E20"}, // set-theory source
+	})
+	fmt.Println("target:", res.Links[0].Target)
+	// Output:
+	// target: 1
+	// target: 2
+}
+
+// Linking policies suppress overlinking of common words, following the
+// paper's "even number" example.
+func ExampleEngine_SetPolicy() {
+	engine, _ := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	defer engine.Close()
+	_ = engine.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc",
+	})
+	id, _ := engine.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: "even number",
+		Concepts: []string{"even"}, Classes: []string{"11A51"},
+	})
+	_ = engine.SetPolicy(id, "forbid even\nallow even from 11-XX")
+
+	res, _ := engine.LinkText("even so, nothing links",
+		nnexus.LinkOptions{SourceClasses: []string{"05C10"}})
+	fmt.Println("links from graph theory:", len(res.Links))
+	res, _ = engine.LinkText("an even integer",
+		nnexus.LinkOptions{SourceClasses: []string{"11A51"}})
+	fmt.Println("links from number theory:", len(res.Links))
+	// Output:
+	// links from graph theory: 0
+	// links from number theory: 1
+}
+
+// New concepts invalidate exactly the entries that may need re-linking.
+func ExampleEngine_Invalidated() {
+	engine, _ := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	defer engine.Close()
+	_ = engine.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc",
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: "first entry",
+		Body: "this mentions a hypergraph",
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: "second entry",
+		Body: "this does not",
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: "hypergraph",
+	})
+	fmt.Println("invalidated:", engine.Invalidated())
+	// Output:
+	// invalidated: [1]
+}
+
+// LaTeX-authored entries link after markup normalization.
+func ExampleLaTeXToText() {
+	text := nnexus.LaTeXToText(`A \emph{planar graph} has genus $g = 0$.`)
+	fmt.Println(text)
+	// Output:
+	// A planar graph has genus $g = 0$.
+}
+
+// Markdown output suits lecture notes and blog posts.
+func ExampleEngine_LinkText_markdown() {
+	engine, _ := nnexus.New(nnexus.Config{
+		Scheme: nnexus.SampleMSC(10),
+		Format: nnexus.Markdown,
+	})
+	defer engine.Close()
+	_ = engine.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc",
+	})
+	_, _ = engine.AddEntry(&nnexus.Entry{Domain: "planetmath.org", Title: "plane"})
+
+	res, _ := engine.LinkText("drawn in the plane", nnexus.LinkOptions{})
+	fmt.Println(res.Output)
+	// Output:
+	// drawn in the [plane](http://pm/1)
+}
+
+// Ontology mapping lets corpora with different classification schemes
+// steer against one canonical scheme.
+func ExampleNewMapper() {
+	m := nnexus.NewMapper("loc", "msc")
+	m.Add("QA166", "05Cxx") // Library of Congress graph theory → MSC
+	m.Add("QA*", "00-XX")   // prefix fallback
+
+	engine, _ := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	defer engine.Close()
+	_ = engine.RegisterMapper(m)
+	fmt.Println("rules:", m.Len())
+	// Output:
+	// rules: 2
+}
+
+// The OAI import format carries a whole corpus in one XML document.
+func ExampleEngine_ImportOAI() {
+	engine, _ := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	defer engine.Close()
+	_ = engine.AddDomain(nnexus.Domain{
+		Name: "mathworld.wolfram.com", URLTemplate: "http://mw/{id}.html", Scheme: "msc",
+	})
+	ids, err := engine.ImportOAI(strings.NewReader(`
+	<records domain="mathworld.wolfram.com" scheme="msc">
+	  <record id="PlanarGraph"><title>planar graph</title><class>05C10</class></record>
+	  <record id="Torus"><title>torus</title><class>51A05</class></record>
+	</records>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("imported:", len(ids), "concepts:", engine.NumConcepts())
+	// Output:
+	// imported: 2 concepts: 2
+}

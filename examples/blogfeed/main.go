@@ -1,0 +1,119 @@
+// Blogfeed: deploy NNexus as a linking web service (paper §3.4: "NNexus
+// could be deployed as a web service to allow third parties to link
+// arbitrary documents to particular corpora"). An in-process NNexus server
+// is started on a TCP socket, and a simulated educational blog then links
+// each of its posts through the XML socket protocol — exactly what a
+// Wordpress plugin would do.
+//
+// Run with: go run ./examples/blogfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnexus"
+)
+
+// posts simulate an educational math blog's feed.
+var posts = []struct {
+	Title string
+	Body  string
+}{
+	{
+		Title: "Why I love planar graphs",
+		Body: "Today in class we proved that every planar graph has a vertex " +
+			"of degree at most five. The proof uses Euler's formula and is a " +
+			"gem of double counting.",
+	},
+	{
+		Title: "Connectivity in networks",
+		Body: "A communication network stays functional exactly when its " +
+			"underlying connected graph remains connected after failures; the " +
+			"connected components tell you the damage.",
+	},
+	{
+		Title: "Prime time",
+		Body: "Even numbers beyond two are never prime, but an even number " +
+			"is always a sum of at most three primes, even in the worst case.",
+	},
+}
+
+func main() {
+	// 1. Stand up the encyclopedia service.
+	engine, err := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+	if err := engine.AddDomain(nnexus.Domain{
+		Name:        "planetmath.org",
+		URLTemplate: "http://planetmath.org/?op=getobj&id={id}",
+		Scheme:      "msc",
+		Priority:    1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	seed := []nnexus.Entry{
+		{Title: "planar graph", Classes: []string{"05C10"}},
+		{Title: "Euler's formula", Classes: []string{"05C10"}},
+		{Title: "vertex", Concepts: []string{"vertices"}, Classes: []string{"05C99"}},
+		{Title: "degree", Classes: []string{"05C99"}},
+		{Title: "connected graph", Classes: []string{"05C40"}},
+		{Title: "connected components", Classes: []string{"05C40"}},
+		{Title: "even number", Concepts: []string{"even"}, Classes: []string{"11A51"},
+			Policy: "forbid even\nallow even from 11-XX"},
+		{Title: "prime number", Concepts: []string{"prime"}, Classes: []string{"11A51"}},
+	}
+	for i := range seed {
+		seed[i].Domain = "planetmath.org"
+		if _, err := engine.AddEntry(&seed[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, addr, err := engine.Serve("127.0.0.1:0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("NNexus linking service on %s (%d entries, %d concepts)\n\n",
+		addr, engine.NumEntries(), engine.NumConcepts())
+
+	// 2. The blog connects as an ordinary protocol client.
+	blog, err := nnexus.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer blog.Close()
+	if err := blog.Ping(); err != nil {
+		log.Fatal(err)
+	}
+
+	classesFor := map[string][]string{
+		"Why I love planar graphs": {"05C10"},
+		"Connectivity in networks": {"05C40"},
+		"Prime time":               {"11A51"},
+	}
+	for _, post := range posts {
+		linked, err := blog.LinkText(post.Body, classesFor[post.Title], "msc", "", "markdown")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("## %s\n\n%s\n\n", post.Title, linked.Output)
+		for _, l := range linked.Links {
+			fmt.Printf("  link: %-20q → %s\n", l.Label, l.URL)
+		}
+		for _, s := range linked.Skips {
+			fmt.Printf("  skip: %-20q (%s)\n", s.Label, s.Reason)
+		}
+		fmt.Println()
+	}
+
+	stats, err := blog.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service stats: %d entries, %d concepts, %d domains\n",
+		stats.Entries, stats.Concepts, stats.Domains)
+}

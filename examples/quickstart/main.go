@@ -1,0 +1,91 @@
+// Quickstart: build the paper's Fig 1 example corpus and watch NNexus link
+// the running example — including the homonym "graph" being steered to the
+// graph-theory entry and the overlinking of "even" being fixed with a
+// linking policy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnexus"
+)
+
+func main() {
+	// The MSC subtree of the paper's Fig 4, weighted with base 10.
+	engine, err := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	if err := engine.AddDomain(nnexus.Domain{
+		Name:        "planetmath.org",
+		URLTemplate: "http://planetmath.org/?op=getobj&id={id}",
+		Scheme:      "msc",
+		Priority:    1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The Fig 1 example corpus: object IDs come out 1..7.
+	entries := []nnexus.Entry{
+		{Title: "connected graph", Classes: []string{"05C40"}},
+		{Title: "planar graph", Classes: []string{"05C10"}},
+		{Title: "connected components", Concepts: []string{"connected component"}, Classes: []string{"05C40"}},
+		{Title: "even number", Concepts: []string{"even"}, Classes: []string{"11A51"}},
+		{Title: "graph", Classes: []string{"05C99"}}, // graph theory sense
+		{Title: "graph", Classes: []string{"03E20"}}, // set-theoretic sense
+		{Title: "plane", Classes: []string{"51A05"}},
+	}
+	var evenID int64
+	for i := range entries {
+		entries[i].Domain = "planetmath.org"
+		id, err := engine.AddEntry(&entries[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if entries[i].Title == "even number" {
+			evenID = id
+		}
+	}
+	fmt.Printf("indexed %d entries defining %d concepts\n\n",
+		engine.NumEntries(), engine.NumConcepts())
+
+	// The paper's example entry (PlaneGraph, MSC 05C40). Note the math
+	// region, the plural "components", and the homonym "graph".
+	text := "A plane graph is a planar graph which is drawn in the plane " +
+		"so that its edges $e \\in E$ intersect only at the vertices, even " +
+		"when the connected components are far apart."
+
+	res, err := engine.LinkText(text, nnexus.LinkOptions{SourceClasses: []string{"05C40"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("without a linking policy (note the spurious 'even' link):")
+	fmt.Println("  " + res.Output)
+	fmt.Println()
+	for _, l := range res.Links {
+		fmt.Printf("  %-22q → object %d (%s), class distance %d of %d candidates\n",
+			l.Text, l.Target, l.TargetTitle, l.Distance, l.Candidates)
+	}
+	fmt.Println()
+
+	// Fix the overlink exactly as the paper describes: the entry for
+	// "even number" forbids links to "even" except from number theory.
+	if err := engine.SetPolicy(evenID, "forbid even\nallow even from 11-XX"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = engine.LinkText(text, nnexus.LinkOptions{SourceClasses: []string{"05C40"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("with the linking policy on 'even number':")
+	fmt.Println("  " + res.Output)
+	fmt.Println()
+	for _, s := range res.Skips {
+		fmt.Printf("  suppressed %q (%s)\n", s.Label, s.Reason)
+	}
+}

@@ -1,0 +1,3 @@
+module nnexus
+
+go 1.22

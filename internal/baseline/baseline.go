@@ -1,0 +1,286 @@
+// Package baseline implements the two linking paradigms the paper compares
+// NNexus against (§1.2):
+//
+//   - Manual linking: both the link source and the link target are written
+//     out explicitly by the author, as anchor tags in HTML or
+//     [[target|text]] markup.
+//   - Semiautomatic linking (the Mediawiki/Wikipedia model): the author
+//     delimits the source with [[double brackets]]; the system resolves the
+//     destination. A term whose entry exists under an alternate name fails
+//     to connect, links to missing entries render as "broken", and
+//     homonymous labels resolve through disambiguation pages.
+//
+// The package exists so the evaluation can quantify the paper's core
+// argument: what these paradigms cost authors (markup actions, broken
+// links, disambiguation hops, O(n²) re-inspection) compared to NNexus's
+// fully automatic linking.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nnexus/internal/conceptmap"
+	"nnexus/internal/morph"
+)
+
+// WikiLink is one author-delimited [[...]] occurrence.
+type WikiLink struct {
+	// Text is the visible text (after a | pipe, if present).
+	Text string
+	// Target is the author-written target label (before the pipe), or the
+	// text itself for plain [[term]] links.
+	Target string
+	// Start/End are byte offsets of the whole [[...]] markup.
+	Start, End int
+}
+
+// ParseWikiLinks extracts [[target|text]] and [[term]] markup from a
+// document, the way Mediawiki's parser does.
+func ParseWikiLinks(text string) []WikiLink {
+	var out []WikiLink
+	for i := 0; i+4 <= len(text); {
+		open := strings.Index(text[i:], "[[")
+		if open < 0 {
+			break
+		}
+		open += i
+		close := strings.Index(text[open+2:], "]]")
+		if close < 0 {
+			break
+		}
+		close += open + 2
+		inner := text[open+2 : close]
+		link := WikiLink{Start: open, End: close + 2}
+		if pipe := strings.IndexByte(inner, '|'); pipe >= 0 {
+			link.Target = strings.TrimSpace(inner[:pipe])
+			link.Text = strings.TrimSpace(inner[pipe+1:])
+		} else {
+			link.Target = strings.TrimSpace(inner)
+			link.Text = link.Target
+		}
+		if link.Target != "" {
+			out = append(out, link)
+		}
+		i = close + 2
+	}
+	return out
+}
+
+// Resolution classifies what happened to one author-delimited link.
+type Resolution int
+
+const (
+	// Resolved: exactly one entry defines the written label.
+	Resolved Resolution = iota
+	// Broken: no entry defines the label (a "redlink"). The author wrote
+	// the concept under a name the collection does not use, or the entry
+	// does not exist yet.
+	Broken
+	// Disambiguation: several entries define the label; the reader lands
+	// on a disambiguation page and must take one extra hop.
+	Disambiguation
+)
+
+func (r Resolution) String() string {
+	switch r {
+	case Resolved:
+		return "resolved"
+	case Broken:
+		return "broken"
+	case Disambiguation:
+		return "disambiguation"
+	default:
+		return "unknown"
+	}
+}
+
+// SemiAutoResult is the outcome of resolving one wiki link.
+type SemiAutoResult struct {
+	Link       WikiLink
+	Resolution Resolution
+	// Targets holds the resolved object (len 1) or the disambiguation
+	// candidates (len > 1); empty when Broken.
+	Targets []conceptmap.ObjectID
+}
+
+// SemiAutoLinker resolves author-delimited links against a concept map the
+// way Mediawiki does: exact (normalized) title match only — no
+// classification steering, no policies, no longest-match scanning.
+type SemiAutoLinker struct {
+	cmap *conceptmap.Map
+}
+
+// NewSemiAutoLinker wraps a concept map.
+func NewSemiAutoLinker(cmap *conceptmap.Map) *SemiAutoLinker {
+	return &SemiAutoLinker{cmap: cmap}
+}
+
+// Resolve resolves every [[...]] link in the document.
+func (s *SemiAutoLinker) Resolve(text string) []SemiAutoResult {
+	links := ParseWikiLinks(text)
+	out := make([]SemiAutoResult, 0, len(links))
+	for _, l := range links {
+		targets := s.cmap.Lookup(l.Target)
+		res := SemiAutoResult{Link: l, Targets: targets}
+		switch len(targets) {
+		case 0:
+			res.Resolution = Broken
+		case 1:
+			res.Resolution = Resolved
+		default:
+			res.Resolution = Disambiguation
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Effort summarizes what a paradigm costs the author and the reader.
+type Effort struct {
+	// AuthorActions counts explicit markup decisions the author made.
+	AuthorActions int
+	// BrokenLinks counts links that failed to connect.
+	BrokenLinks int
+	// DisambiguationHops counts links landing on disambiguation pages.
+	DisambiguationHops int
+	// ResolvedLinks counts links that connected directly.
+	ResolvedLinks int
+}
+
+// Add accumulates other into e.
+func (e *Effort) Add(other Effort) {
+	e.AuthorActions += other.AuthorActions
+	e.BrokenLinks += other.BrokenLinks
+	e.DisambiguationHops += other.DisambiguationHops
+	e.ResolvedLinks += other.ResolvedLinks
+}
+
+// String formats the tallies.
+func (e Effort) String() string {
+	return fmt.Sprintf("actions=%d resolved=%d broken=%d disambig=%d",
+		e.AuthorActions, e.ResolvedLinks, e.BrokenLinks, e.DisambiguationHops)
+}
+
+// MeasureSemiAuto resolves a marked-up document and tallies the effort.
+func (s *SemiAutoLinker) MeasureSemiAuto(text string) Effort {
+	var e Effort
+	for _, r := range s.Resolve(text) {
+		e.AuthorActions++
+		switch r.Resolution {
+		case Resolved:
+			e.ResolvedLinks++
+		case Broken:
+			e.BrokenLinks++
+		case Disambiguation:
+			e.DisambiguationHops++
+		}
+	}
+	return e
+}
+
+// MarkupInvocations simulates a conscientious wiki author: given the plain
+// body and the concept labels the author intends to invoke, it produces the
+// [[bracketed]] version of the document. Each intended label is marked at
+// its first occurrence — one author action per link, exactly the burden
+// NNexus removes. Labels may be written in any inflected form; the author
+// writes what is in the text.
+func MarkupInvocations(body string, labels []string) (string, int) {
+	// Sort longest-first so "planar graph" is bracketed before "graph"
+	// could split it.
+	sorted := append([]string(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+	actions := 0
+	for _, label := range sorted {
+		idx := findLabel(body, label)
+		if idx < 0 {
+			continue
+		}
+		end := idx + labelOccurrenceLen(body, idx, label)
+		body = body[:idx] + "[[" + body[idx:end] + "]]" + body[end:]
+		actions++
+	}
+	return body, actions
+}
+
+// findLabel locates the first occurrence of the (normalized) label in the
+// body, tolerating inflection by comparing normalized word sequences.
+func findLabel(body, label string) int {
+	want := strings.Fields(morph.NormalizeLabel(label))
+	if len(want) == 0 {
+		return -1
+	}
+	words := fieldsWithOffsets(body)
+	for i := 0; i+len(want) <= len(words); i++ {
+		if words[i].inBracket {
+			continue
+		}
+		match := true
+		for j, w := range want {
+			if morph.Normalize(words[i+j].text) != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return words[i].off
+		}
+	}
+	return -1
+}
+
+// labelOccurrenceLen returns the byte length of the label occurrence
+// starting at off in body (counting the actual inflected words).
+func labelOccurrenceLen(body string, off int, label string) int {
+	n := len(strings.Fields(morph.NormalizeLabel(label)))
+	rest := body[off:]
+	words := fieldsWithOffsets(rest)
+	if len(words) < n {
+		return len(rest)
+	}
+	last := words[n-1]
+	return last.off + len(last.text)
+}
+
+type wordAt struct {
+	text      string
+	off       int
+	inBracket bool
+}
+
+func fieldsWithOffsets(s string) []wordAt {
+	var out []wordAt
+	depth := 0
+	i := 0
+	for i < len(s) {
+		if strings.HasPrefix(s[i:], "[[") {
+			depth++
+			i += 2
+			continue
+		}
+		if strings.HasPrefix(s[i:], "]]") {
+			if depth > 0 {
+				depth--
+			}
+			i += 2
+			continue
+		}
+		c := s[i]
+		if !isWordByte(c) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(s) && isWordByte(s[i]) {
+			i++
+		}
+		out = append(out, wordAt{text: s[start:i], off: start, inBracket: depth > 0})
+	}
+	return out
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '\'' || c >= 0x80
+}

@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"nnexus/internal/conceptmap"
+)
+
+func TestParseWikiLinks(t *testing.T) {
+	text := "a [[planar graph]] is a [[graph theory|graph]] in the [[plane]]"
+	links := ParseWikiLinks(text)
+	if len(links) != 3 {
+		t.Fatalf("links = %+v", links)
+	}
+	if links[0].Target != "planar graph" || links[0].Text != "planar graph" {
+		t.Errorf("link 0 = %+v", links[0])
+	}
+	if links[1].Target != "graph theory" || links[1].Text != "graph" {
+		t.Errorf("link 1 = %+v", links[1])
+	}
+	for _, l := range links {
+		if text[l.Start:l.Start+2] != "[[" || text[l.End-2:l.End] != "]]" {
+			t.Errorf("offsets wrong: %+v", l)
+		}
+	}
+}
+
+func TestParseWikiLinksEdgeCases(t *testing.T) {
+	if got := ParseWikiLinks("no links here"); got != nil {
+		t.Errorf("links = %+v", got)
+	}
+	if got := ParseWikiLinks("[[unclosed"); got != nil {
+		t.Errorf("links = %+v", got)
+	}
+	if got := ParseWikiLinks("[[]] empty"); got != nil {
+		t.Errorf("empty target accepted: %+v", got)
+	}
+	got := ParseWikiLinks("[[a]][[b]]")
+	if len(got) != 2 {
+		t.Errorf("adjacent links = %+v", got)
+	}
+}
+
+func semiAutoMap() *conceptmap.Map {
+	m := conceptmap.New()
+	m.AddObject(1, []string{"planar graph"})
+	m.AddObject(5, []string{"graph"}) // homonym pair, like Wikipedia
+	m.AddObject(6, []string{"graph"})
+	return m
+}
+
+func TestSemiAutoResolve(t *testing.T) {
+	s := NewSemiAutoLinker(semiAutoMap())
+	results := s.Resolve("a [[planar graph]] and a [[graph]] and a [[hypergraph]]")
+	if len(results) != 3 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Resolution != Resolved || results[0].Targets[0] != 1 {
+		t.Errorf("planar graph: %+v", results[0])
+	}
+	// Homonym: the Mediawiki model lands on a disambiguation page.
+	if results[1].Resolution != Disambiguation || len(results[1].Targets) != 2 {
+		t.Errorf("graph: %+v", results[1])
+	}
+	// Missing entry: a broken redlink.
+	if results[2].Resolution != Broken || results[2].Targets != nil {
+		t.Errorf("hypergraph: %+v", results[2])
+	}
+}
+
+func TestSemiAutoAlternateNameFails(t *testing.T) {
+	// The paper: "If an entry for a concept is present only by an alternate
+	// name, the link might fail to be connected."
+	m := conceptmap.New()
+	m.AddObject(1, []string{"Euler's totient function"})
+	s := NewSemiAutoLinker(m)
+	results := s.Resolve("see [[phi function]] for details")
+	if results[0].Resolution != Broken {
+		t.Errorf("alternate-name link connected: %+v", results[0])
+	}
+}
+
+func TestMeasureSemiAuto(t *testing.T) {
+	s := NewSemiAutoLinker(semiAutoMap())
+	e := s.MeasureSemiAuto("[[planar graph]] [[graph]] [[missing one]]")
+	if e.AuthorActions != 3 || e.ResolvedLinks != 1 || e.DisambiguationHops != 1 || e.BrokenLinks != 1 {
+		t.Errorf("effort = %+v", e)
+	}
+	var sum Effort
+	sum.Add(e)
+	sum.Add(e)
+	if sum.AuthorActions != 6 {
+		t.Errorf("sum = %+v", sum)
+	}
+	if !strings.Contains(e.String(), "actions=3") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	if Resolved.String() != "resolved" || Broken.String() != "broken" ||
+		Disambiguation.String() != "disambiguation" {
+		t.Error("Resolution strings wrong")
+	}
+	if Resolution(99).String() != "unknown" {
+		t.Error("unknown resolution")
+	}
+}
+
+func TestMarkupInvocations(t *testing.T) {
+	body := "every planar graph is a graph drawn in the plane"
+	marked, actions := MarkupInvocations(body, []string{"planar graph", "plane"})
+	if actions != 2 {
+		t.Fatalf("actions = %d", actions)
+	}
+	if !strings.Contains(marked, "[[planar graph]]") {
+		t.Errorf("marked = %q", marked)
+	}
+	if !strings.Contains(marked, "[[plane]]") {
+		t.Errorf("marked = %q", marked)
+	}
+	// The bare "graph" inside "[[planar graph]]" must not be re-marked.
+	if strings.Contains(marked, "[[planar [[graph]]") || strings.Contains(marked, "[[[[") {
+		t.Errorf("nested markup: %q", marked)
+	}
+}
+
+func TestMarkupInvocationsLongestFirst(t *testing.T) {
+	body := "an orthogonal function here"
+	marked, actions := MarkupInvocations(body, []string{"orthogonal", "orthogonal function"})
+	if actions != 1 {
+		// "orthogonal" alone cannot be marked once the longer phrase
+		// consumed it; one action expected.
+		t.Logf("marked = %q (actions=%d)", marked, actions)
+	}
+	if !strings.Contains(marked, "[[orthogonal function]]") {
+		t.Errorf("marked = %q", marked)
+	}
+}
+
+func TestMarkupInvocationsInflected(t *testing.T) {
+	body := "all planar graphs are nice"
+	marked, actions := MarkupInvocations(body, []string{"planar graph"})
+	if actions != 1 || !strings.Contains(marked, "[[planar graphs]]") {
+		t.Errorf("marked = %q actions=%d", marked, actions)
+	}
+}
+
+func TestMarkupInvocationsMissingLabel(t *testing.T) {
+	body := "nothing relevant here"
+	marked, actions := MarkupInvocations(body, []string{"absent concept"})
+	if actions != 0 || marked != body {
+		t.Errorf("marked = %q actions=%d", marked, actions)
+	}
+}
+
+// End-to-end: a conscientious wiki author marking up a generated body gets
+// exactly as many author actions as there are linkable invocations —
+// actions NNexus's automatic paradigm eliminates.
+func TestSemiAutoRoundTrip(t *testing.T) {
+	m := conceptmap.New()
+	m.AddObject(1, []string{"abelian group"})
+	m.AddObject(2, []string{"normal subgroup"})
+	body := "every abelian group has a normal subgroup of index two"
+	marked, actions := MarkupInvocations(body, []string{"abelian group", "normal subgroup"})
+	if actions != 2 {
+		t.Fatalf("actions = %d", actions)
+	}
+	s := NewSemiAutoLinker(m)
+	e := s.MeasureSemiAuto(marked)
+	if e.ResolvedLinks != 2 || e.BrokenLinks != 0 {
+		t.Errorf("effort = %+v (marked=%q)", e, marked)
+	}
+}

@@ -1,0 +1,189 @@
+// Package cfrank implements the collaborative-filtering link ranking the
+// paper lists as future work (§1.2/§5: "we can model our problem as an
+// entry-entry link matrix where each cell represents a link or nonlink from
+// a certain entry to another entry and use entry similarities to help
+// determine the best entry to link to", and "we are exploring reputation
+// systems and collaborative filtering techniques to further enhance the
+// link steering by addressing issues of 'competing' entries").
+//
+// The model is item-based collaborative filtering over the entry-entry
+// link matrix: two source entries are similar when they link to overlapping
+// target sets (cosine similarity); a candidate target is then scored by how
+// strongly the sources similar to the current source link to it. Explicit
+// user feedback (an author accepting or overriding an automatic link)
+// updates the matrix with higher weight.
+package cfrank
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Matrix is the entry-entry link matrix. All methods are safe for
+// concurrent use.
+type Matrix struct {
+	mu sync.RWMutex
+	// out[source][target] is the accumulated link weight.
+	out map[int64]map[int64]float64
+	// in[target] lists sources linking to it (for similarity search).
+	in map[int64]map[int64]struct{}
+}
+
+// Feedback weights.
+const (
+	// WeightLink is added when the automatic linker creates a link.
+	WeightLink = 1.0
+	// WeightAccept is added when a user confirms a link.
+	WeightAccept = 3.0
+	// WeightReject is subtracted when a user removes or overrides a link.
+	WeightReject = 4.0
+)
+
+// NewMatrix returns an empty link matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{
+		out: make(map[int64]map[int64]float64),
+		in:  make(map[int64]map[int64]struct{}),
+	}
+}
+
+// RecordLink notes that source linked to target (automatic linking).
+func (m *Matrix) RecordLink(source, target int64) {
+	m.add(source, target, WeightLink)
+}
+
+// RecordFeedback folds explicit user feedback about a link into the matrix.
+func (m *Matrix) RecordFeedback(source, target int64, accepted bool) {
+	if accepted {
+		m.add(source, target, WeightAccept)
+	} else {
+		m.add(source, target, -WeightReject)
+	}
+}
+
+func (m *Matrix) add(source, target int64, w float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row := m.out[source]
+	if row == nil {
+		row = make(map[int64]float64)
+		m.out[source] = row
+	}
+	row[target] += w
+	if row[target] <= 0 {
+		delete(row, target)
+		if set := m.in[target]; set != nil {
+			delete(set, source)
+		}
+		return
+	}
+	set := m.in[target]
+	if set == nil {
+		set = make(map[int64]struct{})
+		m.in[target] = set
+	}
+	set[source] = struct{}{}
+}
+
+// Weight returns the current link weight from source to target.
+func (m *Matrix) Weight(source, target int64) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.out[source][target]
+}
+
+// Links returns the number of distinct (source, target) cells with positive
+// weight.
+func (m *Matrix) Links() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, row := range m.out {
+		n += len(row)
+	}
+	return n
+}
+
+// Similarity returns the cosine similarity of two sources' link vectors
+// (0 when either has no links).
+func (m *Matrix) Similarity(a, b int64) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.similarityLocked(a, b)
+}
+
+func (m *Matrix) similarityLocked(a, b int64) float64 {
+	ra, rb := m.out[a], m.out[b]
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	if len(rb) < len(ra) {
+		ra, rb = rb, ra
+	}
+	var dot, na, nb float64
+	for t, w := range ra {
+		na += w * w
+		if w2, ok := rb[t]; ok {
+			dot += w * w2
+		}
+	}
+	for _, w := range rb {
+		nb += w * w
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Scored is one ranked candidate.
+type Scored struct {
+	Target int64
+	Score  float64
+}
+
+// Rank scores candidate targets for a link from source: each candidate
+// accumulates the similarity of every other source that links to it,
+// weighted by that link's strength, plus the source's own past preference.
+// Candidates are returned best-first; ties order by target ID.
+func (m *Matrix) Rank(source int64, candidates []int64) []Scored {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Scored, 0, len(candidates))
+	for _, cand := range candidates {
+		score := 2 * m.out[source][cand] // own history counts double
+		for other := range m.in[cand] {
+			if other == source {
+				continue
+			}
+			if sim := m.similarityLocked(source, other); sim > 0 {
+				score += sim * m.out[other][cand]
+			}
+		}
+		out = append(out, Scored{Target: cand, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// Best returns the top-ranked candidate and true, or 0 and false when the
+// matrix cannot discriminate (all scores equal).
+func (m *Matrix) Best(source int64, candidates []int64) (int64, bool) {
+	ranked := m.Rank(source, candidates)
+	if len(ranked) == 0 {
+		return 0, false
+	}
+	if len(ranked) > 1 && ranked[0].Score == ranked[1].Score {
+		return 0, false
+	}
+	if ranked[0].Score == 0 {
+		return 0, false
+	}
+	return ranked[0].Target, true
+}

@@ -1,0 +1,149 @@
+package cfrank
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndWeight(t *testing.T) {
+	m := NewMatrix()
+	m.RecordLink(1, 5)
+	m.RecordLink(1, 5)
+	if w := m.Weight(1, 5); w != 2*WeightLink {
+		t.Errorf("weight = %f", w)
+	}
+	if m.Links() != 1 {
+		t.Errorf("links = %d", m.Links())
+	}
+	m.RecordFeedback(1, 5, true)
+	if w := m.Weight(1, 5); w != 2*WeightLink+WeightAccept {
+		t.Errorf("weight after accept = %f", w)
+	}
+}
+
+func TestRejectionRemovesCell(t *testing.T) {
+	m := NewMatrix()
+	m.RecordLink(1, 5)
+	m.RecordFeedback(1, 5, false) // 1 - 4 < 0 → cell dropped
+	if w := m.Weight(1, 5); w != 0 {
+		t.Errorf("weight after reject = %f", w)
+	}
+	if m.Links() != 0 {
+		t.Errorf("links = %d", m.Links())
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	m := NewMatrix()
+	// Sources 1 and 2 link identically; source 3 disjointly.
+	for _, target := range []int64{10, 11, 12} {
+		m.RecordLink(1, target)
+		m.RecordLink(2, target)
+	}
+	m.RecordLink(3, 99)
+	if sim := m.Similarity(1, 2); math.Abs(sim-1) > 1e-9 {
+		t.Errorf("identical vectors sim = %f", sim)
+	}
+	if sim := m.Similarity(1, 3); sim != 0 {
+		t.Errorf("disjoint vectors sim = %f", sim)
+	}
+	if sim := m.Similarity(1, 999); sim != 0 {
+		t.Errorf("unknown source sim = %f", sim)
+	}
+}
+
+// The paper's competing-entries scenario: two entries (homonyms or
+// duplicates) compete for a label; sources similar to the current one
+// preferred target A, so A should win.
+func TestRankPrefersCommunityChoice(t *testing.T) {
+	m := NewMatrix()
+	const (
+		targetA = int64(100)
+		targetB = int64(200)
+	)
+	// Peers 1..5 share interests with source 9 (common target 50) and all
+	// chose targetA.
+	for s := int64(1); s <= 5; s++ {
+		m.RecordLink(s, 50)
+		m.RecordLink(s, targetA)
+	}
+	// An unrelated crowd chose targetB but shares nothing with source 9.
+	for s := int64(20); s <= 30; s++ {
+		m.RecordLink(s, 77)
+		m.RecordLink(s, targetB)
+	}
+	m.RecordLink(9, 50) // source 9's only history
+	ranked := m.Rank(9, []int64{targetA, targetB})
+	if len(ranked) != 2 || ranked[0].Target != targetA {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	if best, ok := m.Best(9, []int64{targetA, targetB}); !ok || best != targetA {
+		t.Errorf("best = %d, %v", best, ok)
+	}
+}
+
+func TestOwnHistoryDominates(t *testing.T) {
+	m := NewMatrix()
+	m.RecordFeedback(9, 200, true) // user explicitly chose B before
+	ranked := m.Rank(9, []int64{100, 200})
+	if ranked[0].Target != 200 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+}
+
+func TestBestUndecided(t *testing.T) {
+	m := NewMatrix()
+	if _, ok := m.Best(1, []int64{100, 200}); ok {
+		t.Error("empty matrix decided")
+	}
+	if _, ok := m.Best(1, nil); ok {
+		t.Error("no candidates decided")
+	}
+	// Symmetric evidence → tie → undecided.
+	m.RecordLink(1, 100)
+	m.RecordLink(1, 200)
+	if _, ok := m.Best(1, []int64{100, 200}); ok {
+		t.Error("tie decided")
+	}
+}
+
+func TestRankDeterministicOrder(t *testing.T) {
+	m := NewMatrix()
+	ranked := m.Rank(1, []int64{30, 10, 20})
+	if ranked[0].Target != 10 || ranked[1].Target != 20 || ranked[2].Target != 30 {
+		t.Errorf("tie order = %+v", ranked)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	m := NewMatrix()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.RecordLink(int64(g), int64(i%20))
+				m.Rank(int64(g), []int64{1, 2, 3})
+				m.Similarity(int64(g), int64((g+1)%8))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkRank(b *testing.B) {
+	m := NewMatrix()
+	for s := int64(0); s < 500; s++ {
+		for t := int64(0); t < 20; t++ {
+			m.RecordLink(s, (s+t)%300)
+		}
+	}
+	cands := []int64{10, 20, 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rank(int64(i%500), cands)
+	}
+}

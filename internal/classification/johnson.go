@@ -1,0 +1,138 @@
+package classification
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// AllPairs computes the distances between all classes at startup using
+// Johnson's algorithm, as the paper specifies ("NNexus uses Johnson's All
+// Pairs Shortest Path algorithm to compute the distances between all
+// classes at startup"). Subsequent Distance queries become table lookups.
+//
+// Johnson's algorithm adds a virtual vertex q with zero-weight edges to all
+// vertices, runs Bellman–Ford from q to obtain vertex potentials h(v),
+// reweights every edge as w'(u,v) = w(u,v) + h(u) − h(v) ≥ 0, and then runs
+// Dijkstra from every vertex on the reweighted graph. Our class-tree weights
+// are already non-negative, so the potentials come out zero, but the full
+// pipeline is implemented (and tested) so the scheme can also carry general
+// ontology graphs produced by ontology mapping.
+//
+// Memory is Θ(n²); for very large schemes prefer the default lazy
+// per-source Dijkstra memoization that Distance performs on demand.
+func (s *Scheme) AllPairs() error {
+	if !s.built {
+		return fmt.Errorf("classification: AllPairs before Build")
+	}
+	n := len(s.nodes)
+	h, err := s.bellmanFordFromVirtual()
+	if err != nil {
+		return err
+	}
+	// Reweighted adjacency.
+	radj := make([][]edge, n)
+	for u := range s.adj {
+		for _, e := range s.adj[u] {
+			w := e.w + h[u] - h[e.to]
+			if w < 0 {
+				return fmt.Errorf("classification: negative reweighted edge %d→%d", u, e.to)
+			}
+			radj[u] = append(radj[u], edge{to: e.to, w: w})
+		}
+	}
+	table := make([][]int64, n)
+	for u := 0; u < n; u++ {
+		row := dijkstraAdj(radj, u)
+		// Undo the reweighting: d(u,v) = d'(u,v) − h(u) + h(v).
+		for v := range row {
+			if row[v] < Infinite {
+				row[v] = row[v] - h[u] + h[v]
+			}
+		}
+		table[u] = row
+	}
+	s.mu.Lock()
+	s.allPairs = table
+	s.mu.Unlock()
+	return nil
+}
+
+// bellmanFordFromVirtual computes Johnson potentials: shortest distances
+// from a virtual source q that has a zero-weight edge to every vertex.
+// Returns an error if a negative cycle is detected.
+func (s *Scheme) bellmanFordFromVirtual() ([]int64, error) {
+	n := len(s.nodes)
+	h := make([]int64, n) // q's zero edges initialize every distance to 0
+	// Relax |V| − 1 times (the virtual vertex adds one more vertex, and its
+	// edges are already reflected in the initialization).
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			for _, e := range s.adj[u] {
+				if h[u]+e.w < h[e.to] {
+					h[e.to] = h[u] + e.w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return h, nil
+		}
+	}
+	// One more pass: any further relaxation means a negative cycle.
+	for u := 0; u < n; u++ {
+		for _, e := range s.adj[u] {
+			if h[u]+e.w < h[e.to] {
+				return nil, fmt.Errorf("classification: negative cycle through class %q", s.nodes[u].id)
+			}
+		}
+	}
+	return h, nil
+}
+
+// dijkstra runs a single-source Dijkstra pass over the scheme's own
+// adjacency list (used by the lazy Distance path).
+func (s *Scheme) dijkstra(src int) []int64 {
+	return dijkstraAdj(s.adj, src)
+}
+
+func dijkstraAdj(adj [][]edge, src int) []int64 {
+	dist := make([]int64, len(adj))
+	for i := range dist {
+		dist[i] = Infinite
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.node] {
+			continue // stale entry
+		}
+		for _, e := range adj[item.node] {
+			if nd := item.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	node int
+	d    int64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

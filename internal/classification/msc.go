@@ -1,0 +1,57 @@
+package classification
+
+// SampleMSC builds (and Builds) the subtree of the Mathematical Subject
+// Classification used throughout the paper's running example (Fig 1 and
+// Fig 4). It is used by tests, the quickstart example, and documentation.
+//
+// Layout (height 3):
+//
+//	(root)
+//	├── 03-XX Mathematical logic and foundations
+//	│   └── 03Exx Set theory
+//	│       └── 03E20 Other classical set theory
+//	├── 05-XX Combinatorics
+//	│   ├── 05Bxx Designs and configurations
+//	│   │   └── 05B05 Block designs
+//	│   └── 05Cxx Graph theory
+//	│       ├── 05C10 Topological graph theory, embedding
+//	│       ├── 05C40 Connectivity
+//	│       └── 05C99 None of the above, but in this section
+//	├── 11-XX Number theory
+//	│   └── 11Axx Elementary number theory
+//	│       └── 11A51 Factorization; primality
+//	└── 51-XX Geometry
+//	    └── 51Axx Linear incidence geometry
+//	        └── 51A05 General theory and projective geometries
+func SampleMSC(baseWeight int) *Scheme {
+	s := NewScheme("msc", baseWeight)
+	must := func(id, name, parent string) {
+		if err := s.AddClass(id, name, parent); err != nil {
+			panic("classification: SampleMSC: " + err.Error())
+		}
+	}
+	must("03-XX", "Mathematical logic and foundations", "")
+	must("03Exx", "Set theory", "03-XX")
+	must("03E20", "Other classical set theory", "03Exx")
+
+	must("05-XX", "Combinatorics", "")
+	must("05Bxx", "Designs and configurations", "05-XX")
+	must("05B05", "Block designs", "05Bxx")
+	must("05Cxx", "Graph theory", "05-XX")
+	must("05C10", "Topological graph theory, embedding", "05Cxx")
+	must("05C40", "Connectivity", "05Cxx")
+	must("05C99", "None of the above, but in this section", "05Cxx")
+
+	must("11-XX", "Number theory", "")
+	must("11Axx", "Elementary number theory", "11-XX")
+	must("11A51", "Factorization; primality", "11Axx")
+
+	must("51-XX", "Geometry", "")
+	must("51Axx", "Linear incidence geometry", "51-XX")
+	must("51A05", "General theory and projective geometries", "51Axx")
+
+	if err := s.Build(); err != nil {
+		panic("classification: SampleMSC: " + err.Error())
+	}
+	return s
+}

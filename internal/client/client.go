@@ -1,0 +1,212 @@
+// Package client is the Go client for an NNexus server: it speaks the XML
+// socket protocol of the wire package, offering typed methods mirroring the
+// engine API. A Client serializes requests, so one instance may be shared
+// by concurrent goroutines.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nnexus/internal/corpus"
+	"nnexus/internal/wire"
+)
+
+// Client is a connection to an NNexus server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *wire.Encoder
+	dec  *wire.Decoder
+	seq  int64
+}
+
+// Dial connects to an NNexus server at addr with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  wire.NewEncoder(conn),
+		dec:  wire.NewDecoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// call performs one synchronous request/response exchange.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("client: closed")
+	}
+	c.seq++
+	req.Seq = c.seq
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Seq != req.Seq {
+		return nil, fmt.Errorf("client: response seq %d for request %d", resp.Seq, req.Seq)
+	}
+	if !resp.IsOK() {
+		return nil, fmt.Errorf("client: server error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&wire.Request{Method: wire.MethodPing})
+	return err
+}
+
+// AddDomain registers a corpus domain.
+func (c *Client) AddDomain(d corpus.Domain) error {
+	_, err := c.call(&wire.Request{
+		Method: wire.MethodAddDomain,
+		Domain: &wire.Domain{
+			Name:        d.Name,
+			URLTemplate: d.URLTemplate,
+			Scheme:      d.Scheme,
+			Priority:    d.Priority,
+		},
+	})
+	return err
+}
+
+// AddEntry submits a new entry and returns its assigned ID.
+func (c *Client) AddEntry(e *corpus.Entry) (int64, error) {
+	resp, err := c.call(&wire.Request{Method: wire.MethodAddEntry, Entry: wire.FromCorpus(e)})
+	if err != nil {
+		return 0, err
+	}
+	e.ID = resp.Object
+	return resp.Object, nil
+}
+
+// UpdateEntry replaces an existing entry.
+func (c *Client) UpdateEntry(e *corpus.Entry) error {
+	_, err := c.call(&wire.Request{Method: wire.MethodUpdateEntry, Entry: wire.FromCorpus(e)})
+	return err
+}
+
+// RemoveEntry deletes an entry.
+func (c *Client) RemoveEntry(id int64) error {
+	_, err := c.call(&wire.Request{Method: wire.MethodRemoveEntry, Object: id})
+	return err
+}
+
+// GetEntry fetches an entry's metadata.
+func (c *Client) GetEntry(id int64) (*corpus.Entry, error) {
+	resp, err := c.call(&wire.Request{Method: wire.MethodGetEntry, Object: id})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Entry == nil {
+		return nil, errors.New("client: response missing entry")
+	}
+	return resp.Entry.ToCorpus(), nil
+}
+
+// SetPolicy installs a linking policy on an entry.
+func (c *Client) SetPolicy(id int64, policyText string) error {
+	_, err := c.call(&wire.Request{Method: wire.MethodSetPolicy, Object: id, Policy: policyText})
+	return err
+}
+
+// LinkedText is the client-side view of a linking result.
+type LinkedText struct {
+	Output string
+	Links  []wire.LinkInfo
+	Skips  []wire.SkipInfo
+}
+
+// LinkEntry links a stored entry and returns the linked document.
+func (c *Client) LinkEntry(id int64, mode, format string) (*LinkedText, error) {
+	resp, err := c.call(&wire.Request{
+		Method: wire.MethodLinkEntry, Object: id, Mode: mode, Format: format,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromLinked(resp)
+}
+
+// LinkText links arbitrary text against the collection. classes/scheme
+// describe the source document's classification.
+func (c *Client) LinkText(text string, classes []string, scheme, mode, format string) (*LinkedText, error) {
+	resp, err := c.call(&wire.Request{
+		Method:  wire.MethodLinkText,
+		Text:    text,
+		Classes: classes,
+		Scheme:  scheme,
+		Mode:    mode,
+		Format:  format,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromLinked(resp)
+}
+
+// Invalidated returns the IDs of entries awaiting re-linking.
+func (c *Client) Invalidated() ([]int64, error) {
+	resp, err := c.call(&wire.Request{Method: wire.MethodInvalidated})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Invalidated, nil
+}
+
+// Relink re-links all invalidated entries server-side and returns how many
+// were processed.
+func (c *Client) Relink() (int, error) {
+	resp, err := c.call(&wire.Request{Method: wire.MethodRelink})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Object), nil
+}
+
+// Stats fetches collection statistics.
+func (c *Client) Stats() (*wire.Stats, error) {
+	resp, err := c.call(&wire.Request{Method: wire.MethodStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("client: response missing stats")
+	}
+	return resp.Stats, nil
+}
+
+func fromLinked(resp *wire.Response) (*LinkedText, error) {
+	if resp.Linked == nil {
+		return nil, errors.New("client: response missing linked document")
+	}
+	return &LinkedText{
+		Output: resp.Linked.Output,
+		Links:  resp.Linked.Links,
+		Skips:  resp.Linked.Skips,
+	}, nil
+}

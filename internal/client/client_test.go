@@ -1,0 +1,118 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nnexus/internal/wire"
+)
+
+func TestDialFailure(t *testing.T) {
+	// A port nothing listens on (reserve then close to find a free one).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, 200*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestClosedClientErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("ping on closed client succeeded")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Error("stats on closed client succeeded")
+	}
+}
+
+// A server answering with the wrong sequence number must be rejected.
+func TestSequenceMismatchDetected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := wire.NewDecoder(conn)
+		enc := wire.NewEncoder(conn)
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		_ = enc.Encode(&wire.Response{Seq: req.Seq + 99, Status: "ok"})
+	}()
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Error("mismatched sequence accepted")
+	}
+}
+
+// A server returning status=error surfaces the message.
+func TestServerErrorSurfaced(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := wire.NewDecoder(conn)
+		enc := wire.NewEncoder(conn)
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		_ = enc.Encode(&wire.Response{Seq: req.Seq, Status: "error", Error: "boom"})
+	}()
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Ping()
+	if err == nil {
+		t.Fatal("server error not surfaced")
+	}
+	if got := err.Error(); got != "client: server error: boom" {
+		t.Errorf("error = %q", got)
+	}
+}

@@ -1,0 +1,332 @@
+// Package conceptmap implements the NNexus concept map (paper §2.2, Fig 3):
+// a fast-access chained-hash structure filled with all the concept labels of
+// all included corpora, used to determine available link targets while entry
+// text is scanned.
+//
+// The map is keyed by the (morphologically normalized) first word of each
+// concept label; each key chains to the full labels beginning with that
+// word, longest first, so that scanning always performs the longest-phrase
+// match the paper mandates ("orthogonal function" wins over "orthogonal"
+// and "function").
+package conceptmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nnexus/internal/morph"
+	"nnexus/internal/tokenizer"
+)
+
+// ObjectID identifies an entry (object) across all corpora managed by an
+// engine instance.
+type ObjectID int64
+
+// Match is one linkable occurrence found while scanning entry text: the
+// token range [TokenStart, TokenEnd) matched the normalized concept Label,
+// which is defined by every object in Candidates.
+type Match struct {
+	Label      string // normalized concept label, e.g. "planar graph"
+	TokenStart int    // index of the first matched token
+	TokenEnd   int    // one past the last matched token
+	ByteStart  int    // byte offset of the match in the original text
+	ByteEnd    int    // byte offset one past the match
+	Candidates []ObjectID
+}
+
+// Text returns the raw matched text given the original entry text.
+func (m Match) Text(original string) string {
+	return original[m.ByteStart:m.ByteEnd]
+}
+
+// labelEntry is one chained concept label: the normalized words of the
+// label and the set of objects defining it.
+type labelEntry struct {
+	words   []string
+	objects map[ObjectID]struct{}
+}
+
+// chain holds every concept label sharing a first word. Labels are stored
+// by their full normalized text, and the distinct label lengths present are
+// kept sorted descending, so a scan probes one exact key per length —
+// longest phrase first — instead of walking the whole chain.
+type chain struct {
+	byLabel map[string]*labelEntry
+	lengths []int // distinct word counts, descending
+}
+
+func (c *chain) addLength(n int) {
+	for _, l := range c.lengths {
+		if l == n {
+			return
+		}
+	}
+	c.lengths = append(c.lengths, n)
+	sort.Sort(sort.Reverse(sort.IntSlice(c.lengths)))
+}
+
+func (c *chain) dropLengthIfUnused(n int) {
+	for _, e := range c.byLabel {
+		if len(e.words) == n {
+			return
+		}
+	}
+	for i, l := range c.lengths {
+		if l == n {
+			c.lengths = append(c.lengths[:i], c.lengths[i+1:]...)
+			return
+		}
+	}
+}
+
+// Map is the concept map. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type Map struct {
+	mu sync.RWMutex
+	// byFirst chains labels under their normalized first word.
+	byFirst map[string]*chain
+	// byObject records which normalized labels each object contributed,
+	// so objects can be removed or updated.
+	byObject map[ObjectID][]string
+	labels   int // number of distinct (label) entries across all chains
+}
+
+// New returns an empty concept map.
+func New() *Map {
+	return &Map{
+		byFirst:  make(map[string]*chain),
+		byObject: make(map[ObjectID][]string),
+	}
+}
+
+// AddObject indexes an object under every one of its concept labels (its
+// title, defined concepts, and synonyms, per §2.2: "a list of terms the
+// object defines, synonyms, and a title are provided (the concept labels)").
+// Labels are normalized before indexing; duplicates collapse. Re-adding an
+// existing object replaces its previous labels.
+func (m *Map) AddObject(id ObjectID, labels []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byObject[id]; ok {
+		m.removeLocked(id)
+	}
+	seen := make(map[string]struct{}, len(labels))
+	var norms []string
+	for _, raw := range labels {
+		norm := morph.NormalizeLabel(raw)
+		if norm == "" {
+			continue
+		}
+		if _, dup := seen[norm]; dup {
+			continue
+		}
+		seen[norm] = struct{}{}
+		norms = append(norms, norm)
+		m.indexLocked(id, norm)
+	}
+	m.byObject[id] = norms
+}
+
+// RemoveObject removes every label contribution of the object. Removing an
+// unknown object is a no-op.
+func (m *Map) RemoveObject(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removeLocked(id)
+}
+
+func (m *Map) removeLocked(id ObjectID) {
+	norms, ok := m.byObject[id]
+	if !ok {
+		return
+	}
+	delete(m.byObject, id)
+	for _, norm := range norms {
+		first := firstWord(norm)
+		c := m.byFirst[first]
+		if c == nil {
+			continue
+		}
+		e, ok := c.byLabel[norm]
+		if !ok {
+			continue
+		}
+		delete(e.objects, id)
+		if len(e.objects) == 0 {
+			delete(c.byLabel, norm)
+			c.dropLengthIfUnused(len(e.words))
+			m.labels--
+		}
+		if len(c.byLabel) == 0 {
+			delete(m.byFirst, first)
+		}
+	}
+}
+
+func (m *Map) indexLocked(id ObjectID, norm string) {
+	words := strings.Fields(norm)
+	first := words[0]
+	c := m.byFirst[first]
+	if c == nil {
+		c = &chain{byLabel: make(map[string]*labelEntry)}
+		m.byFirst[first] = c
+	}
+	if e, ok := c.byLabel[norm]; ok {
+		e.objects[id] = struct{}{}
+		return
+	}
+	c.byLabel[norm] = &labelEntry{words: words, objects: map[ObjectID]struct{}{id: {}}}
+	c.addLength(len(words))
+	m.labels++
+}
+
+// Scan walks the token stream and returns every longest-phrase concept
+// match together with all candidate target objects. Matches never overlap;
+// after a phrase match the scan resumes past the phrase (the paper's
+// "longer phrases semantically subsume their shorter atoms").
+func (m *Map) Scan(tokens []tokenizer.Token) []Match {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var matches []Match
+	var phrase strings.Builder
+	for i := 0; i < len(tokens); {
+		c, ok := m.byFirst[tokens[i].Norm]
+		if !ok {
+			i++
+			continue
+		}
+		matched := false
+		for _, n := range c.lengths { // longest first
+			if i+n > len(tokens) {
+				continue
+			}
+			phrase.Reset()
+			for j := 0; j < n; j++ {
+				if j > 0 {
+					phrase.WriteByte(' ')
+				}
+				phrase.WriteString(tokens[i+j].Norm)
+			}
+			e, ok := c.byLabel[phrase.String()]
+			if !ok {
+				continue
+			}
+			matches = append(matches, Match{
+				Label:      strings.Join(e.words, " "),
+				TokenStart: i,
+				TokenEnd:   i + n,
+				ByteStart:  tokens[i].Start,
+				ByteEnd:    tokens[i+n-1].End,
+				Candidates: e.objectIDs(),
+			})
+			i += n
+			matched = true
+			break
+		}
+		if !matched {
+			i++
+		}
+	}
+	return matches
+}
+
+// Lookup returns the candidate objects defining exactly the given label
+// (normalized internally), or nil if the concept is unknown.
+func (m *Map) Lookup(label string) []ObjectID {
+	norm := morph.NormalizeLabel(label)
+	if norm == "" {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.byFirst[firstWord(norm)]
+	if c == nil {
+		return nil
+	}
+	if e, ok := c.byLabel[norm]; ok {
+		return e.objectIDs()
+	}
+	return nil
+}
+
+// LabelsOf returns the normalized labels contributed by an object.
+func (m *Map) LabelsOf(id ObjectID) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	norms := m.byObject[id]
+	out := make([]string, len(norms))
+	copy(out, norms)
+	return out
+}
+
+// Labels returns the number of distinct concept labels indexed.
+func (m *Map) Labels() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.labels
+}
+
+// Objects returns the number of objects currently indexed.
+func (m *Map) Objects() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byObject)
+}
+
+// ChainLength returns the number of labels chained under the given first
+// word (after normalization); used by diagnostics and tests.
+func (m *Map) ChainLength(first string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.byFirst[morph.Normalize(first)]
+	if c == nil {
+		return 0
+	}
+	return len(c.byLabel)
+}
+
+// Stats summarizes the map shape for diagnostics.
+type Stats struct {
+	Objects      int
+	Labels       int
+	FirstWords   int
+	LongestChain int
+}
+
+// Stats returns a snapshot of the map's shape.
+func (m *Map) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := Stats{Objects: len(m.byObject), Labels: m.labels, FirstWords: len(m.byFirst)}
+	for _, c := range m.byFirst {
+		if len(c.byLabel) > s.LongestChain {
+			s.LongestChain = len(c.byLabel)
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer for debug output.
+func (m *Map) String() string {
+	s := m.Stats()
+	return fmt.Sprintf("conceptmap{objects=%d labels=%d firstWords=%d longestChain=%d}",
+		s.Objects, s.Labels, s.FirstWords, s.LongestChain)
+}
+
+func (e *labelEntry) objectIDs() []ObjectID {
+	ids := make([]ObjectID, 0, len(e.objects))
+	for id := range e.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func firstWord(norm string) string {
+	if i := strings.IndexByte(norm, ' '); i >= 0 {
+		return norm[:i]
+	}
+	return norm
+}

@@ -1,0 +1,201 @@
+// Package config reads NNexus deployment configuration files (paper §3.1:
+// "NNexus has XML configuration files that provide NNexus with information
+// about supported domains, how to link to an entry in a specific domain,
+// and classification scheme information").
+//
+// A configuration looks like:
+//
+//	<nnexus>
+//	  <server addr="127.0.0.1:7070" http="127.0.0.1:8080" data="/var/lib/nnexus"/>
+//	  <scheme name="msc" base="10" file="msc.owl"/>
+//	  <domain name="planetmath.org" priority="1" scheme="msc">
+//	    <urltemplate>http://planetmath.org/?op=getobj&amp;id={id}</urltemplate>
+//	  </domain>
+//	  <domain name="mathworld.wolfram.com" priority="2" scheme="msc">
+//	    <urltemplate>http://mathworld.wolfram.com/{id}.html</urltemplate>
+//	  </domain>
+//	  <mapper from="loc" to="msc">
+//	    <rule from="QA166"><to>05Cxx</to></rule>
+//	    <rule from="QA*"><to>00-XX</to><to>05-XX</to></rule>
+//	  </mapper>
+//	</nnexus>
+//
+// The <scheme> element either names a built-in ("sample") or points at an
+// OWL file, resolved relative to the configuration file's directory.
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/corpus"
+	"nnexus/internal/ontomap"
+	"nnexus/internal/owl"
+)
+
+// Config is a parsed deployment configuration.
+type Config struct {
+	XMLName xml.Name     `xml:"nnexus"`
+	Server  ServerConfig `xml:"server"`
+	Scheme  SchemeConfig `xml:"scheme"`
+	Domains []DomainItem `xml:"domain"`
+	Mappers []MapperItem `xml:"mapper"`
+
+	// baseDir resolves relative file references; set by Load.
+	baseDir string
+}
+
+// ServerConfig holds listener and storage settings.
+type ServerConfig struct {
+	Addr string `xml:"addr,attr"`
+	HTTP string `xml:"http,attr"`
+	Data string `xml:"data,attr"`
+	Sync bool   `xml:"sync,attr"`
+}
+
+// SchemeConfig names the canonical classification scheme.
+type SchemeConfig struct {
+	Name string `xml:"name,attr"`
+	Base int    `xml:"base,attr"`
+	// File is an OWL document path, or empty/"sample" for the built-in
+	// sample MSC.
+	File string `xml:"file,attr"`
+}
+
+// DomainItem is one corpus domain.
+type DomainItem struct {
+	Name        string `xml:"name,attr"`
+	Priority    int    `xml:"priority,attr"`
+	Scheme      string `xml:"scheme,attr"`
+	URLTemplate string `xml:"urltemplate"`
+}
+
+// MapperItem is one ontology mapper.
+type MapperItem struct {
+	From  string     `xml:"from,attr"`
+	To    string     `xml:"to,attr"`
+	Rules []RuleItem `xml:"rule"`
+}
+
+// RuleItem is one translation rule.
+type RuleItem struct {
+	From string   `xml:"from,attr"`
+	To   []string `xml:"to"`
+}
+
+// Parse reads a configuration document.
+func Parse(r io.Reader) (*Config, error) {
+	var cfg Config
+	if err := xml.NewDecoder(r).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Load reads a configuration file; relative scheme paths resolve against
+// the file's directory.
+func Load(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	cfg, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	cfg.baseDir = filepath.Dir(path)
+	return cfg, nil
+}
+
+func (c *Config) validate() error {
+	seen := map[string]bool{}
+	for _, d := range c.Domains {
+		if d.Name == "" {
+			return fmt.Errorf("config: domain without name")
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("config: duplicate domain %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.URLTemplate == "" {
+			return fmt.Errorf("config: domain %q has no urltemplate", d.Name)
+		}
+	}
+	for _, m := range c.Mappers {
+		if m.From == "" || m.To == "" {
+			return fmt.Errorf("config: mapper must set from and to")
+		}
+		for _, r := range m.Rules {
+			if r.From == "" || len(r.To) == 0 {
+				return fmt.Errorf("config: mapper %s→%s has an incomplete rule", m.From, m.To)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildScheme constructs the canonical classification scheme the config
+// names: the built-in sample when File is empty or "sample", otherwise the
+// referenced OWL document.
+func (c *Config) BuildScheme() (*classification.Scheme, error) {
+	base := c.Scheme.Base
+	if base == 0 {
+		base = classification.DefaultBaseWeight
+	}
+	if c.Scheme.File == "" || c.Scheme.File == "sample" {
+		return classification.SampleMSC(base), nil
+	}
+	path := c.Scheme.File
+	if !filepath.IsAbs(path) && c.baseDir != "" {
+		path = filepath.Join(c.baseDir, path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: scheme file: %w", err)
+	}
+	defer f.Close()
+	name := c.Scheme.Name
+	if name == "" {
+		name = "msc"
+	}
+	return owl.ParseScheme(f, name, base)
+}
+
+// Registrar is the subset of the engine API the configuration drives;
+// *core.Engine satisfies it.
+type Registrar interface {
+	AddDomain(corpus.Domain) error
+	RegisterMapper(*ontomap.Mapper) error
+}
+
+// Apply registers the configured domains and ontology mappers.
+func (c *Config) Apply(engine Registrar) error {
+	for _, d := range c.Domains {
+		if err := engine.AddDomain(corpus.Domain{
+			Name:        d.Name,
+			URLTemplate: d.URLTemplate,
+			Scheme:      d.Scheme,
+			Priority:    d.Priority,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.Mappers {
+		mapper := ontomap.NewMapper(m.From, m.To)
+		for _, r := range m.Rules {
+			mapper.Add(r.From, r.To...)
+		}
+		if err := engine.RegisterMapper(mapper); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/core"
+	"nnexus/internal/owl"
+)
+
+const sampleConfig = `<?xml version="1.0"?>
+<nnexus>
+  <server addr="127.0.0.1:7070" http="127.0.0.1:8080" data="/var/lib/nnexus" sync="true"/>
+  <scheme name="msc" base="10" file="sample"/>
+  <domain name="planetmath.org" priority="1" scheme="msc">
+    <urltemplate>http://planetmath.org/?op=getobj&amp;id={id}</urltemplate>
+  </domain>
+  <domain name="mathworld.wolfram.com" priority="2" scheme="msc">
+    <urltemplate>http://mathworld.wolfram.com/{id}.html</urltemplate>
+  </domain>
+  <mapper from="loc" to="msc">
+    <rule from="QA166"><to>05Cxx</to></rule>
+    <rule from="QA*"><to>03-XX</to><to>05-XX</to></rule>
+  </mapper>
+</nnexus>`
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Server.Addr != "127.0.0.1:7070" || cfg.Server.HTTP != "127.0.0.1:8080" ||
+		cfg.Server.Data != "/var/lib/nnexus" || !cfg.Server.Sync {
+		t.Errorf("server = %+v", cfg.Server)
+	}
+	if cfg.Scheme.Name != "msc" || cfg.Scheme.Base != 10 {
+		t.Errorf("scheme = %+v", cfg.Scheme)
+	}
+	if len(cfg.Domains) != 2 || cfg.Domains[0].Name != "planetmath.org" ||
+		cfg.Domains[0].URLTemplate != "http://planetmath.org/?op=getobj&id={id}" {
+		t.Errorf("domains = %+v", cfg.Domains)
+	}
+	if len(cfg.Mappers) != 1 || len(cfg.Mappers[0].Rules) != 2 ||
+		len(cfg.Mappers[0].Rules[1].To) != 2 {
+		t.Errorf("mappers = %+v", cfg.Mappers)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`not xml at all`,
+		`<nnexus><domain priority="1"><urltemplate>u</urltemplate></domain></nnexus>`,
+		`<nnexus><domain name="d"/></nnexus>`,
+		`<nnexus><domain name="d"><urltemplate>u</urltemplate></domain>
+		 <domain name="d"><urltemplate>u</urltemplate></domain></nnexus>`,
+		`<nnexus><mapper to="msc"><rule from="a"><to>b</to></rule></mapper></nnexus>`,
+		`<nnexus><mapper from="a" to="b"><rule from="x"></rule></mapper></nnexus>`,
+	}
+	for i, doc := range bad {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cfg.BuildScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Apply(engine); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Domains(); len(got) != 2 {
+		t.Errorf("domains = %v", got)
+	}
+	d, ok := engine.Domain("mathworld.wolfram.com")
+	if !ok || d.Priority != 2 {
+		t.Errorf("domain = %+v", d)
+	}
+}
+
+func TestBuildSchemeSample(t *testing.T) {
+	cfg := &Config{}
+	s, err := cfg.BuildScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseWeight() != classification.DefaultBaseWeight {
+		t.Errorf("base = %d", s.BaseWeight())
+	}
+	if !s.Has("05C10") {
+		t.Error("sample scheme missing 05C10")
+	}
+}
+
+func TestLoadWithRelativeOWLFile(t *testing.T) {
+	dir := t.TempDir()
+	// Write an OWL scheme next to the config.
+	owlPath := filepath.Join(dir, "scheme.owl")
+	f, err := os.Create(owlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owl.WriteScheme(f, classification.SampleMSC(10)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	confPath := filepath.Join(dir, "nnexus.xml")
+	conf := `<nnexus><scheme name="msc" base="5" file="scheme.owl"/>
+	  <domain name="d" scheme="msc"><urltemplate>http://d/{id}</urltemplate></domain></nnexus>`
+	if err := os.WriteFile(confPath, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(confPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cfg.BuildScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseWeight() != 5 || !s.Has("05C40") {
+		t.Errorf("scheme = base %d, has 05C40 = %v", s.BaseWeight(), s.Has("05C40"))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/does/not/exist.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildSchemeMissingOWL(t *testing.T) {
+	cfg := &Config{Scheme: SchemeConfig{File: "/does/not/exist.owl"}}
+	if _, err := cfg.BuildScheme(); err == nil {
+		t.Error("missing OWL accepted")
+	}
+}

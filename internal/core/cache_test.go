@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"nnexus/internal/corpus"
+)
+
+func TestLinkEntryCached(t *testing.T) {
+	e := fig1Engine(t, Config{})
+	entry, _ := e.Entry(1)
+	entry.Body = "a graph drawn in the plane"
+	if err := e.UpdateEntry(entry); err != nil {
+		t.Fatal(err)
+	}
+
+	res1, cached, err := e.LinkEntryCached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first render reported as cached")
+	}
+	res2, cached, err := e.LinkEntryCached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("second render not cached")
+	}
+	if res1.Output != res2.Output {
+		t.Error("cached output differs")
+	}
+	hits, _ := e.CacheStats()
+	if hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+func TestCachedRenderingInvalidatedByNewConcept(t *testing.T) {
+	e := fig1Engine(t, Config{})
+	entry, _ := e.Entry(1)
+	entry.Body = "every lattice is nice"
+	if err := e.UpdateEntry(entry); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.LinkEntryCached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 0 {
+		t.Fatalf("unexpected links: %+v", res.Links)
+	}
+	// Defining "lattice" must invalidate the cached rendering.
+	if _, err := e.AddEntry(&corpus.Entry{
+		Domain: "planetmath.org", Title: "lattice", Classes: []string{"05Cxx"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, cached, err := e.LinkEntryCached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("stale rendering served from cache")
+	}
+	if len(res.Links) != 1 || res.Links[0].Label != "lattice" {
+		t.Fatalf("links after invalidation = %+v", res.Links)
+	}
+	// And the fresh rendering is cached again.
+	if _, cached, _ := e.LinkEntryCached(1); !cached {
+		t.Error("fresh rendering not re-cached")
+	}
+}
+
+func TestCachedRenderingInvalidatedByUpdateAndRemove(t *testing.T) {
+	e := fig1Engine(t, Config{})
+	entry, _ := e.Entry(1)
+	entry.Body = "drawn in the plane"
+	if err := e.UpdateEntry(entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.LinkEntryCached(1); err != nil {
+		t.Fatal(err)
+	}
+	// Updating the entry itself drops its cached rendering.
+	entry.Body = "drawn in the plane twice"
+	if err := e.UpdateEntry(entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, _ := e.LinkEntryCached(1); cached {
+		t.Error("update did not drop cached rendering")
+	}
+	// Removing the link target invalidates referrers.
+	if _, _, err := e.LinkEntryCached(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveEntry(7); err != nil { // "plane"
+		t.Fatal(err)
+	}
+	res, cached, err := e.LinkEntryCached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("stale rendering after target removal")
+	}
+	for _, l := range res.Links {
+		if l.Label == "plane" {
+			t.Errorf("cached link to removed entry: %+v", l)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nnexus/internal/corpus"
+	"nnexus/internal/workload"
+)
+
+// Linking must be fully deterministic: identical inputs produce identical
+// results, both across repeated calls on one engine and across two engines
+// built from the same corpus. Go map iteration is randomized, so any
+// unordered iteration in the pipeline would surface here.
+func TestLinkingDeterministic(t *testing.T) {
+	c, err := workload.Generate(workload.DefaultParams(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Engine {
+		e, err := NewEngine(Config{Scheme: c.Scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddDomain(corpusDomain()); err != nil {
+			t.Fatal(err)
+		}
+		for _, ge := range c.Entries {
+			entry := *ge.Entry
+			entry.Domain = "planetmath.example"
+			if _, err := e.AddEntry(&entry); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	e1 := build()
+	e2 := build()
+
+	for _, idx := range []int64{1, 7, 42, 99, 150} {
+		var first string
+		for rep := 0; rep < 5; rep++ {
+			res, err := e1.LinkEntry(idx, LinkOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 {
+				first = string(blob)
+				continue
+			}
+			if string(blob) != first {
+				t.Fatalf("entry %d: rep %d differs", idx, rep)
+			}
+		}
+		// Cross-engine equality.
+		res2, err := e2.LinkEntry(idx, LinkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob2, _ := json.Marshal(res2)
+		if string(blob2) != first {
+			t.Fatalf("entry %d differs across engines:\n%s\n%s", idx, first, blob2)
+		}
+	}
+}
+
+func corpusDomain() corpus.Domain {
+	return corpus.Domain{
+		Name:        "planetmath.example",
+		URLTemplate: "http://planetmath.example/?id={id}",
+		Scheme:      "synthetic-msc",
+		Priority:    1,
+	}
+}

@@ -1,0 +1,491 @@
+// Package core implements the NNexus linking engine: the pipeline of the
+// paper's Fig 2. When an entry is linked, its text is scanned for concept
+// labels (link source identification), candidate link targets are found in
+// the concept map, filtered against the linking policies, steered by
+// classification proximity, and the winning candidate for each position is
+// substituted into the original text.
+//
+// The engine also maintains the invalidation index, so that adding or
+// changing concepts marks exactly the entries that may need re-linking, and
+// persists every table through the storage layer so a deployment survives
+// restarts.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"nnexus/internal/cache"
+	"nnexus/internal/classification"
+	"nnexus/internal/conceptmap"
+	"nnexus/internal/corpus"
+	"nnexus/internal/invindex"
+	"nnexus/internal/ontomap"
+	"nnexus/internal/policy"
+	"nnexus/internal/render"
+	"nnexus/internal/storage"
+)
+
+// Mode selects how much of the pipeline runs; the three modes correspond to
+// the three configurations of the paper's Table 2 evaluation.
+type Mode int
+
+const (
+	// ModeDefault resolves to ModeSteeredPolicies.
+	ModeDefault Mode = iota
+	// ModeLexical links by lexical matching only: the first candidate (by
+	// domain priority, then object ID) wins. No steering, no policies.
+	ModeLexical
+	// ModeSteered adds classification-based link steering.
+	ModeSteered
+	// ModeSteeredPolicies adds entry filtering by linking policies on top
+	// of steering — the full deployed configuration.
+	ModeSteeredPolicies
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLexical:
+		return "lexical"
+	case ModeSteered:
+		return "steered"
+	case ModeSteeredPolicies:
+		return "steered+policies"
+	default:
+		return "default"
+	}
+}
+
+func (m Mode) resolve() Mode {
+	if m == ModeDefault {
+		return ModeSteeredPolicies
+	}
+	return m
+}
+
+// renderedCacheSize bounds the rendered-output cache.
+const renderedCacheSize = 4096
+
+// Storage table names.
+const (
+	tableEntries = "entries"
+	tableDomains = "domains"
+	tableMeta    = "meta"
+	tableInvalid = "invalid"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Scheme is the canonical classification scheme used for steering.
+	// Required.
+	Scheme *classification.Scheme
+	// Store persists the engine's tables. Nil runs memory-only.
+	Store *storage.Store
+	// Mode is the default pipeline mode (ModeDefault → full pipeline).
+	Mode Mode
+	// Format is the default output format for substituted links.
+	Format render.Format
+	// AllowSelfLinks permits an entry to link to its own concepts
+	// (disabled in the deployed system; occasionally useful for tests).
+	AllowSelfLinks bool
+	// LinkAllOccurrences links every occurrence of a label instead of the
+	// deployed behaviour of linking only the first occurrence
+	// ("NNexus only links the first occurrence of a term or phrase to
+	// reduce visual clutter").
+	LinkAllOccurrences bool
+	// LaTeX, when set, converts entry bodies and free text from LaTeX
+	// markup to plain text (see the latex package) before scanning —
+	// Noosphere entries are written in TeX.
+	LaTeX bool
+	// TieRanker, when set, resolves ties left by classification steering
+	// using accumulated link history — the collaborative-filtering
+	// extension of the paper's §5 (see the cfrank package). It receives
+	// the source entry ID (0 for free text) and the tied candidates;
+	// returning ok=false falls back to the deterministic priority/ID
+	// tie-break.
+	TieRanker func(source int64, candidates []int64) (choice int64, ok bool)
+}
+
+// Engine is a fully assembled NNexus instance. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg     Config
+	scheme  *classification.Scheme
+	store   *storage.Store
+	cmap    *conceptmap.Map
+	inv     *invindex.Index
+	pol     *policy.Table
+	mappers *ontomap.Registry
+	// rendered caches default-pipeline LinkEntry results until the
+	// invalidation machinery marks them stale (the paper's cache table).
+	rendered *cache.LRU[int64, *Result]
+
+	met metrics
+
+	mu      sync.RWMutex
+	entries map[int64]*corpus.Entry
+	domains map[string]*corpus.Domain
+	invalid map[int64]bool
+	nextID  int64
+}
+
+// NewEngine assembles an engine. If cfg.Store is non-nil, previously
+// persisted domains, entries, policies, and invalidation flags are loaded
+// and all in-memory indexes rebuilt.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("core: Config.Scheme is required")
+	}
+	if !cfg.Scheme.Built() {
+		return nil, fmt.Errorf("core: Config.Scheme must be built")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		scheme: cfg.Scheme,
+		store:  cfg.Store,
+		cmap:   conceptmap.New(),
+		// The invalidation index compacts itself as the collection grows,
+		// keeping it near the size of a word index (paper §2.5).
+		inv:      invindex.New(invindex.WithAutoCompact(512, invindex.DefaultCompactBelow)),
+		pol:      policy.NewTable(),
+		mappers:  ontomap.NewRegistry(),
+		rendered: cache.NewLRU[int64, *Result](renderedCacheSize),
+		entries:  make(map[int64]*corpus.Entry),
+		domains:  make(map[string]*corpus.Domain),
+		invalid:  make(map[int64]bool),
+		nextID:   1,
+	}
+	if e.store != nil {
+		if err := e.load(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// load rebuilds in-memory state from the store.
+func (e *Engine) load() error {
+	var loadErr error
+	e.store.Scan(tableDomains, func(key string, value []byte) bool {
+		var d corpus.Domain
+		if err := decodeJSON(value, &d); err != nil {
+			loadErr = fmt.Errorf("core: load domain %q: %w", key, err)
+			return false
+		}
+		e.domains[d.Name] = &d
+		return true
+	})
+	if loadErr != nil {
+		return loadErr
+	}
+	e.store.Scan(tableEntries, func(key string, value []byte) bool {
+		entry, err := corpus.DecodeEntry(value)
+		if err != nil {
+			loadErr = fmt.Errorf("core: load entry %q: %w", key, err)
+			return false
+		}
+		e.entries[entry.ID] = entry
+		e.cmap.AddObject(conceptmap.ObjectID(entry.ID), entry.Labels())
+		e.inv.AddText(entry.ID, entry.Body)
+		if entry.Policy != "" {
+			if err := e.pol.Set(entry.ID, entry.Policy); err != nil {
+				loadErr = fmt.Errorf("core: load policy of entry %d: %w", entry.ID, err)
+				return false
+			}
+		}
+		if entry.ID >= e.nextID {
+			e.nextID = entry.ID + 1
+		}
+		return true
+	})
+	if loadErr != nil {
+		return loadErr
+	}
+	if v, ok := e.store.Get(tableMeta, "nextID"); ok {
+		if n, err := strconv.ParseInt(string(v), 10, 64); err == nil && n > e.nextID {
+			e.nextID = n
+		}
+	}
+	e.store.Scan(tableInvalid, func(key string, value []byte) bool {
+		if id, err := strconv.ParseInt(key, 10, 64); err == nil {
+			e.invalid[id] = true
+		}
+		return true
+	})
+	return nil
+}
+
+// AddDomain registers (or replaces) a corpus domain.
+func (e *Engine) AddDomain(d corpus.Domain) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: domain needs a name")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	copied := d
+	e.domains[d.Name] = &copied
+	if e.store != nil {
+		data, err := encodeJSON(&copied)
+		if err != nil {
+			return err
+		}
+		return e.store.Put(tableDomains, d.Name, data)
+	}
+	return nil
+}
+
+// Domain returns a registered domain by name.
+func (e *Engine) Domain(name string) (*corpus.Domain, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.domains[name]
+	if !ok {
+		return nil, false
+	}
+	copied := *d
+	return &copied, true
+}
+
+// Domains returns the names of all registered domains, sorted.
+func (e *Engine) Domains() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.domains))
+	for name := range e.domains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterMapper installs an ontology mapper used to translate a foreign
+// domain's classes into the engine's canonical scheme.
+func (e *Engine) RegisterMapper(m *ontomap.Mapper) error {
+	return e.mappers.Register(m)
+}
+
+// AddEntry validates, stores, and indexes a new entry, assigns it an
+// engine-wide ID, and invalidates every existing entry that may now need
+// re-linking because it mentions one of the new entry's concept labels.
+// The entry's ID field is set on success.
+func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
+	if err := entry.Validate(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.domains[entry.Domain]; !ok {
+		return 0, fmt.Errorf("core: unknown domain %q (AddDomain first)", entry.Domain)
+	}
+	if entry.Policy != "" {
+		// Validate the policy before committing anything.
+		if _, err := policy.Parse(entry.Policy); err != nil {
+			return 0, err
+		}
+	}
+	id := e.nextID
+	e.nextID++
+	entry.ID = id
+	e.met.entriesAdded.Add(1)
+	if entry.ExternalID == "" {
+		entry.ExternalID = strconv.FormatInt(id, 10)
+	}
+	if err := e.indexLocked(entry); err != nil {
+		return 0, err
+	}
+	e.invalidateForLabelsLocked(entry.Labels(), id)
+	return id, e.persistLocked(entry)
+}
+
+// UpdateEntry replaces an existing entry's metadata and body, re-indexes
+// it, and invalidates entries affected by its (possibly changed) labels.
+func (e *Engine) UpdateEntry(entry *corpus.Entry) error {
+	if err := entry.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old, ok := e.entries[entry.ID]
+	if !ok {
+		return fmt.Errorf("core: update of unknown entry %d", entry.ID)
+	}
+	if _, ok := e.domains[entry.Domain]; !ok {
+		return fmt.Errorf("core: unknown domain %q", entry.Domain)
+	}
+	if entry.Policy != "" {
+		if _, err := policy.Parse(entry.Policy); err != nil {
+			return err
+		}
+	}
+	if err := e.indexLocked(entry); err != nil {
+		return err
+	}
+	// Both the old and the new label sets may affect other entries.
+	e.invalidateForLabelsLocked(old.Labels(), entry.ID)
+	e.invalidateForLabelsLocked(entry.Labels(), entry.ID)
+	return e.persistLocked(entry)
+}
+
+// RemoveEntry deletes an entry and invalidates entries that linked (or
+// could have linked) to its concepts.
+func (e *Engine) RemoveEntry(id int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry, ok := e.entries[id]
+	if !ok {
+		return fmt.Errorf("core: remove of unknown entry %d", id)
+	}
+	e.invalidateForLabelsLocked(entry.Labels(), id)
+	delete(e.entries, id)
+	delete(e.invalid, id)
+	e.rendered.Invalidate(id)
+	e.cmap.RemoveObject(conceptmap.ObjectID(id))
+	e.inv.Remove(id)
+	e.pol.Remove(id)
+	if e.store != nil {
+		if err := e.store.Delete(tableEntries, entryKey(id)); err != nil {
+			return err
+		}
+		if err := e.store.Delete(tableInvalid, strconv.FormatInt(id, 10)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexLocked (re)indexes an entry in the concept map, invalidation index,
+// and policy table.
+func (e *Engine) indexLocked(entry *corpus.Entry) error {
+	e.rendered.Invalidate(entry.ID)
+	copied := *entry
+	e.entries[entry.ID] = &copied
+	e.cmap.AddObject(conceptmap.ObjectID(entry.ID), entry.Labels())
+	e.inv.AddText(entry.ID, entry.Body)
+	if entry.Policy != "" {
+		if err := e.pol.Set(entry.ID, entry.Policy); err != nil {
+			return err
+		}
+	} else {
+		e.pol.Remove(entry.ID)
+	}
+	return nil
+}
+
+func (e *Engine) persistLocked(entry *corpus.Entry) error {
+	if e.store == nil {
+		return nil
+	}
+	data, err := entry.Encode()
+	if err != nil {
+		return err
+	}
+	if err := e.store.Put(tableEntries, entryKey(entry.ID), data); err != nil {
+		return err
+	}
+	return e.store.Put(tableMeta, "nextID", []byte(strconv.FormatInt(e.nextID, 10)))
+}
+
+// SetPolicy installs (or with empty text removes) the linking policy of an
+// entry, as an administrator or author would (paper §2.4).
+func (e *Engine) SetPolicy(id int64, text string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry, ok := e.entries[id]
+	if !ok {
+		return fmt.Errorf("core: policy for unknown entry %d", id)
+	}
+	if err := e.pol.Set(id, text); err != nil {
+		return err
+	}
+	entry.Policy = text
+	// Policy changes alter which links are permitted; everything that
+	// mentions this entry's labels may need re-linking.
+	e.invalidateForLabelsLocked(entry.Labels(), id)
+	return e.persistLocked(entry)
+}
+
+// Entry returns a copy of the entry with the given ID.
+func (e *Engine) Entry(id int64) (*corpus.Entry, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	entry, ok := e.entries[id]
+	if !ok {
+		return nil, false
+	}
+	copied := *entry
+	return &copied, true
+}
+
+// Entries returns all entry IDs, sorted.
+func (e *Engine) Entries() []int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int64, 0, len(e.entries))
+	for id := range e.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumEntries returns the number of entries.
+func (e *Engine) NumEntries() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.entries)
+}
+
+// NumConcepts returns the number of distinct concept labels indexed.
+func (e *Engine) NumConcepts() int { return e.cmap.Labels() }
+
+// Scheme returns the engine's canonical classification scheme.
+func (e *Engine) Scheme() *classification.Scheme { return e.scheme }
+
+// invalidateForLabelsLocked marks every entry whose text may invoke one of
+// the labels (except the originating entry) as needing re-linking.
+func (e *Engine) invalidateForLabelsLocked(labels []string, except int64) {
+	for _, label := range labels {
+		for _, id := range e.inv.Lookup(label) {
+			if id == except {
+				continue
+			}
+			e.rendered.Invalidate(id)
+			if !e.invalid[id] {
+				e.invalid[id] = true
+				e.met.invalidations.Add(1)
+				if e.store != nil {
+					// Best effort: invalidation flags are reconstructible.
+					_ = e.store.Put(tableInvalid, strconv.FormatInt(id, 10), []byte("1"))
+				}
+			}
+		}
+	}
+}
+
+// Invalidated returns the IDs of entries marked for re-linking, sorted.
+func (e *Engine) Invalidated() []int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int64, 0, len(e.invalid))
+	for id := range e.invalid {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// clearInvalid drops an entry's invalidation flag (after re-linking).
+func (e *Engine) clearInvalid(id int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.invalid[id] {
+		delete(e.invalid, id)
+		if e.store != nil {
+			_ = e.store.Delete(tableInvalid, strconv.FormatInt(id, 10))
+		}
+	}
+}
+
+func entryKey(id int64) string { return fmt.Sprintf("%016d", id) }

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/conceptmap"
+	"nnexus/internal/corpus"
+	"nnexus/internal/latex"
+	"nnexus/internal/render"
+	"nnexus/internal/tokenizer"
+)
+
+// Link is one hyperlink the engine decided to create.
+type Link struct {
+	// Label is the normalized concept label that matched.
+	Label string `json:"label"`
+	// Start/End delimit the link source in the input text (bytes).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Text is the raw matched text.
+	Text string `json:"text"`
+	// Target identifies the chosen link target entry.
+	Target int64 `json:"target"`
+	// TargetDomain and TargetTitle describe the target.
+	TargetDomain string `json:"targetDomain"`
+	TargetTitle  string `json:"targetTitle"`
+	// URL is the rendered link destination.
+	URL string `json:"url"`
+	// Distance is the classification distance used by steering
+	// (classification.Infinite when steering could not discriminate).
+	Distance int64 `json:"distance"`
+	// Candidates is how many target objects competed for this source.
+	Candidates int `json:"candidates"`
+}
+
+// Skip records a concept match that was deliberately not linked.
+type Skip struct {
+	Label  string `json:"label"`
+	Start  int    `json:"start"`
+	End    int    `json:"end"`
+	Reason string `json:"reason"`
+}
+
+// Skip reasons.
+const (
+	SkipPolicy    = "policy"    // every candidate forbidden by linking policies
+	SkipSelf      = "self"      // only candidate was the source entry itself
+	SkipDuplicate = "duplicate" // label already linked earlier in the entry
+	SkipNoDomain  = "nodomain"  // winning candidate domain not registered
+)
+
+// Result is the outcome of linking one text or entry.
+type Result struct {
+	// Source is the linked entry's ID (0 when free text was linked).
+	Source int64 `json:"source,omitempty"`
+	// Output is the text with links substituted in.
+	Output string `json:"output"`
+	// Links are the created links in text order.
+	Links []Link `json:"links,omitempty"`
+	// Skips are suppressed matches, for diagnostics and evaluation.
+	Skips []Skip `json:"skips,omitempty"`
+}
+
+// LinkOptions controls a single linking operation.
+type LinkOptions struct {
+	// SourceClasses are the subject classes of the link source document.
+	SourceClasses []string
+	// SourceScheme names the scheme of SourceClasses; empty means the
+	// engine's canonical scheme.
+	SourceScheme string
+	// ExcludeObject suppresses one object as a link target (the source
+	// entry itself, when linking an entry).
+	ExcludeObject int64
+	// Mode overrides the engine's configured pipeline mode.
+	Mode Mode
+	// Format overrides the engine's configured output format.
+	Format *render.Format
+}
+
+// LinkText runs the full linking pipeline over free text: tokenize with
+// escaping, find candidate links in the concept map, filter by linking
+// policies, steer by classification, substitute the winners.
+func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
+	mode := opts.Mode
+	if mode == ModeDefault {
+		mode = e.cfg.Mode.resolve()
+	}
+	format := e.cfg.Format
+	if opts.Format != nil {
+		format = *opts.Format
+	}
+	sourceClasses := e.mappers.Translate(schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
+
+	if e.cfg.LaTeX {
+		text = latex.ToText(text)
+	}
+	tokens := tokenizer.Tokenize(text)
+	matches := e.cmap.Scan(tokens)
+
+	res := &Result{Output: text}
+	linkedLabels := make(map[string]bool)
+	var anchors []render.Anchor
+	for _, m := range matches {
+		if !e.cfg.LinkAllOccurrences && linkedLabels[m.Label] {
+			res.Skips = append(res.Skips, Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: SkipDuplicate})
+			continue
+		}
+		link, skip := e.chooseTarget(m, sourceClasses, opts.ExcludeObject, mode)
+		if skip != nil {
+			res.Skips = append(res.Skips, *skip)
+			continue
+		}
+		link.Text = m.Text(text)
+		res.Links = append(res.Links, *link)
+		anchors = append(anchors, render.Anchor{
+			Start: link.Start, End: link.End, URL: link.URL, Title: link.TargetTitle,
+		})
+		linkedLabels[m.Label] = true
+	}
+	out, err := render.Apply(text, anchors, format)
+	if err != nil {
+		return nil, fmt.Errorf("core: render: %w", err)
+	}
+	res.Output = out
+	e.met.countResult(res)
+	return res, nil
+}
+
+// LinkEntry links a stored entry's body against the whole collection,
+// excluding the entry itself as a target, and clears its invalidation flag.
+func (e *Engine) LinkEntry(id int64, opts LinkOptions) (*Result, error) {
+	entry, ok := e.Entry(id)
+	if !ok {
+		return nil, fmt.Errorf("core: link of unknown entry %d", id)
+	}
+	opts.ExcludeObject = id
+	if len(opts.SourceClasses) == 0 {
+		opts.SourceClasses = entry.Classes
+		if opts.SourceScheme == "" {
+			opts.SourceScheme = e.domainScheme(entry.Domain)
+		}
+	}
+	res, err := e.LinkText(entry.Body, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Source = id
+	e.met.entriesLinked.Add(1)
+	e.clearInvalid(id)
+	return res, nil
+}
+
+// LinkEntryCached is LinkEntry backed by the rendered-output cache table
+// (paper §2.5): a default-pipeline rendering is served from cache until the
+// invalidation index marks the entry stale. Non-default options bypass the
+// cache entirely. The second return reports whether the result was cached.
+func (e *Engine) LinkEntryCached(id int64) (*Result, bool, error) {
+	e.mu.RLock()
+	stale := e.invalid[id]
+	e.mu.RUnlock()
+	if !stale {
+		if res, ok := e.rendered.Get(id); ok {
+			return res, true, nil
+		}
+	}
+	res, err := e.LinkEntry(id, LinkOptions{})
+	if err != nil {
+		return nil, false, err
+	}
+	e.rendered.Put(id, res)
+	return res, false, nil
+}
+
+// CacheStats returns cumulative hit/miss counts of the rendered cache.
+func (e *Engine) CacheStats() (hits, misses int64) {
+	return e.rendered.Stats()
+}
+
+// RelinkInvalidated re-links every invalidated entry and returns their
+// results, keyed by entry ID.
+func (e *Engine) RelinkInvalidated() (map[int64]*Result, error) {
+	out := make(map[int64]*Result)
+	for _, id := range e.Invalidated() {
+		res, err := e.LinkEntry(id, LinkOptions{})
+		if err != nil {
+			return out, err
+		}
+		out[id] = res
+	}
+	return out, nil
+}
+
+// RelinkInvalidatedParallel is RelinkInvalidated with a worker pool, for
+// batch re-linking after large imports. workers ≤ 0 selects GOMAXPROCS.
+// The first error aborts outstanding work and is returned together with the
+// results completed so far.
+func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, error) {
+	ids := e.Invalidated()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	out := make(map[int64]*Result, len(ids))
+	if len(ids) == 0 {
+		return out, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	work := make(chan int64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range work {
+				res, err := e.LinkEntry(id, LinkOptions{})
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					out[id] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, id := range ids {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		work <- id
+	}
+	close(work)
+	wg.Wait()
+	return out, firstErr
+}
+
+// chooseTarget runs policy filtering, steering, and tie-breaking for one
+// concept match. It returns either a link or a skip record.
+func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclude int64, mode Mode) (*Link, *Skip) {
+	mode = mode.resolve()
+	skip := func(reason string) *Skip {
+		return &Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: reason}
+	}
+
+	// Gather candidates, excluding the source entry.
+	var cands []*corpus.Entry
+	e.mu.RLock()
+	for _, oid := range m.Candidates {
+		id := int64(oid)
+		if id == exclude && !e.cfg.AllowSelfLinks {
+			continue
+		}
+		if entry, ok := e.entries[id]; ok {
+			cands = append(cands, entry)
+		}
+	}
+	e.mu.RUnlock()
+	if len(cands) == 0 {
+		return nil, skip(SkipSelf)
+	}
+
+	// Entry filtering by linking policies (§2.4).
+	if mode == ModeSteeredPolicies {
+		permitted := cands[:0]
+		for _, c := range cands {
+			if e.pol.Permits(e.scheme, c.ID, sourceClasses, m.Label) {
+				permitted = append(permitted, c)
+			}
+		}
+		cands = permitted
+		if len(cands) == 0 {
+			return nil, skip(SkipPolicy)
+		}
+	}
+
+	total := len(cands)
+	distance := classification.Infinite
+
+	// Classification steering (§2.3, Algorithm 1).
+	if mode == ModeSteered || mode == ModeSteeredPolicies {
+		sc := make([]classification.Candidate, len(cands))
+		for i, c := range cands {
+			sc[i] = classification.Candidate{
+				Object:  c.ID,
+				Classes: e.canonicalClasses(c),
+			}
+		}
+		steered := classification.Steer(e.scheme, sourceClasses, sc)
+		if len(steered) > 0 {
+			distance = steered[0].Distance
+			byID := make(map[int64]bool, len(steered))
+			for _, s := range steered {
+				byID[s.Object] = true
+			}
+			winners := cands[:0]
+			for _, c := range cands {
+				if byID[c.ID] {
+					winners = append(winners, c)
+				}
+			}
+			cands = winners
+		}
+	}
+
+	// Collaborative-filtering tie resolution (optional, §5 future work).
+	if len(cands) > 1 && e.cfg.TieRanker != nil {
+		ids := make([]int64, len(cands))
+		for i, c := range cands {
+			ids[i] = c.ID
+		}
+		if choice, ok := e.cfg.TieRanker(exclude, ids); ok {
+			for _, c := range cands {
+				if c.ID == choice {
+					cands = []*corpus.Entry{c}
+					break
+				}
+			}
+		}
+	}
+
+	// Tie-break: domain priority (lower wins), then lowest object ID.
+	winner := cands[0]
+	winnerPrio := e.domainPriority(winner.Domain)
+	for _, c := range cands[1:] {
+		p := e.domainPriority(c.Domain)
+		if p < winnerPrio || (p == winnerPrio && c.ID < winner.ID) {
+			winner, winnerPrio = c, p
+		}
+	}
+
+	d, ok := e.Domain(winner.Domain)
+	if !ok {
+		return nil, skip(SkipNoDomain)
+	}
+	return &Link{
+		Label:        m.Label,
+		Start:        m.ByteStart,
+		End:          m.ByteEnd,
+		Target:       winner.ID,
+		TargetDomain: winner.Domain,
+		TargetTitle:  winner.Title,
+		URL:          d.URL(winner.ExternalID, winner.Title),
+		Distance:     distance,
+		Candidates:   total,
+	}, nil
+}
+
+// canonicalClasses translates an entry's classes (expressed in its domain's
+// scheme) into the engine's canonical scheme.
+func (e *Engine) canonicalClasses(entry *corpus.Entry) []string {
+	from := e.domainScheme(entry.Domain)
+	return e.mappers.Translate(schemeOr(from, e.scheme.Name()), entry.Classes, e.scheme.Name())
+}
+
+func (e *Engine) domainScheme(domain string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if d, ok := e.domains[domain]; ok {
+		return d.Scheme
+	}
+	return ""
+}
+
+func (e *Engine) domainPriority(domain string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if d, ok := e.domains[domain]; ok {
+		return d.Priority
+	}
+	return int(^uint(0) >> 1) // unknown domains lose all ties
+}
+
+func schemeOr(name, fallback string) string {
+	if name == "" {
+		return fallback
+	}
+	return name
+}
+
+func encodeJSON(v interface{}) ([]byte, error) { return json.Marshal(v) }
+
+func decodeJSON(data []byte, v interface{}) error { return json.Unmarshal(data, v) }

@@ -1,0 +1,65 @@
+package core
+
+import "sync/atomic"
+
+// Metrics are cumulative engine counters since construction, for
+// operational monitoring of a deployment.
+type Metrics struct {
+	// Operations.
+	TextsLinked   int64 `json:"textsLinked"`
+	EntriesLinked int64 `json:"entriesLinked"`
+	EntriesAdded  int64 `json:"entriesAdded"`
+
+	// Link outcomes.
+	LinksCreated   int64 `json:"linksCreated"`
+	PolicySkips    int64 `json:"policySkips"`
+	SelfSkips      int64 `json:"selfSkips"`
+	DuplicateSkips int64 `json:"duplicateSkips"`
+
+	// Invalidation churn.
+	Invalidations int64 `json:"invalidations"`
+}
+
+// metrics is the engine's atomic counter block.
+type metrics struct {
+	textsLinked   atomic.Int64
+	entriesLinked atomic.Int64
+	entriesAdded  atomic.Int64
+
+	linksCreated   atomic.Int64
+	policySkips    atomic.Int64
+	selfSkips      atomic.Int64
+	duplicateSkips atomic.Int64
+
+	invalidations atomic.Int64
+}
+
+// Metrics returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		TextsLinked:    e.met.textsLinked.Load(),
+		EntriesLinked:  e.met.entriesLinked.Load(),
+		EntriesAdded:   e.met.entriesAdded.Load(),
+		LinksCreated:   e.met.linksCreated.Load(),
+		PolicySkips:    e.met.policySkips.Load(),
+		SelfSkips:      e.met.selfSkips.Load(),
+		DuplicateSkips: e.met.duplicateSkips.Load(),
+		Invalidations:  e.met.invalidations.Load(),
+	}
+}
+
+// countResult folds one linking result into the counters.
+func (m *metrics) countResult(res *Result) {
+	m.textsLinked.Add(1)
+	m.linksCreated.Add(int64(len(res.Links)))
+	for _, s := range res.Skips {
+		switch s.Reason {
+		case SkipPolicy:
+			m.policySkips.Add(1)
+		case SkipSelf:
+			m.selfSkips.Add(1)
+		case SkipDuplicate:
+			m.duplicateSkips.Add(1)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"nnexus/internal/corpus"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	e := fig1Engine(t, Config{})
+	m := e.Metrics()
+	if m.EntriesAdded != 7 {
+		t.Errorf("entriesAdded = %d", m.EntriesAdded)
+	}
+	if err := e.SetPolicy(4, "forbid even"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LinkText("a graph and a graph and even more",
+		LinkOptions{SourceClasses: []string{"05C40"}}); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.TextsLinked != 1 {
+		t.Errorf("textsLinked = %d", m.TextsLinked)
+	}
+	if m.LinksCreated == 0 {
+		t.Errorf("linksCreated = %d", m.LinksCreated)
+	}
+	if m.DuplicateSkips != 1 {
+		t.Errorf("duplicateSkips = %d", m.DuplicateSkips)
+	}
+	if m.PolicySkips != 1 {
+		t.Errorf("policySkips = %d", m.PolicySkips)
+	}
+	// Invalidation counter moves when a new concept lands.
+	entry, _ := e.Entry(1)
+	entry.Body = "mentions a matroid"
+	if err := e.UpdateEntry(entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddEntry(&corpus.Entry{Domain: "planetmath.org", Title: "matroid"}); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.Invalidations == 0 {
+		t.Errorf("invalidations = %d", m.Invalidations)
+	}
+	if _, err := e.LinkEntry(1, LinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().EntriesLinked; got != 1 {
+		t.Errorf("entriesLinked = %d", got)
+	}
+}

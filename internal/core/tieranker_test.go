@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"nnexus/internal/cfrank"
+	"nnexus/internal/classification"
+	"nnexus/internal/corpus"
+)
+
+// Two homonym targets in the same class tie under steering; the
+// collaborative-filtering matrix breaks the tie from link history.
+func TestTieRankerResolvesSteeringTie(t *testing.T) {
+	matrix := cfrank.NewMatrix()
+	e, err := NewEngine(Config{
+		Scheme:    classification.SampleMSC(10),
+		TieRanker: matrix.Best,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddDomain(corpus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	add := func(entry *corpus.Entry) int64 {
+		entry.Domain = "planetmath.org"
+		id, err := e.AddEntry(entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// Both "kernel" homonyms share the class: steering ties.
+	a := add(&corpus.Entry{Title: "kernel", Classes: []string{"05C99"}})
+	b := add(&corpus.Entry{Title: "kernel", Classes: []string{"05C99"}})
+	src := add(&corpus.Entry{Title: "source entry", Classes: []string{"05C99"},
+		Body: "about the kernel of things"})
+
+	// Without history, the deterministic tie-break picks the lower ID.
+	res, err := e.LinkEntry(src, LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Links[0].Target != a {
+		t.Fatalf("default tie-break picked %d, want %d", res.Links[0].Target, a)
+	}
+
+	// The author overrides the link to b; similar sources also prefer b.
+	matrix.RecordFeedback(src, b, true)
+	res, err = e.LinkEntry(src, LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Links[0].Target != b {
+		t.Fatalf("CF tie-break picked %d, want %d (user feedback)", res.Links[0].Target, b)
+	}
+
+	// A ranker choice outside the tie set must be ignored (fall back).
+	e2, err := NewEngine(Config{
+		Scheme: classification.SampleMSC(10),
+		TieRanker: func(source int64, candidates []int64) (int64, bool) {
+			return 999999, true // nonsense choice
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.AddDomain(corpus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entry := corpus.Entry{Domain: "planetmath.org", Title: "kernel", Classes: []string{"05C99"}}
+	if _, err := e2.AddEntry(&entry); err != nil {
+		t.Fatal(err)
+	}
+	entry2 := corpus.Entry{Domain: "planetmath.org", Title: "kernel", Classes: []string{"05C99"}}
+	if _, err := e2.AddEntry(&entry2); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e2.LinkText("the kernel", LinkOptions{SourceClasses: []string{"05C99"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 1 || res.Links[0].Target != entry.ID {
+		t.Fatalf("fallback after bogus ranker choice = %+v", res.Links)
+	}
+}
+
+// The TieRanker must never override classification steering — it only sees
+// the candidates that survived it.
+func TestTieRankerCannotOverrideSteering(t *testing.T) {
+	matrix := cfrank.NewMatrix()
+	e, err := NewEngine(Config{
+		Scheme:    classification.SampleMSC(10),
+		TieRanker: matrix.Best,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddDomain(corpus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	near := corpus.Entry{Domain: "planetmath.org", Title: "graph", Classes: []string{"05C99"}}
+	far := corpus.Entry{Domain: "planetmath.org", Title: "graph", Classes: []string{"03E20"}}
+	nearID, err := e.AddEntry(&near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farID, err := e.AddEntry(&far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feedback strongly prefers the far homonym...
+	matrix.RecordFeedback(0, farID, true)
+	// ...but steering already singled out the near one; the ranker never
+	// sees the far candidate.
+	res, err := e.LinkText("the graph", LinkOptions{SourceClasses: []string{"05C40"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 1 || res.Links[0].Target != nearID {
+		t.Fatalf("links = %+v, want steering winner %d", res.Links, nearID)
+	}
+}

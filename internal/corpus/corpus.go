@@ -1,0 +1,284 @@
+// Package corpus defines the document model of NNexus: entries (the paper's
+// "objects"), the per-site domain configuration used for multi-corpus
+// deployments, and an OAI-style XML import path mirroring how concepts were
+// "imported from MathWorld using that site's OAI repository" (paper Fig 9).
+package corpus
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Entry is one object of a collaborative corpus together with the metadata
+// NNexus links by: the concept labels it defines and its subject classes.
+type Entry struct {
+	// ID is the engine-wide numeric identity, assigned at AddEntry time.
+	ID int64 `json:"id"`
+	// Domain names the corpus the entry belongs to (e.g. "planetmath.org").
+	Domain string `json:"domain"`
+	// ExternalID is the entry's identity within its own domain (used in
+	// link URLs; defaults to the decimal ID).
+	ExternalID string `json:"externalId,omitempty"`
+	// Title is the canonical name of the entry and always counts as a
+	// concept label.
+	Title string `json:"title"`
+	// Concepts are the additional concept labels the entry defines
+	// (defined terms and synonyms).
+	Concepts []string `json:"concepts,omitempty"`
+	// Classes are subject classifications in the domain's scheme.
+	Classes []string `json:"classes,omitempty"`
+	// Body is the entry text to be linked.
+	Body string `json:"body,omitempty"`
+	// Policy is the optional linking-policy text chunk (see policy pkg).
+	Policy string `json:"policy,omitempty"`
+}
+
+// Labels returns every concept label of the entry: the title plus the
+// defined concepts, in order, without blanks.
+func (e *Entry) Labels() []string {
+	out := make([]string, 0, 1+len(e.Concepts))
+	if strings.TrimSpace(e.Title) != "" {
+		out = append(out, e.Title)
+	}
+	for _, c := range e.Concepts {
+		if strings.TrimSpace(c) != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate reports structural problems with the entry.
+func (e *Entry) Validate() error {
+	if len(e.Labels()) == 0 {
+		return fmt.Errorf("corpus: entry %d (%q) defines no concept labels", e.ID, e.Title)
+	}
+	if e.Domain == "" {
+		return fmt.Errorf("corpus: entry %d (%q) has no domain", e.ID, e.Title)
+	}
+	return nil
+}
+
+// MarshalJSON / storage helpers: entries are stored as JSON values.
+
+// Encode serializes the entry for storage.
+func (e *Entry) Encode() ([]byte, error) { return json.Marshal(e) }
+
+// DecodeEntry deserializes an entry stored with Encode.
+func DecodeEntry(data []byte) (*Entry, error) {
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("corpus: decode entry: %w", err)
+	}
+	return &e, nil
+}
+
+// Domain describes one corpus participating in a deployment: how to build
+// links into it, which classification scheme its classes use, and its
+// collection priority when several domains define the same concept
+// (paper Fig 9: "a collection priority configuration option determined the
+// outcome").
+type Domain struct {
+	// Name is the unique domain name, e.g. "planetmath.org".
+	Name string `xml:"name,attr" json:"name"`
+	// URLTemplate builds the href for a target entry. The placeholders
+	// {id} and {title} expand to the entry's external ID and
+	// URL-escaped title.
+	URLTemplate string `xml:"urltemplate" json:"urlTemplate"`
+	// Scheme names the classification scheme the domain's classes use.
+	Scheme string `xml:"scheme" json:"scheme"`
+	// Priority breaks cross-domain ties; lower wins. Domains with equal
+	// priority tie-break by entry ID.
+	Priority int `xml:"priority" json:"priority"`
+}
+
+// URL renders the link target URL for an entry of this domain.
+func (d *Domain) URL(externalID, title string) string {
+	u := d.URLTemplate
+	u = strings.ReplaceAll(u, "{id}", urlEscape(externalID))
+	u = strings.ReplaceAll(u, "{title}", urlEscape(title))
+	return u
+}
+
+func urlEscape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == '~':
+			b.WriteByte(c)
+		case c == ' ':
+			b.WriteByte('+')
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+// oaiRecord mirrors the OAI-PMH-flavoured import format:
+//
+//	<records domain="mathworld.wolfram.com" scheme="msc">
+//	  <record id="PlanarGraph">
+//	    <title>Planar Graph</title>
+//	    <concept>planar graph</concept>
+//	    <class>05C10</class>
+//	    <body>...</body>
+//	    <policy>forbid even</policy>
+//	  </record>
+//	</records>
+type oaiRecords struct {
+	XMLName xml.Name    `xml:"records"`
+	Domain  string      `xml:"domain,attr"`
+	Scheme  string      `xml:"scheme,attr"`
+	Records []oaiRecord `xml:"record"`
+}
+
+type oaiRecord struct {
+	ID       string   `xml:"id,attr"`
+	Title    string   `xml:"title"`
+	Concepts []string `xml:"concept"`
+	Classes  []string `xml:"class"`
+	Body     string   `xml:"body"`
+	Policy   string   `xml:"policy"`
+}
+
+// ImportResult reports what an OAI import contained.
+type ImportResult struct {
+	Domain  string
+	Scheme  string
+	Entries []*Entry
+}
+
+// ImportOAI parses an OAI-style XML metadata dump into entries. IDs are
+// left zero; the engine assigns them at AddEntry time.
+func ImportOAI(r io.Reader) (*ImportResult, error) {
+	var doc oaiRecords
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("corpus: import: %w", err)
+	}
+	if doc.Domain == "" {
+		return nil, fmt.Errorf("corpus: import: records element missing domain attribute")
+	}
+	res := &ImportResult{Domain: doc.Domain, Scheme: doc.Scheme}
+	for i, rec := range doc.Records {
+		e := &Entry{
+			Domain:     doc.Domain,
+			ExternalID: rec.ID,
+			Title:      strings.TrimSpace(rec.Title),
+			Concepts:   trimAll(rec.Concepts),
+			Classes:    trimAll(rec.Classes),
+			Body:       rec.Body,
+			Policy:     strings.TrimSpace(rec.Policy),
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus: import record %d: %w", i, err)
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	return res, nil
+}
+
+// ImportOAIStream parses an OAI-style dump record by record, calling fn for
+// each entry as soon as it is decoded — constant memory regardless of dump
+// size, for importing full-corpus exports. fn returning an error aborts the
+// import. The callback receives the dump's domain and scheme with every
+// entry already filled in.
+func ImportOAIStream(r io.Reader, fn func(*Entry) error) (domain, scheme string, err error) {
+	dec := xml.NewDecoder(r)
+	recordNo := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			if domain == "" {
+				return "", "", fmt.Errorf("corpus: import: no records element found")
+			}
+			return domain, scheme, nil
+		}
+		if err != nil {
+			return domain, scheme, fmt.Errorf("corpus: import: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch start.Name.Local {
+		case "records":
+			for _, attr := range start.Attr {
+				switch attr.Name.Local {
+				case "domain":
+					domain = attr.Value
+				case "scheme":
+					scheme = attr.Value
+				}
+			}
+			if domain == "" {
+				return "", "", fmt.Errorf("corpus: import: records element missing domain attribute")
+			}
+		case "record":
+			if domain == "" {
+				return "", "", fmt.Errorf("corpus: import: record before records element")
+			}
+			var rec oaiRecord
+			if err := dec.DecodeElement(&rec, &start); err != nil {
+				return domain, scheme, fmt.Errorf("corpus: import record %d: %w", recordNo, err)
+			}
+			e := &Entry{
+				Domain:     domain,
+				ExternalID: rec.ID,
+				Title:      strings.TrimSpace(rec.Title),
+				Concepts:   trimAll(rec.Concepts),
+				Classes:    trimAll(rec.Classes),
+				Body:       rec.Body,
+				Policy:     strings.TrimSpace(rec.Policy),
+			}
+			if err := e.Validate(); err != nil {
+				return domain, scheme, fmt.Errorf("corpus: import record %d: %w", recordNo, err)
+			}
+			if err := fn(e); err != nil {
+				return domain, scheme, err
+			}
+			recordNo++
+		}
+	}
+}
+
+// ExportOAI writes entries in the import format, for moving corpora between
+// deployments.
+func ExportOAI(w io.Writer, domain, scheme string, entries []*Entry) error {
+	doc := oaiRecords{Domain: domain, Scheme: scheme}
+	for _, e := range entries {
+		doc.Records = append(doc.Records, oaiRecord{
+			ID:       e.ExternalID,
+			Title:    e.Title,
+			Concepts: e.Concepts,
+			Classes:  e.Classes,
+			Body:     e.Body,
+			Policy:   e.Policy,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("corpus: export: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func trimAll(in []string) []string {
+	out := in[:0]
+	for _, s := range in {
+		if t := strings.TrimSpace(s); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"testing"
+
+	"nnexus/internal/core"
+	"nnexus/internal/storage"
+	"nnexus/internal/workload"
+)
+
+// testCorpus is shared by the shape tests; 1200 entries keeps the suite
+// fast while leaving the statistics stable.
+func testCorpus(t *testing.T) *workload.Corpus {
+	t.Helper()
+	c, err := workload.Generate(workload.DefaultParams(1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildEngineIdentityMapping(t *testing.T) {
+	c := testCorpus(t)
+	e, err := BuildEngine(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumEntries() != len(c.Entries) {
+		t.Fatalf("entries = %d", e.NumEntries())
+	}
+	entry, ok := e.Entry(42)
+	if !ok || entry.Title != c.Entries[41].Entry.Title {
+		t.Errorf("entry 42 = %+v", entry)
+	}
+	// Roughly 1.7 concepts per entry, echoing PlanetMath's 12,171/7,145.
+	ratio := float64(e.NumConcepts()) / float64(e.NumEntries())
+	if ratio < 1.0 || ratio > 2.5 {
+		t.Errorf("concepts per entry = %.2f", ratio)
+	}
+}
+
+func TestBuildEngineWithStore(t *testing.T) {
+	c, err := workload.Generate(workload.DefaultParams(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := BuildEngine(c, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumEntries() != 150 {
+		t.Fatalf("entries = %d", e.NumEntries())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline reproduction: precision strictly improves from lexical to
+// steered to steered+policies, and lands in the paper's bands (≈80%,
+// ≈88%/12% mislinks, >92%). Recall stays at (near-)perfect link recall.
+func TestTable2Shape(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := RunTable2(c, 150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lex, steered, full := rows[0].Counts, rows[1].Counts, rows[2].Counts
+	if !(lex.Precision() < steered.Precision() && steered.Precision() < full.Precision()) {
+		t.Fatalf("precision not increasing: %.3f %.3f %.3f",
+			lex.Precision(), steered.Precision(), full.Precision())
+	}
+	if lex.Precision() < 0.70 || lex.Precision() > 0.90 {
+		t.Errorf("lexical precision = %.3f, want ≈0.80", lex.Precision())
+	}
+	if steered.MislinkRate() < 0.06 || steered.MislinkRate() > 0.18 {
+		t.Errorf("steered mislink rate = %.3f, want ≈0.12 (paper: 12–15%%)", steered.MislinkRate())
+	}
+	// Overlinks should be the majority of steered mislinks (paper: 61%).
+	share := float64(steered.Overlinks) / float64(steered.Mislinks)
+	if share < 0.4 || share > 0.85 {
+		t.Errorf("overlink share of mislinks = %.2f, want ≈0.61", share)
+	}
+	if full.Precision() < 0.92 {
+		t.Errorf("policy precision = %.3f, want >0.92", full.Precision())
+	}
+	if rows[2].Policies != c.Params.CommonConcepts {
+		t.Errorf("policies = %d, want %d", rows[2].Policies, c.Params.CommonConcepts)
+	}
+	// Perfect link recall within rounding (the paper's design goal).
+	for i, r := range rows {
+		if r.Counts.Recall() < 0.99 {
+			t.Errorf("row %d recall = %.3f", i, r.Counts.Recall())
+		}
+	}
+}
+
+// Table 1 protocol: fixing the overlink culprits of 5 sampled entries
+// lowers both overlinking and mislinking on the 20-entry sample without
+// hurting recall.
+func TestTable1Shape(t *testing.T) {
+	c := testCorpus(t)
+	res, err := RunTable1(c, 20, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 20 || res.FixedEntries != 5 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.PolicyTargets == 0 {
+		t.Skip("sample contained no overlinks; statistical fluke for this seed")
+	}
+	if res.After.Overlinks > res.Before.Overlinks {
+		t.Errorf("overlinks rose: %d → %d", res.Before.Overlinks, res.After.Overlinks)
+	}
+	if res.After.Mislinks > res.Before.Mislinks {
+		t.Errorf("mislinks rose: %d → %d", res.Before.Mislinks, res.After.Mislinks)
+	}
+	if res.After.Precision() < res.Before.Precision() {
+		t.Errorf("precision fell: %.3f → %.3f", res.Before.Precision(), res.After.Precision())
+	}
+	if res.After.Correct < res.Before.Correct {
+		t.Errorf("correct links lost: %d → %d", res.Before.Correct, res.After.Correct)
+	}
+}
+
+// Scalability sweep: time-per-link must not blow up with corpus size — the
+// paper's claim is that it falls and then hovers around a constant.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	c := testCorpus(t)
+	rows, err := RunTable3(c, []int{150, 300, 600, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Links == 0 || r.TimePerLink <= 0 {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+	// Sublinearity: going from 150 to 1200 entries (8×) must not scale
+	// time-per-link by anything close to 8×. Allow 3× for noise.
+	first, last := rows[0].TimePerLink, rows[len(rows)-1].TimePerLink
+	if last > 3*first {
+		t.Errorf("time per link grew superlinearly: %v → %v", first, last)
+	}
+}
+
+// Invalidation ablation: the phrase index must invalidate strictly fewer
+// entries than a word-union index, and never zero when words exist.
+func TestInvalidationShape(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := RunInvalidation(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, res := range rows {
+		if res.LabelsProbed == 0 {
+			t.Fatal("no multi-word labels probed")
+		}
+		if res.PhraseInvalidations >= res.WordInvalidations {
+			t.Errorf("%s: phrase index (%d) did not beat word index (%d)",
+				res.Config, res.PhraseInvalidations, res.WordInvalidations)
+		}
+		ratio := float64(res.WordInvalidations) / float64(res.PhraseInvalidations+1)
+		if ratio < 2 {
+			t.Errorf("%s: invalidation savings only %.1f×", res.Config, ratio)
+		}
+	}
+	// The adaptive configuration trades a little invalidation sharpness for
+	// a dramatically smaller index: its size ratio must come out near the
+	// paper's "around twice a word index", far below the uncompacted blowup.
+	uncompacted, adaptive := rows[0], rows[1]
+	if adaptive.SizeRatio >= uncompacted.SizeRatio {
+		t.Errorf("compaction did not shrink the index: %.2f vs %.2f",
+			adaptive.SizeRatio, uncompacted.SizeRatio)
+	}
+	if adaptive.SizeRatio > 3.0 {
+		t.Errorf("adaptive size ratio = %.2f×, want ≈2× or below", adaptive.SizeRatio)
+	}
+	if adaptive.PhraseInvalidations > uncompacted.WordInvalidations {
+		t.Error("adaptive invalidation worse than a plain word index")
+	}
+}
+
+// Maintenance comparison: manual effort is Θ(n²)-scale, automatic effort
+// stays far below it.
+func TestMaintenanceShape(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := RunMaintenance(c, []int{300, 600, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	last := rows[len(rows)-1]
+	if last.ManualInspections < int64(1200)*1199/2/2 {
+		t.Errorf("manual inspections = %d, expected Θ(n²)", last.ManualInspections)
+	}
+	if last.AutoInvalidations*5 > last.ManualInspections {
+		t.Errorf("auto (%d) not clearly below manual (%d)",
+			last.AutoInvalidations, last.ManualInspections)
+	}
+	// Manual grows quadratically between checkpoints; auto grows slower.
+	manualGrowth := float64(rows[2].ManualInspections) / float64(rows[0].ManualInspections)
+	autoGrowth := float64(rows[2].AutoInvalidations) / float64(rows[0].AutoInvalidations+1)
+	if autoGrowth > manualGrowth {
+		t.Errorf("auto grew faster (%.1f×) than manual (%.1f×)", autoGrowth, manualGrowth)
+	}
+}
+
+func TestSampleIndexes(t *testing.T) {
+	c := testCorpus(t)
+	s1 := SampleIndexes(c, 20, 5)
+	s2 := SampleIndexes(c, 20, 5)
+	if len(s1) != 20 {
+		t.Fatalf("sample = %v", s1)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+		if i > 0 && s1[i] <= s1[i-1] {
+			t.Fatal("sample not sorted/distinct")
+		}
+	}
+	// Oversized request clips to corpus size.
+	if got := SampleIndexes(c, 10_000, 1); len(got) != len(c.Entries) {
+		t.Errorf("oversized sample = %d", len(got))
+	}
+}
+
+func TestEvaluateAllAgreesWithModeOrdering(t *testing.T) {
+	c, err := workload.Generate(workload.DefaultParams(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := BuildEngine(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex, err := EvaluateAll(e, c, core.ModeLexical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steered, err := EvaluateAll(e, c, core.ModeSteered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steered.Correct < lex.Correct {
+		t.Errorf("steering reduced correct links: %d < %d", steered.Correct, lex.Correct)
+	}
+}
+
+// Automatic policy suggestion (future work §5): the auto-detected policies
+// must recover most of the precision gain of the hand-written ones.
+func TestAutoPolicyShape(t *testing.T) {
+	c := testCorpus(t)
+	res, err := RunAutoPolicy(c, 100, 13, 0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruePositives < c.Params.CommonConcepts/2 {
+		t.Errorf("auto-detector found %d/%d culprits", res.TruePositives, c.Params.CommonConcepts)
+	}
+	base := res.NoPolicies.Precision()
+	auto := res.AutoPolicies.Precision()
+	manual := res.ManualPolicies.Precision()
+	if auto <= base {
+		t.Errorf("auto policies did not improve precision: %.3f vs %.3f", auto, base)
+	}
+	if manual < auto {
+		t.Errorf("manual (%.3f) worse than auto (%.3f)?", manual, auto)
+	}
+	// Auto must recover at least half of the manual gain.
+	if manual > base && (auto-base) < (manual-base)/2 {
+		t.Errorf("auto gain %.3f < half of manual gain %.3f", auto-base, manual-base)
+	}
+}
+
+// Semiautomatic vs automatic paradigm: the wiki author spends one action
+// per link and still suffers disambiguation hops; NNexus spends zero.
+func TestSemiAutoShape(t *testing.T) {
+	c := testCorpus(t)
+	res, err := RunSemiAuto(c, 60, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SemiAuto.AuthorActions == 0 {
+		t.Fatal("no author actions simulated")
+	}
+	// Homonym labels land on disambiguation pages under the wiki paradigm.
+	if res.SemiAuto.DisambiguationHops == 0 {
+		t.Error("no disambiguation hops: homonyms not exercised")
+	}
+	// NNexus links at least as many invocations, with zero author actions.
+	if res.AutoLinks < res.SemiAuto.ResolvedLinks {
+		t.Errorf("auto links %d < semi-auto resolved %d", res.AutoLinks, res.SemiAuto.ResolvedLinks)
+	}
+	// Steering resolved the same homonyms the wiki left ambiguous.
+	if res.AutoAmbiguous == 0 {
+		t.Error("no multi-candidate labels encountered")
+	}
+}
+
+// The semantic network the linker builds should be (nearly) fully
+// connected — the paper's §1.3 "optimal end product".
+func TestNetworkShape(t *testing.T) {
+	c, err := workload.Generate(workload.DefaultParams(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, stats, err := RunNetwork(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 600 {
+		t.Fatalf("nodes = %d", stats.Nodes)
+	}
+	if stats.Edges == 0 || stats.AvgOutDegree < 3 {
+		t.Errorf("network too sparse: %+v", stats)
+	}
+	if float64(stats.LargestComponent) < 0.95*float64(stats.Nodes) {
+		t.Errorf("largest component only %d/%d", stats.LargestComponent, stats.Nodes)
+	}
+	if stats.AvgReachable < 0.8*float64(stats.Nodes) {
+		t.Errorf("avg reachable only %.0f/%d", stats.AvgReachable, stats.Nodes)
+	}
+	if hubs := g.TopHubs(3); len(hubs) != 3 {
+		t.Errorf("hubs = %v", hubs)
+	}
+}
+
+// A LaTeX-authored corpus (\emph-wrapped invocations, \(...\) math,
+// comments) must evaluate the same as its plain-text twin once the engine
+// runs with the LaTeX option — TeX markup is an encoding, not a semantic
+// change.
+func TestLaTeXCorpusEquivalence(t *testing.T) {
+	plainParams := workload.DefaultParams(600)
+	texParams := plainParams
+	texParams.LaTeX = true
+
+	plain, err := workload.Generate(plainParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tex, err := workload.Generate(texParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePlain, err := BuildEngine(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eTex, err := BuildEngine(tex, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPlain, err := EvaluateAll(ePlain, plain, core.ModeSteered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTex, err := EvaluateAll(eTex, tex, core.ModeSteered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cTex.Recall() < 0.99 {
+		t.Errorf("TeX recall = %.3f: markup broke matching", cTex.Recall())
+	}
+	diff := cTex.Precision() - cPlain.Precision()
+	if diff < -0.02 || diff > 0.02 {
+		t.Errorf("precision diverged: plain %.3f vs tex %.3f", cPlain.Precision(), cTex.Precision())
+	}
+}
+
+// Multi-class entries (min-over-pairs steering distance) must not degrade
+// linking quality.
+func TestMultiClassCorpusShape(t *testing.T) {
+	base := workload.DefaultParams(600)
+	multi := base
+	multi.SecondClassFraction = 0.4
+
+	cBase, err := workload.Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMulti, err := workload.Generate(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBase, err := BuildEngine(cBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMulti, err := BuildEngine(cMulti, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBase, err := EvaluateAll(eBase, cBase, core.ModeSteered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMulti, err := EvaluateAll(eMulti, cMulti, core.ModeSteered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMulti.Recall() < 0.99 {
+		t.Errorf("multi-class recall = %.3f", sMulti.Recall())
+	}
+	if sMulti.Precision() < sBase.Precision()-0.03 {
+		t.Errorf("multi-class precision %.3f << single-class %.3f",
+			sMulti.Precision(), sBase.Precision())
+	}
+}

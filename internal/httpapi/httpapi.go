@@ -1,0 +1,316 @@
+// Package httpapi exposes an NNexus engine as a web service (paper §3.4:
+// "The modular design of NNexus will also allow developers to use NNexus as
+// a web plugin for on-demand text linking ... NNexus could be deployed as a
+// web service to allow third parties to link arbitrary documents to
+// particular corpora").
+//
+// Endpoints (JSON unless noted):
+//
+//	GET  /                   interactive linking form (HTML)
+//	POST /api/link           {"text", "classes", "scheme", "mode", "format"}
+//	POST /api/entries        create an entry (returns its ID)
+//	GET  /api/entries/{id}   fetch an entry
+//	PUT  /api/entries/{id}   update an entry
+//	DELETE /api/entries/{id} remove an entry
+//	GET  /api/entries/{id}/linked   cached linked rendering of the entry
+//	PUT  /api/entries/{id}/policy   install linking policy (text/plain body)
+//	GET  /api/invalidated    IDs awaiting re-linking
+//	POST /api/relink         re-link all invalidated entries
+//	GET  /api/stats          collection statistics
+//	POST /api/import         OAI-style corpus dump (XML body; streamed)
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"nnexus/internal/core"
+	"nnexus/internal/corpus"
+	"nnexus/internal/render"
+)
+
+// Handler serves the HTTP API for one engine.
+type Handler struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+}
+
+// New builds the HTTP handler around an engine.
+func New(engine *core.Engine) *Handler {
+	h := &Handler{engine: engine, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /{$}", h.form)
+	h.mux.HandleFunc("POST /api/link", h.link)
+	h.mux.HandleFunc("POST /api/entries", h.createEntry)
+	h.mux.HandleFunc("GET /api/entries/{id}", h.getEntry)
+	h.mux.HandleFunc("PUT /api/entries/{id}", h.updateEntry)
+	h.mux.HandleFunc("DELETE /api/entries/{id}", h.removeEntry)
+	h.mux.HandleFunc("GET /api/entries/{id}/linked", h.linkedEntry)
+	h.mux.HandleFunc("PUT /api/entries/{id}/policy", h.setPolicy)
+	h.mux.HandleFunc("GET /api/invalidated", h.invalidated)
+	h.mux.HandleFunc("POST /api/relink", h.relink)
+	h.mux.HandleFunc("GET /api/stats", h.stats)
+	h.mux.HandleFunc("POST /api/import", h.importOAI)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// linkRequest is the /api/link request body.
+type linkRequest struct {
+	Text    string   `json:"text"`
+	Classes []string `json:"classes,omitempty"`
+	Scheme  string   `json:"scheme,omitempty"`
+	Mode    string   `json:"mode,omitempty"`
+	Format  string   `json:"format,omitempty"`
+}
+
+func (h *Handler) link(w http.ResponseWriter, r *http.Request) {
+	var req linkRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-www-form-urlencoded") ||
+		strings.HasPrefix(ct, "multipart/form-data") {
+		// The interactive form posts urlencoded fields.
+		if err := r.ParseForm(); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Text = r.PostFormValue("text")
+		if cs := strings.TrimSpace(r.PostFormValue("classes")); cs != "" {
+			for _, c := range strings.Split(cs, ",") {
+				req.Classes = append(req.Classes, strings.TrimSpace(c))
+			}
+		}
+		req.Mode = r.PostFormValue("mode")
+		req.Format = r.PostFormValue("format")
+	} else {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	opts, err := parseOptions(req.Mode, req.Format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.SourceClasses = req.Classes
+	opts.SourceScheme = req.Scheme
+	res, err := h.engine.LinkText(req.Text, opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *Handler) createEntry(w http.ResponseWriter, r *http.Request) {
+	var entry corpus.Entry
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&entry); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := h.engine.AddEntry(&entry)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (h *Handler) getEntry(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	entry, found := h.engine.Entry(id)
+	if !found {
+		httpError(w, http.StatusNotFound, fmt.Errorf("entry %d not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, entry)
+}
+
+func (h *Handler) updateEntry(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var entry corpus.Entry
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&entry); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry.ID = id
+	if err := h.engine.UpdateEntry(&entry); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) removeEntry(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := h.engine.RemoveEntry(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) linkedEntry(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	res, cached, err := h.engine.LinkEntryCached(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("X-NNexus-Cache", map[bool]string{true: "hit", false: "miss"}[cached])
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *Handler) setPolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.engine.SetPolicy(id, string(body)); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) invalidated(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]int64{"invalidated": h.engine.Invalidated()})
+}
+
+func (h *Handler) relink(w http.ResponseWriter, r *http.Request) {
+	results, err := h.engine.RelinkInvalidated()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"relinked": len(results)})
+}
+
+// importOAI streams an OAI-style XML dump into the collection. The dump's
+// domain must already be registered.
+func (h *Handler) importOAI(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	_, _, err := corpus.ImportOAIStream(io.LimitReader(r.Body, 256<<20), func(entry *corpus.Entry) error {
+		if _, err := h.engine.AddEntry(entry); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("imported %d entries, then: %w", n, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"imported": n})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := h.engine.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"entries":     h.engine.NumEntries(),
+		"concepts":    h.engine.NumConcepts(),
+		"domains":     h.engine.Domains(),
+		"invalidated": len(h.engine.Invalidated()),
+		"cacheHits":   hits,
+		"cacheMisses": misses,
+		"metrics":     h.engine.Metrics(),
+	})
+}
+
+var formTmpl = template.Must(template.New("form").Parse(`<!DOCTYPE html>
+<html><head><title>NNexus on-demand linking</title></head>
+<body>
+<h1>NNexus</h1>
+<p>{{.Entries}} entries / {{.Concepts}} concepts across {{.Domains}} domain(s).</p>
+<form action="/api/link" method="POST">
+<p><textarea name="text" rows="8" cols="80" placeholder="Paste text to link..."></textarea></p>
+<p>source classes: <input name="classes" size="30" placeholder="05C10, 05C40">
+   mode: <select name="mode">
+     <option value="">default</option>
+     <option value="lexical">lexical</option>
+     <option value="steered">steered</option>
+     <option value="steered+policies">steered+policies</option>
+   </select>
+   format: <select name="format"><option>html</option><option>markdown</option></select></p>
+<p><input type="submit" value="Link"></p>
+</form>
+</body></html>
+`))
+
+func (h *Handler) form(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = formTmpl.Execute(w, map[string]interface{}{
+		"Entries":  h.engine.NumEntries(),
+		"Concepts": h.engine.NumConcepts(),
+		"Domains":  len(h.engine.Domains()),
+	})
+}
+
+func parseOptions(mode, format string) (core.LinkOptions, error) {
+	var opts core.LinkOptions
+	switch strings.ToLower(mode) {
+	case "", "default":
+	case "lexical":
+		opts.Mode = core.ModeLexical
+	case "steered":
+		opts.Mode = core.ModeSteered
+	case "steered+policies", "full":
+		opts.Mode = core.ModeSteeredPolicies
+	default:
+		return opts, fmt.Errorf("unknown mode %q", mode)
+	}
+	switch strings.ToLower(format) {
+	case "", "html":
+	case "markdown", "md":
+		f := render.Markdown
+		opts.Format = &f
+	default:
+		return opts, fmt.Errorf("unknown format %q", format)
+	}
+	return opts, nil
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad entry id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,311 @@
+// Package invindex implements the NNexus invalidation index (paper §2.5,
+// Fig 6): an adaptive inverted index over both words and phrases, used to
+// determine — when concept labels are added to or changed in the collection
+// — the minimal superset of entries that might link to the new concept and
+// therefore must be invalidated (re-linked before next display).
+//
+// Two properties drive the design:
+//
+//   - Prefix property: for every phrase indexed, all shorter prefixes of
+//     that phrase are also indexed for every occurrence of the longer
+//     phrase, so a lookup with a shorter tuple never misses an entry.
+//   - Adaptivity: longer phrases are only retained if they appear
+//     frequently; since phrase frequencies fall off in a Zipf distribution,
+//     the index stays around twice the size of a word-based inverted index
+//     while invalidating far fewer false positives.
+//
+// Correctness invariant (tested): every key present in the index has a
+// complete postings list — it contains every live object whose text
+// contains the key. Compaction removes rare long phrases entirely and
+// tombstones them so they can never reappear with partial history;
+// lookups then fall back to the longest surviving prefix, which is
+// guaranteed complete (single words are never compacted).
+package invindex
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"nnexus/internal/morph"
+	"nnexus/internal/tokenizer"
+)
+
+// DefaultMaxPhraseLen bounds the length of indexed phrases. The paper notes
+// "there is no limit to how long a stored phrase can be; however, very long
+// phrases are extremely unlikely to appear" — in practice concept labels
+// beyond five words are vanishingly rare on PlanetMath.
+const DefaultMaxPhraseLen = 5
+
+// DefaultCompactBelow is the occurrence count below which phrases (length
+// ≥ 2) are dropped during compaction.
+const DefaultCompactBelow = 2
+
+// Index is the invalidation index. All methods are safe for concurrent use.
+type Index struct {
+	mu           sync.RWMutex
+	postings     map[string]map[int64]struct{} // key (word or phrase) → object set
+	counts       map[string]int                // total occurrences per key (across all adds)
+	docKeys      map[int64][]string            // keys contributed by each object
+	tombstones   map[string]struct{}           // compacted keys, never re-admitted
+	maxPhraseLen int
+	adds         int // AddTokens calls since construction
+	// auto-compaction: every autoEvery adds, phrases rarer than
+	// autoBelow are dropped (0 disables).
+	autoEvery int
+	autoBelow int
+}
+
+// Option configures an Index.
+type Option func(*Index)
+
+// WithMaxPhraseLen sets the maximum indexed phrase length (≥ 1).
+func WithMaxPhraseLen(n int) Option {
+	return func(ix *Index) {
+		if n >= 1 {
+			ix.maxPhraseLen = n
+		}
+	}
+}
+
+// WithAutoCompact makes the index compact itself every `every` document
+// additions, dropping phrases seen fewer than `below` times. This is the
+// adaptive behaviour that keeps the index near the size of a word index
+// under Zipf-distributed phrase frequencies.
+func WithAutoCompact(every, below int) Option {
+	return func(ix *Index) {
+		if every > 0 && below > 0 {
+			ix.autoEvery = every
+			ix.autoBelow = below
+		}
+	}
+}
+
+// New returns an empty invalidation index.
+func New(opts ...Option) *Index {
+	ix := &Index{
+		postings:     make(map[string]map[int64]struct{}),
+		counts:       make(map[string]int),
+		docKeys:      make(map[int64][]string),
+		tombstones:   make(map[string]struct{}),
+		maxPhraseLen: DefaultMaxPhraseLen,
+	}
+	for _, o := range opts {
+		o(ix)
+	}
+	return ix
+}
+
+// AddText tokenizes the entry text and indexes the object under every word
+// and every phrase up to the configured maximum length. Re-adding an object
+// replaces its previous contribution.
+func (ix *Index) AddText(object int64, text string) {
+	toks := tokenizer.Tokenize(text)
+	norms := make([]string, len(toks))
+	for i, t := range toks {
+		norms[i] = t.Norm
+	}
+	ix.AddTokens(object, norms)
+}
+
+// AddTokens indexes the object under the given normalized token sequence.
+func (ix *Index) AddTokens(object int64, norms []string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docKeys[object]; ok {
+		ix.removeLocked(object)
+	}
+	seen := make(map[string]struct{})
+	var keys []string
+	for i := range norms {
+		limit := ix.maxPhraseLen
+		if rest := len(norms) - i; rest < limit {
+			limit = rest
+		}
+		for n := 1; n <= limit; n++ {
+			key := strings.Join(norms[i:i+n], " ")
+			ix.counts[key]++
+			if _, dead := ix.tombstones[key]; dead {
+				continue
+			}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			set, ok := ix.postings[key]
+			if !ok {
+				set = make(map[int64]struct{})
+				ix.postings[key] = set
+			}
+			set[object] = struct{}{}
+			keys = append(keys, key)
+		}
+	}
+	ix.docKeys[object] = keys
+	ix.adds++
+	if ix.autoEvery > 0 && ix.adds%ix.autoEvery == 0 {
+		ix.compactLocked(ix.autoBelow)
+	}
+}
+
+// Remove deletes an object's contribution from the index.
+func (ix *Index) Remove(object int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(object)
+}
+
+func (ix *Index) removeLocked(object int64) {
+	for _, key := range ix.docKeys[object] {
+		set, ok := ix.postings[key]
+		if !ok {
+			continue
+		}
+		delete(set, object)
+		if len(set) == 0 {
+			delete(ix.postings, key)
+		}
+	}
+	delete(ix.docKeys, object)
+}
+
+// Lookup returns the IDs of the objects that must be invalidated when the
+// given concept label is added to (or changed in) the collection: the
+// postings of the longest indexed prefix of the label. The result is a
+// superset of the objects that actually invoke the label, and never misses
+// one (prefix property). A label whose first word has never been seen
+// invalidates nothing.
+func (ix *Index) Lookup(label string) []int64 {
+	words := strings.Fields(morph.NormalizeLabel(label))
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) > ix.maxPhraseLen {
+		words = words[:ix.maxPhraseLen]
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for n := len(words); n >= 1; n-- {
+		key := strings.Join(words[:n], " ")
+		if set, ok := ix.postings[key]; ok {
+			return sortedIDs(set)
+		}
+	}
+	return nil
+}
+
+// LookupWordUnion is the non-adaptive baseline used for the ablation in the
+// evaluation: it simulates a plain word-based inverted index by returning
+// the union of the postings of every single word of the label — the larger
+// invalidation set the paper's Fig 6 example warns about.
+func (ix *Index) LookupWordUnion(label string) []int64 {
+	words := strings.Fields(morph.NormalizeLabel(label))
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	union := make(map[int64]struct{})
+	for _, w := range words {
+		for id := range ix.postings[w] {
+			union[id] = struct{}{}
+		}
+	}
+	if len(union) == 0 {
+		return nil
+	}
+	return sortedIDs(union)
+}
+
+// Compact drops every phrase key (length ≥ 2) whose total occurrence count
+// is below minCount, tombstoning it so it is never partially re-admitted.
+// Single-word keys are always kept, preserving the lookup fallback.
+// It returns the number of keys removed.
+func (ix *Index) Compact(minCount int) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.compactLocked(minCount)
+}
+
+func (ix *Index) compactLocked(minCount int) int {
+	removed := 0
+	for key := range ix.postings {
+		if !strings.Contains(key, " ") {
+			continue
+		}
+		if ix.counts[key] >= minCount {
+			continue
+		}
+		delete(ix.postings, key)
+		ix.tombstones[key] = struct{}{}
+		removed++
+	}
+	if removed > 0 {
+		// Drop dead keys from per-document lists so Remove stays cheap.
+		for obj, keys := range ix.docKeys {
+			live := keys[:0]
+			for _, k := range keys {
+				if _, dead := ix.tombstones[k]; !dead {
+					live = append(live, k)
+				}
+			}
+			ix.docKeys[obj] = live
+		}
+	}
+	return removed
+}
+
+// Stats describes the index shape.
+type Stats struct {
+	Objects        int
+	WordKeys       int
+	PhraseKeys     int
+	Postings       int // total posting entries across all keys
+	WordPostings   int // posting entries under single-word keys
+	PhrasePostings int // posting entries under phrase keys
+	Tombstones     int
+}
+
+// SizeRatio returns the index's total size relative to a plain word-based
+// inverted index (measured in posting entries) — the quantity behind the
+// paper's "around twice the size of a simple word-based inverted index".
+func (s Stats) SizeRatio() float64 {
+	if s.WordPostings == 0 {
+		return 0
+	}
+	return float64(s.Postings) / float64(s.WordPostings)
+}
+
+// Stats returns a snapshot of the index's shape.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := Stats{Objects: len(ix.docKeys), Tombstones: len(ix.tombstones)}
+	for key, set := range ix.postings {
+		if strings.Contains(key, " ") {
+			s.PhraseKeys++
+			s.PhrasePostings += len(set)
+		} else {
+			s.WordKeys++
+			s.WordPostings += len(set)
+		}
+		s.Postings += len(set)
+	}
+	return s
+}
+
+// Contains reports whether the exact key (word or phrase, raw form) is
+// currently stored. Intended for tests and diagnostics.
+func (ix *Index) Contains(label string) bool {
+	key := morph.NormalizeLabel(label)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.postings[key]
+	return ok
+}
+
+func sortedIDs(set map[int64]struct{}) []int64 {
+	out := make([]int64, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,315 @@
+package invindex
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fig6Index reproduces the paper's Fig 6 example: object 789 contains the
+// phrase "conjugacy class formula"; objects 123 and 456 contain only pieces
+// of it.
+func fig6Index() *Index {
+	ix := New()
+	ix.AddText(123, "the conjugacy relation on elements")
+	ix.AddText(456, "every equivalence class is a set")
+	ix.AddText(789, "the conjugacy class formula counts elements")
+	return ix
+}
+
+func TestFig6Example(t *testing.T) {
+	ix := fig6Index()
+	// Adding a definition for "conjugacy class formula" must invalidate
+	// only object 789.
+	got := ix.Lookup("conjugacy class formula")
+	if len(got) != 1 || got[0] != 789 {
+		t.Fatalf("Lookup = %v, want [789]", got)
+	}
+	// A word-based index would also invalidate 123 and 456.
+	union := ix.LookupWordUnion("conjugacy class formula")
+	if len(union) != 3 {
+		t.Fatalf("word union = %v, want all three objects", union)
+	}
+}
+
+func TestPrefixProperty(t *testing.T) {
+	ix := fig6Index()
+	// Every prefix of the stored phrase is itself a key.
+	for _, prefix := range []string{"conjugacy", "conjugacy class", "conjugacy class formula"} {
+		if !ix.Contains(prefix) {
+			t.Errorf("prefix %q not indexed", prefix)
+		}
+	}
+	// Lookup of the shorter tuple notices the longer phrase's object.
+	got := ix.Lookup("conjugacy class")
+	found := false
+	for _, id := range got {
+		if id == 789 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Lookup(conjugacy class) = %v missed 789", got)
+	}
+}
+
+func TestLookupFallsBackToLongestPrefix(t *testing.T) {
+	ix := fig6Index()
+	// "conjugacy class theorem" is not stored; the longest stored prefix is
+	// "conjugacy class" → only 789 (123 has "conjugacy" but not the pair).
+	got := ix.Lookup("conjugacy class theorem")
+	if len(got) != 1 || got[0] != 789 {
+		t.Fatalf("Lookup = %v, want [789]", got)
+	}
+	// Completely novel first word: nothing to invalidate.
+	if got := ix.Lookup("zygomorphic"); got != nil {
+		t.Fatalf("Lookup(new word) = %v, want nil", got)
+	}
+}
+
+func TestLookupNormalizes(t *testing.T) {
+	ix := fig6Index()
+	got := ix.Lookup("Conjugacy Classes")
+	if len(got) != 1 || got[0] != 789 {
+		t.Fatalf("Lookup = %v, want [789] (plural/case-folded)", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := fig6Index()
+	ix.Remove(789)
+	// The phrase keys died with 789; lookup falls back to the surviving
+	// word key "conjugacy", a correct (if wider) superset.
+	if got := ix.Lookup("conjugacy class formula"); len(got) != 1 || got[0] != 123 {
+		t.Fatalf("Lookup after remove = %v, want fallback [123]", got)
+	}
+	got := ix.Lookup("conjugacy")
+	if len(got) != 1 || got[0] != 123 {
+		t.Fatalf("Lookup(conjugacy) = %v, want [123]", got)
+	}
+	ix.Remove(999) // no-op
+}
+
+func TestReAddReplaces(t *testing.T) {
+	ix := New()
+	ix.AddText(1, "alpha beta gamma")
+	ix.AddText(1, "delta epsilon")
+	if got := ix.Lookup("alpha"); got != nil {
+		t.Fatalf("stale postings: %v", got)
+	}
+	if got := ix.Lookup("delta epsilon"); len(got) != 1 {
+		t.Fatalf("missing new postings: %v", got)
+	}
+}
+
+func TestMaxPhraseLen(t *testing.T) {
+	ix := New(WithMaxPhraseLen(2))
+	ix.AddText(1, "one two three four")
+	if ix.Contains("one two three") {
+		t.Error("phrase longer than max indexed")
+	}
+	if !ix.Contains("one two") {
+		t.Error("2-gram missing")
+	}
+	// Lookup with an over-long label truncates to max length.
+	if got := ix.Lookup("one two three"); len(got) != 1 {
+		t.Errorf("Lookup = %v", got)
+	}
+}
+
+func TestCompactDropsRarePhrasesKeepsWords(t *testing.T) {
+	ix := New()
+	// "common phrase" appears in 3 objects; "rare phrase" in 1.
+	ix.AddText(1, "common phrase here and rare phrasing")
+	ix.AddText(2, "common phrase again")
+	ix.AddText(3, "the common phrase repeats")
+	ix.AddText(4, "a rare phrase once")
+	removed := ix.Compact(2)
+	if removed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	if !ix.Contains("common phrase") {
+		t.Error("frequent phrase was compacted")
+	}
+	if ix.Contains("rare phrase") {
+		t.Error("rare phrase survived compaction")
+	}
+	// Words always survive.
+	if !ix.Contains("rare") || !ix.Contains("phrase") {
+		t.Error("word keys compacted")
+	}
+	// Fallback still finds object 4 via the word prefix.
+	got := ix.Lookup("rare phrase")
+	found := false
+	for _, id := range got {
+		if id == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Lookup after compaction = %v missed object 4", got)
+	}
+}
+
+// Tombstoned phrases must never be re-admitted with partial history.
+func TestCompactionTombstones(t *testing.T) {
+	ix := New()
+	ix.AddText(1, "unique pair once")
+	ix.Compact(5) // drops "unique pair", "pair once", "unique pair once"
+	ix.AddText(2, "unique pair again")
+	if ix.Contains("unique pair") {
+		t.Fatal("tombstoned phrase re-admitted")
+	}
+	// Lookup falls back to the complete word posting and catches both.
+	got := ix.Lookup("unique pair")
+	if len(got) != 2 {
+		t.Fatalf("Lookup = %v, want both objects via word fallback", got)
+	}
+}
+
+// Core invariant: the invalidation set never misses an entry whose text
+// contains the looked-up label, under random adds, removes, and compactions.
+func TestNeverMissesInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"ring", "group", "field", "ideal", "prime", "module",
+		"tensor", "basis", "kernel", "image"}
+	ix := New(WithMaxPhraseLen(3))
+	texts := make(map[int64][]string) // live object → token list
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(10) {
+		case 0: // remove a random object
+			for id := range texts {
+				ix.Remove(id)
+				delete(texts, id)
+				break
+			}
+		case 1: // compact
+			ix.Compact(1 + rng.Intn(3))
+		default: // add a new object with random text
+			id := int64(step)
+			n := 3 + rng.Intn(12)
+			toks := make([]string, n)
+			for i := range toks {
+				toks[i] = vocab[rng.Intn(len(vocab))]
+			}
+			ix.AddTokens(id, toks)
+			texts[id] = toks
+		}
+		// Check the invariant for a few random labels.
+		for probe := 0; probe < 5; probe++ {
+			n := 1 + rng.Intn(3)
+			label := make([]string, n)
+			for i := range label {
+				label[i] = vocab[rng.Intn(len(vocab))]
+			}
+			query := strings.Join(label, " ")
+			got := ix.Lookup(query)
+			gotSet := make(map[int64]bool, len(got))
+			for _, id := range got {
+				gotSet[id] = true
+			}
+			for id, toks := range texts {
+				if containsPhrase(toks, label) && !gotSet[id] {
+					t.Fatalf("step %d: object %d contains %q but was not invalidated (got %v)",
+						step, id, query, got)
+				}
+			}
+		}
+	}
+}
+
+func containsPhrase(toks, phrase []string) bool {
+outer:
+	for i := 0; i+len(phrase) <= len(toks); i++ {
+		for j := range phrase {
+			if toks[i+j] != phrase[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// The adaptive index must remain far smaller than the full n-gram blowup:
+// with Zipf-ish text and compaction, phrase keys stay within a small factor
+// of word keys (the paper claims ≈2× a word index).
+func TestAdaptiveSizeClaim(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Zipf-ish vocabulary: low ranks appear much more often.
+	vocab := make([]string, 300)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%d", i)
+	}
+	zipfWord := func() string {
+		// crude Zipf: rank ∝ 1/u
+		u := rng.Float64()
+		rank := int(1/(u+0.004)) % len(vocab)
+		return vocab[rank]
+	}
+	ix := New()
+	for id := int64(0); id < 300; id++ {
+		toks := make([]string, 60)
+		for i := range toks {
+			toks[i] = zipfWord()
+		}
+		ix.AddTokens(id, toks)
+		if id%50 == 49 {
+			ix.Compact(DefaultCompactBelow + 1)
+		}
+	}
+	ix.Compact(DefaultCompactBelow + 1)
+	s := ix.Stats()
+	if s.PhraseKeys > 6*s.WordKeys {
+		t.Errorf("phrase keys %d >> word keys %d: index not adaptive", s.PhraseKeys, s.WordKeys)
+	}
+	if s.PhraseKeys == 0 {
+		t.Error("no phrases survived: compaction too aggressive")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix := fig6Index()
+	s := ix.Stats()
+	if s.Objects != 3 || s.WordKeys == 0 || s.PhraseKeys == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestEmptyLookups(t *testing.T) {
+	ix := New()
+	if got := ix.Lookup(""); got != nil {
+		t.Errorf("Lookup(empty) = %v", got)
+	}
+	if got := ix.LookupWordUnion("anything at all"); got != nil {
+		t.Errorf("LookupWordUnion on empty index = %v", got)
+	}
+}
+
+func BenchmarkAddTokens(b *testing.B) {
+	toks := strings.Fields(strings.Repeat("alpha beta gamma delta epsilon ", 40))
+	ix := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.AddTokens(int64(i), toks)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := New()
+	rng := rand.New(rand.NewSource(1))
+	vocab := []string{"ring", "group", "field", "ideal", "prime", "module"}
+	for id := int64(0); id < 1000; id++ {
+		toks := make([]string, 50)
+		for i := range toks {
+			toks[i] = vocab[rng.Intn(len(vocab))]
+		}
+		ix.AddTokens(id, toks)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup("ring group field")
+	}
+}

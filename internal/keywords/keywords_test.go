@@ -1,0 +1,163 @@
+package keywords
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nnexus/internal/morph"
+	"nnexus/internal/workload"
+)
+
+func morphNormalize(label string) string { return morph.NormalizeLabel(label) }
+
+func TestKeywordsBasic(t *testing.T) {
+	x := NewExtractor()
+	// A small corpus where "ring" is ubiquitous but "jacobson radical" is
+	// distinctive to one document.
+	x.AddDocument("a ring has elements and a ring has operations")
+	x.AddDocument("every ring here and every ring there")
+	x.AddDocument("the jacobson radical of a ring annihilates simple modules")
+	kws := x.Keywords("the jacobson radical of a ring annihilates simple modules", 5)
+	if len(kws) == 0 {
+		t.Fatal("no keywords")
+	}
+	rank := map[string]int{}
+	for i, k := range kws {
+		rank[k.Label] = i + 1
+	}
+	jr, okJR := rank["jacobson radical"]
+	ring, okRing := rank["ring"]
+	if !okJR {
+		t.Fatalf("'jacobson radical' not extracted: %+v", kws)
+	}
+	if okRing && ring < jr {
+		t.Errorf("ubiquitous 'ring' outranked distinctive phrase: %+v", kws)
+	}
+}
+
+func TestKeywordsSkipStopwordsAndMath(t *testing.T) {
+	x := NewExtractor()
+	kws := x.Keywords("the of and $x^2 + y$ because hilbert space", 10)
+	for _, k := range kws {
+		if stopwords[k.Label] {
+			t.Errorf("stopword extracted: %+v", k)
+		}
+		if strings.Contains(k.Label, "x") && len(k.Label) == 1 {
+			t.Errorf("math token extracted: %+v", k)
+		}
+	}
+	found := false
+	for _, k := range kws {
+		if k.Label == "hilbert space" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("phrase missing: %+v", kws)
+	}
+}
+
+func TestKeywordsMaxAndDeterminism(t *testing.T) {
+	x := NewExtractor()
+	text := "alpha beta gamma delta epsilon zeta"
+	a := x.Keywords(text, 3)
+	b := x.Keywords(text, 3)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("lengths = %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestDocFrequency(t *testing.T) {
+	x := NewExtractor()
+	x.AddDocument("planar graphs everywhere")
+	x.AddDocument("another planar graph")
+	x.AddDocument("nothing relevant")
+	if df := x.DocFrequency("planar graph"); df != 2 {
+		t.Errorf("df = %d, want 2 (plural folded)", df)
+	}
+	if x.Docs() != 3 {
+		t.Errorf("docs = %d", x.Docs())
+	}
+}
+
+func TestOverlinkSuspects(t *testing.T) {
+	x := NewExtractor()
+	for i := 0; i < 10; i++ {
+		doc := "we consider even the smallest case"
+		if i < 2 {
+			doc += " of a steiner system"
+		}
+		x.AddDocument(doc)
+	}
+	suspects := x.OverlinkSuspects([]string{"even", "steiner system"}, 0.5)
+	if len(suspects) != 1 || suspects[0] != "even" {
+		t.Errorf("suspects = %v", suspects)
+	}
+	// Empty extractor yields nothing.
+	if got := NewExtractor().OverlinkSuspects([]string{"even"}, 0.1); got != nil {
+		t.Errorf("suspects on empty corpus = %v", got)
+	}
+}
+
+// On the synthetic corpus, the overlink-suspect detector must find most of
+// the planted common-word concepts and almost none of the regular ones —
+// the paper's future-work claim that policy targets can be found
+// automatically. The separation only emerges with corpus scale: a common
+// word's document frequency stays constant as the collection grows, while
+// an ordinary concept's falls (its invocations are spread over ever more
+// concepts), so we test at 2,000 entries.
+func TestOverlinkSuspectsOnWorkload(t *testing.T) {
+	c, err := workload.Generate(workload.DefaultParams(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewExtractor()
+	for _, ge := range c.Entries {
+		x.AddDocument(ge.Entry.Body)
+	}
+	var common, regular []string
+	for label := range c.CommonDefiners {
+		common = append(common, label)
+	}
+	for _, ge := range c.Entries {
+		title := ge.Entry.Title
+		if _, isCommon := c.CommonDefiners[title]; isCommon {
+			continue
+		}
+		// Homonym labels are legitimately high-frequency working
+		// vocabulary (the paper's "graph") — flagging them is not a false
+		// positive, so they are excluded from the regular pool.
+		if _, isHomonym := c.HomonymSenses[morphNormalize(title)]; isHomonym {
+			continue
+		}
+		regular = append(regular, title)
+	}
+	const threshold = 0.006 // ≥0.6% of documents
+	commonHits := x.OverlinkSuspects(common, threshold)
+	regularHits := x.OverlinkSuspects(regular, threshold)
+	if len(commonHits) < len(common)*6/10 {
+		t.Errorf("detector found only %d/%d common-word culprits", len(commonHits), len(common))
+	}
+	if len(regularHits) > len(regular)/15 {
+		t.Errorf("detector flagged %d/%d regular concepts", len(regularHits), len(regular))
+	}
+}
+
+func BenchmarkKeywords(b *testing.B) {
+	x := NewExtractor()
+	for i := 0; i < 200; i++ {
+		x.AddDocument(fmt.Sprintf("document %d about abelian groups and rings with unity", i))
+	}
+	text := strings.Repeat("the jacobson radical of an artinian ring is nilpotent and ", 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Keywords(text, 10)
+	}
+}

@@ -1,0 +1,33 @@
+package latex
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzToText checks that the LaTeX converter never panics and always
+// produces valid UTF-8 for valid input.
+func FuzzToText(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		`\emph{planar graph}`,
+		`$x^2$ and \[y\] and \begin{align}z\end{align}`,
+		`\section{Title} body % comment`,
+		"\\unknowncmd{arg} \\'e \\ss --- ``q''",
+		`\begin{verbatim}raw\end{verbatim}`,
+		`\PMlinkescapetext{no links}`,
+		"{{{unbalanced",
+		"\\",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		out := ToText(s)
+		if !utf8.ValidString(out) {
+			t.Fatalf("invalid UTF-8 from %q: %q", s, out)
+		}
+	})
+}

@@ -1,0 +1,326 @@
+// Package latex normalizes the LaTeX markup of PlanetMath-style entries
+// into plain linkable text. Noosphere entries are written in TeX; before
+// NNexus can scan them for concept labels, text-level commands must be
+// unwrapped (\emph{planar graph} invokes "planar graph"!) while math stays
+// escaped for the tokenizer to skip.
+//
+// The converter handles the subset that occurs in encyclopedia prose:
+//
+//   - text commands that keep their argument: \emph, \textbf, \textit,
+//     \texttt, \textrm, \textsc, \underline, \mbox, \text
+//   - \PMlinkescapetext{...}, which the real Noosphere uses to forbid
+//     linking inside its argument (converted to a math-escaped span)
+//   - sectioning/label commands that drop entirely: \section{...},
+//     \label{...}, \cite{...}, \ref{...}, \index{...}
+//   - accents and ligature escapes: \'e, \"o, \ss, \ae, --- and -- dashes,
+//     “quotes”
+//   - comments (% to end of line) and \\ line breaks
+//   - environments: itemize/enumerate/description markers dropped,
+//     verbatim passed through untouched, math environments preserved
+//     verbatim (the tokenizer escapes them)
+package latex
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// textCommands unwrap to their argument.
+var textCommands = map[string]bool{
+	"emph": true, "textbf": true, "textit": true, "texttt": true,
+	"textrm": true, "textsc": true, "textsl": true, "underline": true,
+	"mbox": true, "text": true, "textup": true,
+}
+
+// dropCommands vanish together with their argument.
+var dropCommands = map[string]bool{
+	"label": true, "cite": true, "ref": true, "eqref": true, "index": true,
+	"pagestyle": true, "usepackage": true, "documentclass": true,
+	"bibliography": true, "bibliographystyle": true, "vspace": true,
+	"hspace": true, "includegraphics": true, "footnote": true,
+}
+
+// sectionCommands keep their argument as standalone text.
+var sectionCommands = map[string]bool{
+	"section": true, "subsection": true, "subsubsection": true,
+	"paragraph": true, "chapter": true, "title": true,
+}
+
+// accentEscapes maps accent commands to combining-free replacements.
+var accentEscapes = map[byte]string{
+	'\'': "", '`': "", '"': "", '^': "", '~': "", '=': "", '.': "",
+}
+
+// wordEscapes maps argument-less commands to text.
+var wordEscapes = map[string]string{
+	"ss": "ss", "ae": "ae", "AE": "AE", "oe": "oe", "OE": "OE",
+	"o": "o", "O": "O", "l": "l", "L": "L", "i": "i", "j": "j",
+	"ldots": "...", "dots": "...", "quad": " ", "qquad": " ",
+	"item": "•", "par": "\n\n", "noindent": "", "smallskip": "",
+	"medskip": "", "bigskip": "", "newline": "\n", "TeX": "TeX",
+	"LaTeX": "LaTeX",
+}
+
+// mathEnvironments are kept verbatim (with their \begin/\end), so the
+// tokenizer's escape logic skips them.
+var mathEnvironments = map[string]bool{
+	"align": true, "align*": true, "equation": true, "equation*": true,
+	"eqnarray": true, "eqnarray*": true, "gather": true, "gather*": true,
+	"displaymath": true, "math": true, "multline": true, "multline*": true,
+}
+
+// ToText converts LaTeX-marked prose to plain text suitable for linking.
+// Math ($...$, \(...\), \[...\], math environments) is preserved verbatim;
+// everything else is unwrapped or dropped as described in the package
+// documentation.
+func ToText(input string) string {
+	var b strings.Builder
+	b.Grow(len(input))
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch c {
+		case '%':
+			// Comment to end of line (an escaped \% was handled under '\\').
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case '$':
+			// Copy the math span verbatim.
+			end := findMathEnd(input, i)
+			b.WriteString(input[i:end])
+			i = end
+		case '~':
+			b.WriteByte(' ')
+			i++
+		case '-':
+			// --- and -- collapse to a single dash.
+			j := i
+			for j < len(input) && input[j] == '-' {
+				j++
+			}
+			b.WriteByte('-')
+			i = j
+		case '`':
+			if strings.HasPrefix(input[i:], "``") {
+				b.WriteByte('"')
+				i += 2
+			} else {
+				b.WriteByte('\'')
+				i++
+			}
+		case '\'':
+			if strings.HasPrefix(input[i:], "''") {
+				b.WriteByte('"')
+				i += 2
+			} else {
+				b.WriteByte('\'')
+				i++
+			}
+		case '{', '}':
+			i++ // bare grouping braces vanish
+		case '\\':
+			i = convertCommand(input, i, &b)
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return collapseSpace(b.String())
+}
+
+// convertCommand handles input[i] == '\\' and returns the next position.
+func convertCommand(input string, i int, b *strings.Builder) int {
+	if i+1 >= len(input) {
+		return i + 1
+	}
+	next := input[i+1]
+	if next >= 0x80 {
+		// Backslash before a non-ASCII rune: drop the backslash, keep the
+		// whole rune (never split multibyte sequences).
+		r, size := utf8.DecodeRuneInString(input[i+1:])
+		b.WriteRune(r)
+		return i + 1 + size
+	}
+	// Escaped specials: \% \$ \& \# \_ \{ \} and accents.
+	switch next {
+	case '%', '$', '&', '#', '_', '{', '}':
+		b.WriteByte(next)
+		return i + 2
+	case '\\':
+		b.WriteByte('\n')
+		return i + 2
+	case '(', '[':
+		// Inline/display math: copy verbatim through the closer.
+		closer := `\)`
+		if next == '[' {
+			closer = `\]`
+		}
+		if j := strings.Index(input[i:], closer); j >= 0 {
+			b.WriteString(input[i : i+j+2])
+			return i + j + 2
+		}
+		b.WriteString(input[i:])
+		return len(input)
+	}
+	if _, isAccent := accentEscapes[next]; isAccent && next != '~' {
+		// \'e → e (the base letter follows, possibly braced).
+		j := i + 2
+		if j < len(input) && input[j] == '{' {
+			if k := strings.IndexByte(input[j:], '}'); k >= 0 {
+				b.WriteString(input[j+1 : j+k])
+				return j + k + 1
+			}
+		}
+		return j // drop the accent, keep scanning from the base letter
+	}
+	// Named command.
+	j := i + 1
+	for j < len(input) && isLetter(input[j]) {
+		j++
+	}
+	name := input[i+1 : j]
+	// Trailing * (starred forms).
+	if j < len(input) && input[j] == '*' {
+		name += "*"
+		j++
+	}
+	if name == "" {
+		b.WriteByte(' ')
+		return i + 2
+	}
+	switch {
+	case name == "begin" || name == "end":
+		env, after := bracedArg(input, j)
+		if mathEnvironments[env] {
+			if name == "begin" {
+				// Copy verbatim through \end{env}.
+				closer := `\end{` + env + `}`
+				if k := strings.Index(input[i:], closer); k >= 0 {
+					b.WriteString(input[i : i+k+len(closer)])
+					return i + k + len(closer)
+				}
+			}
+			b.WriteString(input[i:after])
+			return after
+		}
+		if env == "verbatim" && name == "begin" {
+			closer := `\end{verbatim}`
+			if k := strings.Index(input[after:], closer); k >= 0 {
+				b.WriteString(input[after : after+k])
+				return after + k + len(closer)
+			}
+		}
+		return after // non-math environment markers vanish
+	case name == "PMlinkescapetext":
+		// Noosphere's explicit do-not-link escape: emit as a code span so
+		// the tokenizer skips it.
+		arg, after := bracedArg(input, j)
+		b.WriteString("`")
+		b.WriteString(arg)
+		b.WriteString("`")
+		return after
+	case textCommands[name]:
+		arg, after := bracedArg(input, j)
+		b.WriteString(ToText(arg)) // arguments may nest commands
+		return after
+	case sectionCommands[name]:
+		arg, after := bracedArg(input, j)
+		b.WriteString("\n")
+		b.WriteString(ToText(arg))
+		b.WriteString("\n")
+		return after
+	case dropCommands[name]:
+		_, after := bracedArg(input, j)
+		return after
+	default:
+		if repl, ok := wordEscapes[name]; ok {
+			b.WriteString(repl)
+			return skipSpace(input, j)
+		}
+		// Unknown command: drop the command, keep any braced argument's
+		// text (conservative: most unknown commands are formatting).
+		if j < len(input) && input[j] == '{' {
+			arg, after := bracedArg(input, j)
+			b.WriteString(ToText(arg))
+			return after
+		}
+		return j
+	}
+}
+
+// bracedArg reads a {...} argument starting at or after position j
+// (skipping spaces), handling nested braces. It returns the argument text
+// and the position after the closing brace. Without a braced argument it
+// returns ("", j).
+func bracedArg(input string, j int) (string, int) {
+	k := j
+	for k < len(input) && (input[k] == ' ' || input[k] == '\n' || input[k] == '\t') {
+		k++
+	}
+	if k >= len(input) || input[k] != '{' {
+		return "", j
+	}
+	depth := 0
+	for m := k; m < len(input); m++ {
+		switch input[m] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return input[k+1 : m], m + 1
+			}
+		}
+	}
+	return input[k+1:], len(input)
+}
+
+// findMathEnd finds the end of a $...$ or $$...$$ span starting at i.
+func findMathEnd(input string, i int) int {
+	if strings.HasPrefix(input[i:], "$$") {
+		if j := strings.Index(input[i+2:], "$$"); j >= 0 {
+			return i + 2 + j + 2
+		}
+		return len(input)
+	}
+	for j := i + 1; j < len(input); j++ {
+		if input[j] == '$' && input[j-1] != '\\' {
+			return j + 1
+		}
+	}
+	return len(input)
+}
+
+func skipSpace(input string, j int) int {
+	if j < len(input) && input[j] == ' ' {
+		return j // keep one space; ToText collapses runs anyway
+	}
+	return j
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// collapseSpace squeezes runs of spaces and tabs (not newlines) left behind
+// by removed commands.
+func collapseSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			if prevSpace {
+				continue
+			}
+			prevSpace = true
+			b.WriteByte(' ')
+			continue
+		}
+		prevSpace = false
+		b.WriteByte(c)
+	}
+	return strings.TrimSpace(b.String())
+}

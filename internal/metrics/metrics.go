@@ -1,0 +1,138 @@
+// Package metrics scores linking results against workload ground truth,
+// computing the quantities the paper reports (§3.2): link precision, link
+// recall, mislink rate, and overlink rate.
+//
+// Definitions follow the paper exactly:
+//
+//   - recall    = created links / concept invocations actually defined in
+//     the corpus ("the number of created (retrieved) links divided by the
+//     number of concepts invoked in the entry that are actually defined");
+//   - precision = correct links / created links;
+//   - a mislink is a link to an incorrect target (overlinks are included:
+//     "overlinking also contributes to mislinking");
+//   - an overlink is a link created where no link should exist at all.
+package metrics
+
+import (
+	"fmt"
+
+	"nnexus/internal/core"
+	"nnexus/internal/workload"
+)
+
+// Counts accumulates evaluation tallies over one or many entries.
+type Counts struct {
+	// TruthLinks is the number of invocations that should link.
+	TruthLinks int
+	// TruthNonLinks is the number of planted non-mathematical uses.
+	TruthNonLinks int
+	// Created is the number of links the engine made at truth positions.
+	Created int
+	// Correct links point at the intended target.
+	Correct int
+	// Mislinks point at a wrong target (includes Overlinks).
+	Mislinks int
+	// Overlinks were created where no link should exist.
+	Overlinks int
+	// Underlinks are truth links the engine failed to create.
+	Underlinks int
+	// Untracked is links whose label carries no ground truth (only occurs
+	// on corpus subsets where the intended sense was cut off).
+	Untracked int
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.TruthLinks += other.TruthLinks
+	c.TruthNonLinks += other.TruthNonLinks
+	c.Created += other.Created
+	c.Correct += other.Correct
+	c.Mislinks += other.Mislinks
+	c.Overlinks += other.Overlinks
+	c.Underlinks += other.Underlinks
+	c.Untracked += other.Untracked
+}
+
+// Precision returns correct/created (1 when no links were created).
+func (c Counts) Precision() float64 {
+	if c.Created == 0 {
+		return 1
+	}
+	return float64(c.Correct) / float64(c.Created)
+}
+
+// Recall returns the fraction of linkable invocations that received a link.
+func (c Counts) Recall() float64 {
+	if c.TruthLinks == 0 {
+		return 1
+	}
+	return float64(c.TruthLinks-c.Underlinks) / float64(c.TruthLinks)
+}
+
+// MislinkRate returns mislinks as a fraction of created links.
+func (c Counts) MislinkRate() float64 {
+	if c.Created == 0 {
+		return 0
+	}
+	return float64(c.Mislinks) / float64(c.Created)
+}
+
+// OverlinkRate returns overlinks as a fraction of created links.
+func (c Counts) OverlinkRate() float64 {
+	if c.Created == 0 {
+		return 0
+	}
+	return float64(c.Overlinks) / float64(c.Created)
+}
+
+// String renders the tallies in the style of the paper's tables.
+func (c Counts) String() string {
+	return fmt.Sprintf("links=%d correct=%d mislinks=%.1f%% overlinks=%.1f%% precision=%.1f%% recall=%.1f%%",
+		c.Created, c.Correct, 100*c.MislinkRate(), 100*c.OverlinkRate(),
+		100*c.Precision(), 100*c.Recall())
+}
+
+// Evaluate scores one entry's linking result against its ground truth.
+// indexToID maps generator indexes to engine entry IDs (identity when the
+// corpus was added, in order, to a fresh engine).
+func Evaluate(res *core.Result, truth []workload.Invocation, indexToID func(int) int64) Counts {
+	var c Counts
+	byLabel := make(map[string]workload.Invocation, len(truth))
+	for _, inv := range truth {
+		byLabel[inv.Label] = inv
+		if inv.Target > 0 {
+			c.TruthLinks++
+		} else {
+			c.TruthNonLinks++
+		}
+	}
+	linkedLabels := make(map[string]bool)
+	for _, l := range res.Links {
+		inv, ok := byLabel[l.Label]
+		if !ok {
+			c.Untracked++
+			continue
+		}
+		linkedLabels[l.Label] = true
+		c.Created++
+		switch {
+		case inv.Target == 0:
+			c.Overlinks++
+			c.Mislinks++
+		case l.Target == indexToID(inv.Target):
+			c.Correct++
+		default:
+			c.Mislinks++
+		}
+	}
+	for _, inv := range truth {
+		if inv.Target > 0 && !linkedLabels[inv.Label] {
+			c.Underlinks++
+		}
+	}
+	return c
+}
+
+// Identity is the indexToID mapping for corpora loaded, in generation
+// order, into a fresh engine.
+func Identity(index int) int64 { return int64(index) }

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"nnexus/internal/core"
+	"nnexus/internal/workload"
+)
+
+func TestEvaluateAllCorrect(t *testing.T) {
+	truth := []workload.Invocation{
+		{Label: "alpha beta", Target: 3},
+		{Label: "gamma", Target: 5},
+		{Label: "even", Target: 0},
+	}
+	res := &core.Result{Links: []core.Link{
+		{Label: "alpha beta", Target: 3},
+		{Label: "gamma", Target: 5},
+	}}
+	c := Evaluate(res, truth, Identity)
+	if c.Created != 2 || c.Correct != 2 || c.Mislinks != 0 || c.Overlinks != 0 || c.Underlinks != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Errorf("p=%f r=%f", c.Precision(), c.Recall())
+	}
+	if c.TruthLinks != 2 || c.TruthNonLinks != 1 {
+		t.Errorf("truth tallies = %+v", c)
+	}
+}
+
+func TestEvaluateMislinkOverlinkUnderlink(t *testing.T) {
+	truth := []workload.Invocation{
+		{Label: "a", Target: 1},
+		{Label: "b", Target: 2},
+		{Label: "even", Target: 0},
+	}
+	res := &core.Result{Links: []core.Link{
+		{Label: "a", Target: 9},    // mislink
+		{Label: "even", Target: 4}, // overlink (counts as mislink too)
+		// "b" missing → underlink
+	}}
+	c := Evaluate(res, truth, Identity)
+	if c.Created != 2 || c.Correct != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Mislinks != 2 || c.Overlinks != 1 || c.Underlinks != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if math.Abs(c.MislinkRate()-1.0) > 1e-9 || math.Abs(c.OverlinkRate()-0.5) > 1e-9 {
+		t.Errorf("rates = %f %f", c.MislinkRate(), c.OverlinkRate())
+	}
+	if math.Abs(c.Recall()-0.5) > 1e-9 {
+		t.Errorf("recall = %f", c.Recall())
+	}
+}
+
+func TestEvaluateUntracked(t *testing.T) {
+	res := &core.Result{Links: []core.Link{{Label: "ghost", Target: 1}}}
+	c := Evaluate(res, nil, Identity)
+	if c.Untracked != 1 || c.Created != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestEvaluateIndexMapping(t *testing.T) {
+	truth := []workload.Invocation{{Label: "a", Target: 1}}
+	res := &core.Result{Links: []core.Link{{Label: "a", Target: 100}}}
+	shift := func(i int) int64 { return int64(i + 99) }
+	c := Evaluate(res, truth, shift)
+	if c.Correct != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestAddAndString(t *testing.T) {
+	a := Counts{TruthLinks: 2, Created: 2, Correct: 1, Mislinks: 1}
+	b := Counts{TruthLinks: 3, Created: 3, Correct: 3, Underlinks: 0}
+	a.Add(b)
+	if a.TruthLinks != 5 || a.Created != 5 || a.Correct != 4 {
+		t.Fatalf("sum = %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEmptyCounts(t *testing.T) {
+	var c Counts
+	if c.Precision() != 1 || c.Recall() != 1 || c.MislinkRate() != 0 || c.OverlinkRate() != 0 {
+		t.Errorf("zero-value rates wrong: %+v", c)
+	}
+}

@@ -1,0 +1,192 @@
+// Package morph implements the morphological transformations NNexus applies
+// to concept labels and entry tokens before they are checked into or looked
+// up in the concept map (paper §2.2).
+//
+// Three invariances are provided:
+//
+//  1. Pluralization: "groups" and "group" normalize to the same key, as do
+//     irregular and Latin/Greek mathematical plurals ("matrices"→"matrix",
+//     "lemmata"→"lemma", "radii"→"radius").
+//  2. Possessiveness: "Euler's" → "euler", "functions'" → "function".
+//  3. International characters: tokens are canonicalized to a lowercase
+//     ASCII-folded encoding ("Möbius" → "mobius", "Erdős" → "erdos") so the
+//     same concept is found however the author typed it.
+//
+// All functions are pure and safe for concurrent use.
+package morph
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes a single word token: it folds international
+// characters, lowercases, strips possessive suffixes, and singularizes.
+// This is the transformation applied both when a concept label is checked
+// into the concept map and when entry text is scanned against it, so that
+// the two sides always meet on the same key.
+func Normalize(token string) string {
+	t := FoldASCII(token)
+	t = strings.ToLower(t)
+	t = StripPossessive(t)
+	t = Singularize(t)
+	return t
+}
+
+// NormalizeLabel canonicalizes a multi-word concept label. Interior
+// whitespace runs collapse to single spaces and every word is normalized
+// independently, mirroring how the tokenizer will present entry text.
+func NormalizeLabel(label string) string {
+	fields := strings.Fields(label)
+	for i, f := range fields {
+		fields[i] = Normalize(f)
+	}
+	return strings.Join(fields, " ")
+}
+
+// NormalizeWords normalizes every word of an already-split label.
+// The input slice is not modified.
+func NormalizeWords(words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = Normalize(w)
+	}
+	return out
+}
+
+// StripPossessive removes the English possessive suffix from a token:
+// "euler's" → "euler", "stokes'" → "stokes". Both the ASCII apostrophe and
+// the Unicode right single quotation mark (U+2019) are recognized.
+func StripPossessive(token string) string {
+	t := strings.ReplaceAll(token, "’", "'")
+	// Iterate to a fixpoint so normalization stays idempotent even on
+	// degenerate quote runs like "'s'" (found by fuzzing).
+	for {
+		next := strings.TrimRight(t, "'")
+		if strings.HasSuffix(next, "'s") {
+			next = next[:len(next)-2]
+		}
+		if next == t {
+			return t
+		}
+		t = next
+	}
+}
+
+// Singularize maps an English plural word to its singular form. Words that
+// are already singular are returned unchanged. The rules cover regular
+// English inflection plus the irregular and Latin/Greek plurals that are
+// common in mathematical writing. Input is expected to be lowercase.
+// Degenerate double plurals ("mices") resolve to a fixpoint ("mouse"), so
+// Singularize is idempotent.
+func Singularize(word string) string {
+	for i := 0; i < 3; i++ {
+		next := singularizeOnce(word)
+		if next == word {
+			return word
+		}
+		word = next
+	}
+	return word
+}
+
+func singularizeOnce(word string) string {
+	if len(word) < 2 {
+		return word
+	}
+	if s, ok := irregularPlurals[word]; ok {
+		return s
+	}
+	if invariantWords[word] {
+		return word
+	}
+	// Suffix rules are tried longest-first; the first applicable rule wins.
+	for _, r := range suffixRules {
+		if len(word) > len(r.plural) && strings.HasSuffix(word, r.plural) {
+			stem := word[:len(word)-len(r.plural)]
+			if r.guard != nil && !r.guard(stem) {
+				continue
+			}
+			return stem + r.singular
+		}
+	}
+	return word
+}
+
+// IsPlural reports whether Singularize would change the word, i.e. whether
+// the (lowercase) word looks like an English plural form.
+func IsPlural(word string) bool {
+	return Singularize(word) != word
+}
+
+// Pluralize maps a singular English word to a plausible plural form. It is
+// the approximate inverse of Singularize and exists mainly so the synthetic
+// workload generator can emit realistic inflected invocations; it applies
+// the same irregular table in reverse.
+func Pluralize(word string) string {
+	if len(word) == 0 {
+		return word
+	}
+	if p, ok := irregularSingulars[word]; ok {
+		return p
+	}
+	if invariantWords[word] {
+		return word
+	}
+	switch {
+	case strings.HasSuffix(word, "is"):
+		return word[:len(word)-2] + "es" // basis → bases
+	case strings.HasSuffix(word, "us") && len(word) > 3:
+		return word[:len(word)-2] + "i" // radius → radii
+	case strings.HasSuffix(word, "s"), strings.HasSuffix(word, "x"),
+		strings.HasSuffix(word, "z"), strings.HasSuffix(word, "ch"),
+		strings.HasSuffix(word, "sh"):
+		return word + "es"
+	case strings.HasSuffix(word, "y") && len(word) > 1 && !isVowel(rune(word[len(word)-2])):
+		return word[:len(word)-1] + "ies"
+	default:
+		return word + "s"
+	}
+}
+
+func isVowel(r rune) bool {
+	switch r {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// FoldASCII maps accented Latin characters to their closest ASCII
+// equivalents ("é"→"e", "ß"→"ss", "Ø"→"O") and drops combining marks.
+// Characters with no mapping pass through unchanged; pure-ASCII strings are
+// returned without allocation.
+func FoldASCII(s string) string {
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if r < 0x80 {
+			b.WriteRune(r)
+			continue
+		}
+		if m, ok := asciiFold[r]; ok {
+			b.WriteString(m)
+			continue
+		}
+		if unicode.Is(unicode.Mn, r) {
+			continue // drop combining marks
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

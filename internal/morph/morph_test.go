@@ -1,0 +1,216 @@
+package morph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingularize(t *testing.T) {
+	cases := map[string]string{
+		// Regular plurals.
+		"groups":     "group",
+		"functions":  "function",
+		"graphs":     "graph",
+		"planes":     "plane",
+		"numbers":    "number",
+		"sets":       "set",
+		"rings":      "ring",
+		"fields":     "field",
+		"identities": "identity",
+		"properties": "property",
+		"classes":    "class",
+		"branches":   "branch",
+		"meshes":     "mesh",
+		"boxes":      "box",
+		"zeroes":     "zero",
+		"edges":      "edge",
+		"curves":     "curve",
+		"sequences":  "sequence",
+		// Irregular / Latin / Greek.
+		"matrices":   "matrix",
+		"vertices":   "vertex",
+		"indices":    "index",
+		"simplices":  "simplex",
+		"axes":       "axis",
+		"bases":      "basis",
+		"hypotheses": "hypothesis",
+		"radii":      "radius",
+		"loci":       "locus",
+		"moduli":     "modulus",
+		"tori":       "torus",
+		"maxima":     "maximum",
+		"minima":     "minimum",
+		"extrema":    "extremum",
+		"criteria":   "criterion",
+		"automata":   "automaton",
+		"polyhedra":  "polyhedron",
+		"lemmata":    "lemma",
+		"formulae":   "formula",
+		"children":   "child",
+		"halves":     "half",
+		"leaves":     "leaf",
+		// Already singular / invariant: unchanged.
+		"group":    "group",
+		"graph":    "graph",
+		"series":   "series",
+		"calculus": "calculus",
+		"gauss":    "gauss",
+		"modulus":  "modulus",
+		"analysis": "analysis",
+		"basis":    "basis",
+		"this":     "this",
+		"is":       "is",
+		"plus":     "plus",
+		"torus":    "torus",
+		"bus":      "bus",
+		"e":        "e",
+	}
+	for in, want := range cases {
+		if got := Singularize(in); got != want {
+			t.Errorf("Singularize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStripPossessive(t *testing.T) {
+	cases := map[string]string{
+		"euler's":   "euler",
+		"stokes'":   "stokes",
+		"cauchy’s":  "cauchy",
+		"group":     "group",
+		"it's":      "it",
+		"functions": "functions",
+	}
+	for in, want := range cases {
+		if got := StripPossessive(in); got != want {
+			t.Errorf("StripPossessive(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFoldASCII(t *testing.T) {
+	cases := map[string]string{
+		"Möbius":     "Mobius",
+		"Erdős":      "Erdos",
+		"Čech":       "Cech",
+		"Łoś":        "Los",
+		"Gödel":      "Godel",
+		"Poincaré":   "Poincare",
+		"Weierstraß": "Weierstrass",
+		"plain":      "plain",
+		"":           "",
+	}
+	for in, want := range cases {
+		if got := FoldASCII(in); got != want {
+			t.Errorf("FoldASCII(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"Groups":     "group",
+		"Euler's":    "euler",
+		"Möbius":     "mobius",
+		"MATRICES":   "matrix",
+		"Gödel’s":    "godel",
+		"functions'": "function",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"Planar  Graphs":         "planar graph",
+		"Connected Components":   "connected component",
+		"Euler's  Formula":       "euler formula",
+		" orthogonal functions ": "orthogonal function",
+	}
+	for in, want := range cases {
+		if got := NormalizeLabel(in); got != want {
+			t.Errorf("NormalizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeWordsDoesNotMutate(t *testing.T) {
+	in := []string{"Groups", "Rings"}
+	out := NormalizeWords(in)
+	if in[0] != "Groups" || in[1] != "Rings" {
+		t.Fatalf("input mutated: %v", in)
+	}
+	if out[0] != "group" || out[1] != "ring" {
+		t.Fatalf("unexpected output: %v", out)
+	}
+}
+
+// Normalization must be idempotent: applying it twice equals applying once.
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pluralize followed by Singularize must return to the original for
+// dictionary-like inputs (lowercase alphabetic words).
+func TestPluralizeRoundTrip(t *testing.T) {
+	words := []string{
+		"group", "ring", "field", "graph", "plane", "vertex", "matrix",
+		"index", "axis", "basis", "radius", "locus", "modulus", "torus",
+		"maximum", "criterion", "automaton", "polyhedron", "lemma",
+		"formula", "child", "half", "identity", "property", "class",
+		"branch", "box", "edge", "curve", "sequence", "set", "number",
+		"function", "space", "map", "category", "topology",
+	}
+	for _, w := range words {
+		p := Pluralize(w)
+		if got := Singularize(p); got != w {
+			t.Errorf("Singularize(Pluralize(%q)=%q) = %q, want %q", w, p, got, w)
+		}
+	}
+}
+
+// FoldASCII output must be pure ASCII for inputs made of mapped runes.
+func TestFoldASCIIProducesASCII(t *testing.T) {
+	for r := range asciiFold {
+		out := FoldASCII(string(r))
+		for i := 0; i < len(out); i++ {
+			if out[i] >= 0x80 {
+				t.Errorf("FoldASCII(%q) = %q contains non-ASCII", string(r), out)
+			}
+		}
+	}
+}
+
+func TestIsPlural(t *testing.T) {
+	if !IsPlural("groups") {
+		t.Error("IsPlural(groups) = false")
+	}
+	if IsPlural("series") {
+		t.Error("IsPlural(series) = true")
+	}
+	if IsPlural("graph") {
+		t.Error("IsPlural(graph) = true")
+	}
+}
+
+// Fuzz-ish property: Normalize never yields a longer string than a
+// reasonable bound and never contains uppercase ASCII.
+func TestNormalizeShapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		out := Normalize(s)
+		return !strings.ContainsFunc(out, func(r rune) bool { return r >= 'A' && r <= 'Z' })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

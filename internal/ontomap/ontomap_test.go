@@ -1,0 +1,118 @@
+package ontomap
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMapperExactRules(t *testing.T) {
+	m := NewMapper("loc", "msc")
+	m.Add("QA166", "05Cxx")
+	m.Add("QA241", "11-XX", "11Axx")
+	if got, ok := m.Map("QA166"); !ok || len(got) != 1 || got[0] != "05Cxx" {
+		t.Errorf("Map(QA166) = %v, %v", got, ok)
+	}
+	if got, ok := m.Map("QA241"); !ok || len(got) != 2 {
+		t.Errorf("Map(QA241) = %v, %v", got, ok)
+	}
+	if _, ok := m.Map("PZ7"); ok {
+		t.Error("unmapped class resolved")
+	}
+	if m.Len() != 2 {
+		t.Errorf("len = %d", m.Len())
+	}
+}
+
+func TestMapperPrefixRules(t *testing.T) {
+	m := NewMapper("loc", "msc")
+	m.Add("QA*", "00-XX")
+	m.Add("QA16*", "05Cxx")
+	m.Add("QA166", "05C10")
+	// Exact beats prefix.
+	if got, _ := m.Map("QA166"); got[0] != "05C10" {
+		t.Errorf("exact rule lost: %v", got)
+	}
+	// Longest prefix wins.
+	if got, _ := m.Map("QA169"); got[0] != "05Cxx" {
+		t.Errorf("longest prefix lost: %v", got)
+	}
+	if got, _ := m.Map("QA9"); got[0] != "00-XX" {
+		t.Errorf("short prefix lost: %v", got)
+	}
+}
+
+func TestMapperReturnsCopies(t *testing.T) {
+	m := NewMapper("a", "b")
+	m.Add("x", "y")
+	got, _ := m.Map("x")
+	got[0] = "mutated"
+	got2, _ := m.Map("x")
+	if got2[0] != "y" {
+		t.Error("internal rule mutated through returned slice")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	in := []string{"05C10", "05C40"}
+	out := r.Translate("msc", in, "msc")
+	if fmt.Sprint(out) != fmt.Sprint(in) {
+		t.Errorf("identity translate = %v", out)
+	}
+	// Must be a copy.
+	out[0] = "zap"
+	if in[0] != "05C10" {
+		t.Error("identity translate aliased input")
+	}
+}
+
+func TestRegistryTranslate(t *testing.T) {
+	r := NewRegistry()
+	m := NewMapper("msc2000", "msc")
+	m.Add("05C10", "05C10")
+	m.Add("05C40", "05C40", "05Cxx")
+	if err := r.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Translate("msc2000", []string{"05C10", "05C40", "99Z99"}, "msc")
+	if len(out) != 3 { // 05C10, 05C40, 05Cxx; 99Z99 dropped
+		t.Fatalf("translate = %v", out)
+	}
+	// No mapper: nil.
+	if out := r.Translate("dewey", []string{"510"}, "msc"); out != nil {
+		t.Errorf("translate without mapper = %v", out)
+	}
+	// All classes unmapped: nil.
+	if out := r.Translate("msc2000", []string{"nope"}, "msc"); out != nil {
+		t.Errorf("translate unmapped = %v", out)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(NewMapper("", "msc")); err == nil {
+		t.Error("empty From accepted")
+	}
+	if err := r.Register(NewMapper("msc", "msc")); err == nil {
+		t.Error("self mapper accepted")
+	}
+	if got := r.Mapper("a", "b"); got != nil {
+		t.Error("phantom mapper")
+	}
+}
+
+func TestTranslateDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	m := NewMapper("x", "y")
+	m.Add("a", "zz", "aa", "mm")
+	_ = r.Register(m)
+	first := fmt.Sprint(r.Translate("x", []string{"a"}, "y"))
+	for i := 0; i < 10; i++ {
+		if got := fmt.Sprint(r.Translate("x", []string{"a"}, "y")); got != first {
+			t.Fatalf("nondeterministic: %v vs %v", got, first)
+		}
+	}
+	if first != "[aa mm zz]" {
+		t.Errorf("order = %v", first)
+	}
+}

@@ -1,0 +1,147 @@
+// Package owl loads and saves classification schemes in the OWL (Web
+// Ontology Language) RDF/XML subset NNexus uses for its configuration
+// (paper §1.3: "Our design goal is to leverage these standards [OWL]...",
+// §3.1: configuration files carry "classification scheme information").
+//
+// Only the vocabulary needed for subject hierarchies is supported:
+// owl:Class declarations with rdf:ID (or rdf:about), rdfs:label, and
+// rdfs:subClassOf. That is exactly what a classification tree is.
+package owl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nnexus/internal/classification"
+)
+
+// rdfDoc mirrors the RDF/XML structure.
+type rdfDoc struct {
+	XMLName xml.Name   `xml:"RDF"`
+	Classes []owlClass `xml:"Class"`
+}
+
+type owlClass struct {
+	ID         string        `xml:"ID,attr"`
+	About      string        `xml:"about,attr"`
+	Label      string        `xml:"label"`
+	SubClassOf []subClassRef `xml:"subClassOf"`
+}
+
+type subClassRef struct {
+	Resource string `xml:"resource,attr"`
+}
+
+// ParseScheme reads an OWL class hierarchy and builds a ready-to-query
+// classification scheme with the given name and weight base. Classes may
+// appear in any order; cycles and unknown parents are reported as errors.
+func ParseScheme(r io.Reader, name string, baseWeight int) (*classification.Scheme, error) {
+	var doc rdfDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("owl: parse: %w", err)
+	}
+	type classDef struct {
+		id, label, parent string
+	}
+	defs := make(map[string]classDef, len(doc.Classes))
+	order := make([]string, 0, len(doc.Classes))
+	for _, c := range doc.Classes {
+		id := c.ID
+		if id == "" {
+			id = strings.TrimPrefix(c.About, "#")
+		}
+		if id == "" {
+			return nil, fmt.Errorf("owl: class with neither rdf:ID nor rdf:about")
+		}
+		if _, dup := defs[id]; dup {
+			return nil, fmt.Errorf("owl: duplicate class %q", id)
+		}
+		parent := ""
+		if len(c.SubClassOf) > 0 {
+			parent = strings.TrimPrefix(c.SubClassOf[0].Resource, "#")
+		}
+		defs[id] = classDef{id: id, label: c.Label, parent: parent}
+		order = append(order, id)
+	}
+	// Insert parents before children regardless of document order.
+	s := classification.NewScheme(name, baseWeight)
+	added := make(map[string]bool, len(defs))
+	remaining := len(defs)
+	for remaining > 0 {
+		progress := false
+		for _, id := range order {
+			if added[id] {
+				continue
+			}
+			d := defs[id]
+			if d.parent != "" && !added[d.parent] {
+				if _, known := defs[d.parent]; known {
+					continue // wait for the parent
+				}
+				return nil, fmt.Errorf("owl: class %q has unknown parent %q", id, d.parent)
+			}
+			if err := s.AddClass(d.id, d.label, d.parent); err != nil {
+				return nil, err
+			}
+			added[id] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("owl: cycle in subClassOf relations")
+		}
+	}
+	if err := s.Build(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteScheme serializes a classification scheme as OWL RDF/XML, producing
+// a document ParseScheme can read back.
+func WriteScheme(w io.Writer, s *classification.Scheme) error {
+	type xmlSub struct {
+		Resource string `xml:"rdf:resource,attr"`
+	}
+	type xmlClass struct {
+		XMLName xml.Name `xml:"owl:Class"`
+		ID      string   `xml:"rdf:ID,attr"`
+		Label   string   `xml:"rdfs:label,omitempty"`
+		Sub     *xmlSub  `xml:"rdfs:subClassOf"`
+	}
+	type xmlRDF struct {
+		XMLName xml.Name `xml:"rdf:RDF"`
+		XMLNS   string   `xml:"xmlns:rdf,attr"`
+		OWLNS   string   `xml:"xmlns:owl,attr"`
+		RDFSNS  string   `xml:"xmlns:rdfs,attr"`
+		Classes []xmlClass
+	}
+	doc := xmlRDF{
+		XMLNS:  "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+		OWLNS:  "http://www.w3.org/2002/07/owl#",
+		RDFSNS: "http://www.w3.org/2000/01/rdf-schema#",
+	}
+	classes := s.Classes()
+	sort.Strings(classes)
+	for _, id := range classes {
+		c := xmlClass{ID: id, Label: s.ClassName(id)}
+		if p := s.Parent(id); p != "" {
+			c.Sub = &xmlSub{Resource: "#" + p}
+		}
+		doc.Classes = append(doc.Classes, c)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("owl: write: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

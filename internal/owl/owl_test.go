@@ -1,0 +1,114 @@
+package owl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nnexus/internal/classification"
+)
+
+const sampleOWL = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#">
+  <owl:Class rdf:ID="05C10">
+    <rdfs:label>Topological graph theory</rdfs:label>
+    <rdfs:subClassOf rdf:resource="#05Cxx"/>
+  </owl:Class>
+  <owl:Class rdf:ID="05Cxx">
+    <rdfs:label>Graph theory</rdfs:label>
+    <rdfs:subClassOf rdf:resource="#05-XX"/>
+  </owl:Class>
+  <owl:Class rdf:ID="05-XX">
+    <rdfs:label>Combinatorics</rdfs:label>
+  </owl:Class>
+</rdf:RDF>`
+
+func TestParseSchemeOutOfOrder(t *testing.T) {
+	s, err := ParseScheme(strings.NewReader(sampleOWL), "msc", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Parent("05C10") != "05Cxx" || s.Parent("05Cxx") != "05-XX" {
+		t.Errorf("parents wrong: %q %q", s.Parent("05C10"), s.Parent("05Cxx"))
+	}
+	if s.ClassName("05Cxx") != "Graph theory" {
+		t.Errorf("label = %q", s.ClassName("05Cxx"))
+	}
+	if s.Height() != 3 {
+		t.Errorf("height = %d", s.Height())
+	}
+	if d, ok := s.Distance("05C10", "05-XX"); !ok || d <= 0 {
+		t.Errorf("distance = %d, %v", d, ok)
+	}
+}
+
+func TestParseSchemeAboutAttr(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="r" xmlns:owl="o" xmlns:rdfs="s">
+	  <owl:Class rdf:about="#top"><rdfs:label>Top</rdfs:label></owl:Class>
+	</rdf:RDF>`
+	s, err := ParseScheme(strings.NewReader(doc), "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("top") {
+		t.Error("class from rdf:about missing")
+	}
+}
+
+func TestParseSchemeErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown parent": `<rdf:RDF xmlns:rdf="r" xmlns:owl="o" xmlns:rdfs="s">
+		  <owl:Class rdf:ID="a"><rdfs:subClassOf rdf:resource="#ghost"/></owl:Class>
+		</rdf:RDF>`,
+		"duplicate": `<rdf:RDF xmlns:rdf="r" xmlns:owl="o" xmlns:rdfs="s">
+		  <owl:Class rdf:ID="a"/><owl:Class rdf:ID="a"/>
+		</rdf:RDF>`,
+		"cycle": `<rdf:RDF xmlns:rdf="r" xmlns:owl="o" xmlns:rdfs="s">
+		  <owl:Class rdf:ID="a"><rdfs:subClassOf rdf:resource="#b"/></owl:Class>
+		  <owl:Class rdf:ID="b"><rdfs:subClassOf rdf:resource="#a"/></owl:Class>
+		</rdf:RDF>`,
+		"no id": `<rdf:RDF xmlns:rdf="r" xmlns:owl="o" xmlns:rdfs="s">
+		  <owl:Class><rdfs:label>x</rdfs:label></owl:Class>
+		</rdf:RDF>`,
+		"not xml": `{"json": true}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseScheme(strings.NewReader(doc), "x", 1); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := classification.SampleMSC(10)
+	var buf bytes.Buffer
+	if err := WriteScheme(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScheme(bytes.NewReader(buf.Bytes()), "msc", 10)
+	if err != nil {
+		t.Fatalf("reparse: %v\ndoc:\n%s", err, buf.String())
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), orig.Len())
+	}
+	for _, id := range orig.Classes() {
+		if back.Parent(id) != orig.Parent(id) {
+			t.Errorf("parent(%s) = %q, want %q", id, back.Parent(id), orig.Parent(id))
+		}
+		if back.ClassName(id) != orig.ClassName(id) {
+			t.Errorf("label(%s) = %q, want %q", id, back.ClassName(id), orig.ClassName(id))
+		}
+	}
+	// Distances must be identical after a round trip.
+	d1, _ := orig.Distance("05C40", "03E20")
+	d2, _ := back.Distance("05C40", "03E20")
+	if d1 != d2 {
+		t.Errorf("distance changed: %d vs %d", d1, d2)
+	}
+}

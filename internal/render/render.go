@@ -1,0 +1,81 @@
+// Package render substitutes the winning link candidates back into the
+// original entry text (paper §2.1: "The 'winning' candidate for each
+// position is then substituted into the original text and the linked
+// document is then returned").
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Anchor is one hyperlink to place over a byte range of the original text.
+type Anchor struct {
+	Start int    // byte offset of the link source text
+	End   int    // byte offset one past the link source text
+	URL   string // link target
+	Title string // optional title attribute (target entry's canonical name)
+}
+
+// Format selects the output syntax.
+type Format int
+
+const (
+	// HTML wraps sources in <a href="..."> tags (the deployed behaviour).
+	HTML Format = iota
+	// Markdown emits [text](url) links, for linking READMEs, lecture
+	// notes, and blog sources kept in Markdown.
+	Markdown
+)
+
+// Apply inserts the anchors into text. Anchors must lie within the text and
+// must not overlap; they may arrive in any order. Invalid anchors are
+// reported rather than silently dropped, since a misplaced anchor corrupts
+// the entry.
+func Apply(text string, anchors []Anchor, format Format) (string, error) {
+	if len(anchors) == 0 {
+		return text, nil
+	}
+	sorted := make([]Anchor, len(anchors))
+	copy(sorted, anchors)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	var b strings.Builder
+	b.Grow(len(text) + len(sorted)*48)
+	prev := 0
+	for i, a := range sorted {
+		if a.Start < prev || a.End > len(text) || a.End <= a.Start {
+			return "", fmt.Errorf("render: anchor %d [%d,%d) invalid or overlapping", i, a.Start, a.End)
+		}
+		b.WriteString(text[prev:a.Start])
+		source := text[a.Start:a.End]
+		switch format {
+		case Markdown:
+			b.WriteString("[")
+			b.WriteString(source)
+			b.WriteString("](")
+			b.WriteString(a.URL)
+			b.WriteString(")")
+		default:
+			b.WriteString(`<a href="`)
+			b.WriteString(escapeAttr(a.URL))
+			if a.Title != "" {
+				b.WriteString(`" title="`)
+				b.WriteString(escapeAttr(a.Title))
+			}
+			b.WriteString(`">`)
+			b.WriteString(source)
+			b.WriteString(`</a>`)
+		}
+		prev = a.End
+	}
+	b.WriteString(text[prev:])
+	return b.String(), nil
+}
+
+// escapeAttr escapes the characters that would break out of a double-quoted
+// HTML attribute.
+func escapeAttr(s string) string {
+	r := strings.NewReplacer(`&`, "&amp;", `"`, "&quot;", `<`, "&lt;", `>`, "&gt;")
+	return r.Replace(s)
+}

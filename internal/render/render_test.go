@@ -1,0 +1,92 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyHTML(t *testing.T) {
+	text := "a planar graph is a graph"
+	out, err := Apply(text, []Anchor{
+		{Start: 2, End: 14, URL: "http://pm/2", Title: "planar graph"},
+		{Start: 20, End: 25, URL: "http://pm/5"},
+	}, HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `a <a href="http://pm/2" title="planar graph">planar graph</a> is a <a href="http://pm/5">graph</a>`
+	if out != want {
+		t.Errorf("out = %q\nwant %q", out, want)
+	}
+}
+
+func TestApplyMarkdown(t *testing.T) {
+	text := "see planar graph here"
+	out, err := Apply(text, []Anchor{{Start: 4, End: 16, URL: "u"}}, Markdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "see [planar graph](u) here" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestApplyUnorderedAnchors(t *testing.T) {
+	text := "x y z"
+	out, err := Apply(text, []Anchor{
+		{Start: 4, End: 5, URL: "c"},
+		{Start: 0, End: 1, URL: "a"},
+	}, Markdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "[x](a) y [z](c)" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestApplyNoAnchors(t *testing.T) {
+	out, err := Apply("unchanged", nil, HTML)
+	if err != nil || out != "unchanged" {
+		t.Errorf("out = %q, err = %v", out, err)
+	}
+}
+
+func TestApplyRejectsBadAnchors(t *testing.T) {
+	cases := [][]Anchor{
+		{{Start: 0, End: 3, URL: "a"}, {Start: 2, End: 5, URL: "b"}}, // overlap
+		{{Start: 3, End: 2, URL: "a"}},                               // inverted
+		{{Start: 0, End: 99, URL: "a"}},                              // out of range
+	}
+	for i, anchors := range cases {
+		if _, err := Apply("hello", anchors, HTML); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEscapeAttr(t *testing.T) {
+	out, err := Apply("x", []Anchor{{Start: 0, End: 1, URL: `http://e/?a=1&b="<x>"`, Title: `a"b`}}, HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `="http://e/?a=1&b=`) && !strings.Contains(out, "&amp;") {
+		t.Errorf("unescaped ampersand: %q", out)
+	}
+	if strings.Contains(out, `title="a"b"`) {
+		t.Errorf("unescaped quote: %q", out)
+	}
+}
+
+func TestApplyAdjacentAnchors(t *testing.T) {
+	out, err := Apply("ab", []Anchor{
+		{Start: 0, End: 1, URL: "1"},
+		{Start: 1, End: 2, URL: "2"},
+	}, Markdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "[a](1)[b](2)" {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,193 @@
+// Package reputation implements the reputation system the paper lists as
+// future work (§5: "we are exploring reputation systems and collaborative
+// filtering techniques [1] to further enhance the link steering by
+// addressing issues of 'competing' entries"; §2.4 mentions ranking by "the
+// reputation of the entries").
+//
+// The model is deliberately simple and auditable, in the spirit of the
+// Noosphere community:
+//
+//   - every author starts with a base reputation of 1;
+//   - an upvote on an author's entry raises the author's reputation, a
+//     downvote lowers it (bounded to [MinReputation, MaxReputation]);
+//   - entry scores combine vote tallies with the author's reputation, so
+//     a well-regarded author's new entry starts ahead of a drive-by
+//     duplicate — giving the linker a principled way to rank "competing"
+//     entries that define the same concept.
+package reputation
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Reputation bounds.
+const (
+	BaseReputation = 1.0
+	MinReputation  = 0.1
+	MaxReputation  = 100.0
+	// upvoteGain and downvoteLoss move an author's reputation per vote on
+	// their entries; gains shrink as reputation grows (diminishing
+	// returns) while losses are proportional.
+	upvoteGain   = 0.25
+	downvoteLoss = 0.5
+)
+
+// System tracks author reputations and entry votes. All methods are safe
+// for concurrent use.
+type System struct {
+	mu      sync.RWMutex
+	authors map[string]float64 // author → reputation
+	entries map[int64]*entryRecord
+}
+
+type entryRecord struct {
+	author string
+	up     int
+	down   int
+}
+
+// NewSystem returns an empty reputation system.
+func NewSystem() *System {
+	return &System{
+		authors: make(map[string]float64),
+		entries: make(map[int64]*entryRecord),
+	}
+}
+
+// Attribute records that an entry belongs to an author. Re-attribution
+// (ownership transfer) keeps existing votes.
+func (s *System) Attribute(entry int64, author string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.entries[entry]
+	if rec == nil {
+		rec = &entryRecord{}
+		s.entries[entry] = rec
+	}
+	rec.author = author
+	if _, ok := s.authors[author]; !ok {
+		s.authors[author] = BaseReputation
+	}
+}
+
+// Vote records an up (true) or down (false) vote on an entry and adjusts
+// the owning author's reputation. Votes on unattributed entries only count
+// toward the entry score.
+func (s *System) Vote(entry int64, up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.entries[entry]
+	if rec == nil {
+		rec = &entryRecord{}
+		s.entries[entry] = rec
+	}
+	if up {
+		rec.up++
+	} else {
+		rec.down++
+	}
+	if rec.author == "" {
+		return
+	}
+	r := s.authors[rec.author]
+	if r == 0 {
+		r = BaseReputation
+	}
+	if up {
+		// Diminishing returns: the higher the reputation, the smaller the
+		// gain per vote.
+		r += upvoteGain / math.Sqrt(r)
+	} else {
+		r -= downvoteLoss
+	}
+	s.authors[rec.author] = clamp(r)
+}
+
+// AuthorReputation returns an author's current reputation (BaseReputation
+// for unknown authors).
+func (s *System) AuthorReputation(author string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, ok := s.authors[author]; ok {
+		return r
+	}
+	return BaseReputation
+}
+
+// EntryScore combines an entry's vote tally with its author's reputation:
+//
+//	score = (up − down) + ln(1 + authorReputation)
+//
+// Unknown entries score ln(1 + BaseReputation), so scores are comparable
+// across voted and unvoted entries.
+func (s *System) EntryScore(entry int64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec := s.entries[entry]
+	if rec == nil {
+		return math.Log1p(BaseReputation)
+	}
+	rep := BaseReputation
+	if rec.author != "" {
+		if r, ok := s.authors[rec.author]; ok {
+			rep = r
+		}
+	}
+	return float64(rec.up-rec.down) + math.Log1p(rep)
+}
+
+// Best returns the highest-scoring candidate and true, or (0, false) when
+// the candidates tie — making it directly usable as an engine TieRanker.
+func (s *System) Best(source int64, candidates []int64) (int64, bool) {
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	type scored struct {
+		id    int64
+		score float64
+	}
+	out := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		out = append(out, scored{c, s.EntryScore(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].id < out[j].id
+	})
+	if len(out) > 1 && out[0].score == out[1].score {
+		return 0, false
+	}
+	return out[0].id, true
+}
+
+// Authors returns all known authors sorted by descending reputation.
+func (s *System) Authors() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.authors))
+	for a := range s.authors {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := s.authors[out[i]], s.authors[out[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func clamp(r float64) float64 {
+	if r < MinReputation {
+		return MinReputation
+	}
+	if r > MaxReputation {
+		return MaxReputation
+	}
+	return r
+}

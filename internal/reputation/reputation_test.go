@@ -1,0 +1,166 @@
+package reputation
+
+import (
+	"sync"
+	"testing"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/core"
+	"nnexus/internal/corpus"
+)
+
+func TestAttributionAndVotes(t *testing.T) {
+	s := NewSystem()
+	s.Attribute(1, "alice")
+	if r := s.AuthorReputation("alice"); r != BaseReputation {
+		t.Errorf("initial reputation = %f", r)
+	}
+	s.Vote(1, true)
+	if r := s.AuthorReputation("alice"); r <= BaseReputation {
+		t.Errorf("reputation after upvote = %f", r)
+	}
+	before := s.AuthorReputation("alice")
+	s.Vote(1, false)
+	if r := s.AuthorReputation("alice"); r >= before {
+		t.Errorf("reputation after downvote = %f", r)
+	}
+	if r := s.AuthorReputation("nobody"); r != BaseReputation {
+		t.Errorf("unknown author = %f", r)
+	}
+}
+
+func TestReputationBounds(t *testing.T) {
+	s := NewSystem()
+	s.Attribute(1, "troll")
+	for i := 0; i < 100; i++ {
+		s.Vote(1, false)
+	}
+	if r := s.AuthorReputation("troll"); r != MinReputation {
+		t.Errorf("reputation floor = %f", r)
+	}
+	s.Attribute(2, "star")
+	for i := 0; i < 100_000; i++ {
+		s.Vote(2, true)
+	}
+	if r := s.AuthorReputation("star"); r > MaxReputation {
+		t.Errorf("reputation ceiling = %f", r)
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	s := NewSystem()
+	s.Attribute(1, "a")
+	s.Vote(1, true)
+	gain1 := s.AuthorReputation("a") - BaseReputation
+	for i := 0; i < 50; i++ {
+		s.Vote(1, true)
+	}
+	before := s.AuthorReputation("a")
+	s.Vote(1, true)
+	gainLate := s.AuthorReputation("a") - before
+	if gainLate >= gain1 {
+		t.Errorf("gains not diminishing: first %f, late %f", gain1, gainLate)
+	}
+}
+
+func TestEntryScore(t *testing.T) {
+	s := NewSystem()
+	s.Attribute(1, "alice")
+	s.Attribute(2, "bob")
+	s.Vote(1, true)
+	s.Vote(1, true)
+	s.Vote(2, false)
+	if s.EntryScore(1) <= s.EntryScore(2) {
+		t.Errorf("scores: %f vs %f", s.EntryScore(1), s.EntryScore(2))
+	}
+	// Unknown entries get a neutral baseline.
+	if s.EntryScore(99) <= 0 {
+		t.Errorf("baseline score = %f", s.EntryScore(99))
+	}
+}
+
+func TestBestAsTieRanker(t *testing.T) {
+	s := NewSystem()
+	if _, ok := s.Best(0, nil); ok {
+		t.Error("empty candidates decided")
+	}
+	// Equal (unknown) candidates tie.
+	if _, ok := s.Best(0, []int64{1, 2}); ok {
+		t.Error("tie decided")
+	}
+	s.Attribute(2, "veteran")
+	s.Vote(2, true)
+	best, ok := s.Best(0, []int64{1, 2})
+	if !ok || best != 2 {
+		t.Errorf("best = %d, %v", best, ok)
+	}
+}
+
+// End-to-end: the reputation system resolves a steering tie between
+// competing entries toward the better-regarded author's entry.
+func TestReputationDrivesEngineTieBreak(t *testing.T) {
+	rep := NewSystem()
+	e, err := core.NewEngine(core.Config{
+		Scheme:    classification.SampleMSC(10),
+		TieRanker: rep.Best,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddDomain(corpus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	first := corpus.Entry{Domain: "planetmath.org", Title: "spectrum", Classes: []string{"05C99"}}
+	second := corpus.Entry{Domain: "planetmath.org", Title: "spectrum", Classes: []string{"05C99"}}
+	firstID, err := e.AddEntry(&first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondID, err := e.AddEntry(&second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Attribute(firstID, "newbie")
+	rep.Attribute(secondID, "veteran")
+	rep.Vote(secondID, true)
+	rep.Vote(secondID, true)
+
+	res, err := e.LinkText("the spectrum", core.LinkOptions{SourceClasses: []string{"05C99"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 1 || res.Links[0].Target != secondID {
+		t.Fatalf("links = %+v, want the veteran's entry %d", res.Links, secondID)
+	}
+}
+
+func TestAuthorsOrdering(t *testing.T) {
+	s := NewSystem()
+	s.Attribute(1, "alice")
+	s.Attribute(2, "bob")
+	s.Vote(2, true)
+	authors := s.Authors()
+	if len(authors) != 2 || authors[0] != "bob" {
+		t.Errorf("authors = %v", authors)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	s := NewSystem()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s.Attribute(int64(i%10), "author")
+				s.Vote(int64(i%10), i%3 != 0)
+				s.EntryScore(int64(i % 10))
+				s.Best(0, []int64{1, 2, 3})
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,360 @@
+// Package server exposes an NNexus engine over TCP using the XML protocol
+// of the wire package (paper §3.1 / Fig 7: the NNexus server answers XML
+// requests over socket connections so that "client software written in any
+// programming language" can link documents against the collection).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"nnexus/internal/core"
+	"nnexus/internal/render"
+	"nnexus/internal/wire"
+)
+
+// DefaultMaxRequestBytes bounds a single XML request on the wire.
+const DefaultMaxRequestBytes = 32 << 20
+
+// Server serves one engine to any number of concurrent connections.
+type Server struct {
+	engine *core.Engine
+	logger *log.Logger
+
+	maxRequestBytes int64
+	idleTimeout     time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxRequestBytes caps the size of a single request document; a client
+// exceeding it is disconnected. The default is DefaultMaxRequestBytes.
+func WithMaxRequestBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxRequestBytes = n
+		}
+	}
+}
+
+// WithIdleTimeout disconnects clients that send no request for the given
+// duration. Zero (the default) disables the timeout.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// New creates a server around an engine. logger may be nil to disable
+// logging.
+func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
+	s := &Server{
+		engine:          engine,
+		logger:          logger,
+		conns:           make(map[net.Conn]struct{}),
+		maxRequestBytes: DefaultMaxRequestBytes,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:7070").
+// It returns immediately; the accept loop runs in the background. The
+// actual bound address is returned, so addr may use port 0.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("server: already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	metered := &meteredReader{r: conn, limit: s.maxRequestBytes}
+	dec := wire.NewDecoder(metered)
+	enc := wire.NewEncoder(conn)
+	for {
+		metered.reset()
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF && s.logger != nil {
+				s.logger.Printf("server: %v", err)
+			}
+			return
+		}
+		resp := s.Handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			if s.logger != nil {
+				s.logger.Printf("server: write: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// meteredReader enforces the per-request byte budget: reset is called before
+// each request, and a request that overruns the budget fails the read,
+// terminating the connection rather than buffering unbounded input.
+type meteredReader struct {
+	r         io.Reader
+	limit     int64
+	remaining int64
+}
+
+func (m *meteredReader) reset() { m.remaining = m.limit }
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	if m.remaining <= 0 {
+		return 0, errors.New("server: request exceeds size limit")
+	}
+	if int64(len(p)) > m.remaining {
+		p = p[:m.remaining]
+	}
+	n, err := m.r.Read(p)
+	m.remaining -= int64(n)
+	return n, err
+}
+
+// Handle dispatches one request to the engine and builds the response. It
+// is exported so in-process callers (tests, embedded deployments) can speak
+// the protocol without a socket.
+func (s *Server) Handle(req *wire.Request) *wire.Response {
+	resp, err := s.dispatch(req)
+	if err != nil {
+		return wire.Err(req, err)
+	}
+	return resp
+}
+
+func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
+	switch req.Method {
+	case wire.MethodPing:
+		return wire.OK(req), nil
+
+	case wire.MethodAddDomain:
+		if req.Domain == nil {
+			return nil, errors.New("addDomain: missing domain")
+		}
+		if err := s.engine.AddDomain(req.Domain.ToCorpusDomain()); err != nil {
+			return nil, err
+		}
+		return wire.OK(req), nil
+
+	case wire.MethodAddEntry:
+		if req.Entry == nil {
+			return nil, errors.New("addEntry: missing entry")
+		}
+		entry := req.Entry.ToCorpus()
+		id, err := s.engine.AddEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Object = id
+		return resp, nil
+
+	case wire.MethodUpdateEntry:
+		if req.Entry == nil {
+			return nil, errors.New("updateEntry: missing entry")
+		}
+		if err := s.engine.UpdateEntry(req.Entry.ToCorpus()); err != nil {
+			return nil, err
+		}
+		return wire.OK(req), nil
+
+	case wire.MethodRemoveEntry:
+		if err := s.engine.RemoveEntry(req.Object); err != nil {
+			return nil, err
+		}
+		return wire.OK(req), nil
+
+	case wire.MethodGetEntry:
+		entry, ok := s.engine.Entry(req.Object)
+		if !ok {
+			return nil, fmt.Errorf("getEntry: unknown entry %d", req.Object)
+		}
+		resp := wire.OK(req)
+		resp.Entry = wire.FromCorpus(entry)
+		return resp, nil
+
+	case wire.MethodSetPolicy:
+		if err := s.engine.SetPolicy(req.Object, req.Policy); err != nil {
+			return nil, err
+		}
+		return wire.OK(req), nil
+
+	case wire.MethodLinkEntry:
+		opts, err := linkOptions(req)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.engine.LinkEntry(req.Object, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Linked = toWireLinked(res)
+		return resp, nil
+
+	case wire.MethodLinkText:
+		opts, err := linkOptions(req)
+		if err != nil {
+			return nil, err
+		}
+		opts.SourceClasses = req.Classes
+		opts.SourceScheme = req.Scheme
+		res, err := s.engine.LinkText(req.Text, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Linked = toWireLinked(res)
+		return resp, nil
+
+	case wire.MethodInvalidated:
+		resp := wire.OK(req)
+		resp.Invalidated = s.engine.Invalidated()
+		return resp, nil
+
+	case wire.MethodRelink:
+		results, err := s.engine.RelinkInvalidated()
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Object = int64(len(results))
+		return resp, nil
+
+	case wire.MethodStats:
+		resp := wire.OK(req)
+		resp.Stats = &wire.Stats{
+			Entries:     s.engine.NumEntries(),
+			Concepts:    s.engine.NumConcepts(),
+			Domains:     len(s.engine.Domains()),
+			Invalidated: len(s.engine.Invalidated()),
+		}
+		return resp, nil
+
+	default:
+		return nil, fmt.Errorf("unknown method %q", req.Method)
+	}
+}
+
+func linkOptions(req *wire.Request) (core.LinkOptions, error) {
+	var opts core.LinkOptions
+	switch strings.ToLower(req.Mode) {
+	case "", "default":
+		opts.Mode = core.ModeDefault
+	case "lexical":
+		opts.Mode = core.ModeLexical
+	case "steered":
+		opts.Mode = core.ModeSteered
+	case "steered+policies", "full":
+		opts.Mode = core.ModeSteeredPolicies
+	default:
+		return opts, fmt.Errorf("unknown mode %q", req.Mode)
+	}
+	switch strings.ToLower(req.Format) {
+	case "", "html":
+		// engine default
+	case "markdown", "md":
+		f := render.Markdown
+		opts.Format = &f
+	default:
+		return opts, fmt.Errorf("unknown format %q", req.Format)
+	}
+	return opts, nil
+}
+
+func toWireLinked(res *core.Result) *wire.Linked {
+	out := &wire.Linked{Output: res.Output}
+	for _, l := range res.Links {
+		out.Links = append(out.Links, wire.LinkInfo{
+			Label:    l.Label,
+			Start:    l.Start,
+			End:      l.End,
+			Target:   l.Target,
+			Domain:   l.TargetDomain,
+			URL:      l.URL,
+			Distance: l.Distance,
+		})
+	}
+	for _, s := range res.Skips {
+		out.Skips = append(out.Skips, wire.SkipInfo{Label: s.Label, Reason: s.Reason})
+	}
+	return out
+}

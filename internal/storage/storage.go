@@ -1,0 +1,501 @@
+// Package storage provides the embedded persistence layer NNexus uses for
+// its tables (concept map, classification table, linking policies,
+// invalidation index, object metadata). The deployed Perl system kept these
+// in MySQL; this Go implementation is a self-contained key-value store with
+// the durability properties the linker needs:
+//
+//   - every mutation is appended to a CRC-checked write-ahead log,
+//   - Compact writes an atomic snapshot and truncates the log,
+//   - recovery loads the snapshot and replays the log, tolerating a torn
+//     tail from a crash mid-append.
+//
+// Keys are grouped into named tables; values are opaque bytes (the callers
+// use encoding/json or encoding/xml for their records). A Store opened with
+// an empty directory runs purely in memory, which is how the engine runs in
+// tests and ephemeral deployments.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.dat"
+	snapshotTmp  = "snapshot.tmp"
+
+	opPut    byte = 1
+	opDelete byte = 2
+
+	snapshotMagic uint32 = 0x4e4e5853 // "NNXS"
+	snapshotVer   uint32 = 1
+
+	// maxEntrySize guards recovery from absurd length prefixes caused by
+	// corruption that happens to pass the CRC of a truncated record.
+	maxEntrySize = 64 << 20
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("storage: store is closed")
+
+// Store is a durable, table-scoped key-value store. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	tables map[string]map[string][]byte
+	wal    *os.File
+	walBuf *bufio.Writer
+	walLen int64 // bytes appended since last compaction
+	closed bool
+	sync   bool // fsync after every append
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithSyncWrites makes every WAL append fsync before returning. Slower but
+// loses nothing on power failure; the default only guarantees survival of
+// process crashes.
+func WithSyncWrites() Option {
+	return func(s *Store) { s.sync = true }
+}
+
+// Open opens (or creates) a store rooted at dir. If dir is empty the store
+// is memory-only: mutations are not persisted and Compact is a no-op.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir, tables: make(map[string]map[string][]byte)}
+	for _, o := range opts {
+		o(s)
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	if st, err := wal.Stat(); err == nil {
+		s.walLen = st.Size()
+	}
+	s.wal = wal
+	s.walBuf = bufio.NewWriter(wal)
+	return s, nil
+}
+
+// Put stores value under (table, key), overwriting any previous value.
+func (s *Store) Put(table, key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendLocked(opPut, table, key, value); err != nil {
+		return err
+	}
+	t, ok := s.tables[table]
+	if !ok {
+		t = make(map[string][]byte)
+		s.tables[table] = t
+	}
+	t[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete removes (table, key). Deleting a missing key is a no-op that is
+// still logged (so replay stays deterministic).
+func (s *Store) Delete(table, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendLocked(opDelete, table, key, nil); err != nil {
+		return err
+	}
+	if t, ok := s.tables[table]; ok {
+		delete(t, key)
+		if len(t) == 0 {
+			delete(s.tables, table)
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the value stored under (table, key).
+func (s *Store) Get(table, key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tables[table][key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Scan calls fn for every key of the table in sorted key order, with a copy
+// of each value. fn returning false stops the scan.
+func (s *Store) Scan(table string, fn func(key string, value []byte) bool) {
+	s.mu.RLock()
+	t := s.tables[table]
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	vals := make([][]byte, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		vals[i] = append([]byte(nil), t[k]...)
+	}
+	s.mu.RUnlock()
+	for i, k := range keys {
+		if !fn(k, vals[i]) {
+			return
+		}
+	}
+}
+
+// Len returns the number of keys in the table.
+func (s *Store) Len(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables[table])
+}
+
+// Tables returns the names of non-empty tables, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WALSize returns the bytes accumulated in the write-ahead log since the
+// last compaction (0 for memory-only stores).
+func (s *Store) WALSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walLen
+}
+
+// Sync flushes buffered WAL appends to the operating system and fsyncs.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.wal == nil || s.closed {
+		return nil
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// Compact writes an atomic snapshot of the current state and truncates the
+// write-ahead log. Memory-only stores return nil immediately.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dir == "" {
+		return nil
+	}
+	if err := s.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	// Truncate the WAL only after the snapshot is durable.
+	if err := s.walBuf.Flush(); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.walBuf.Reset(s.wal)
+	s.walLen = 0
+	return nil
+}
+
+// Close flushes and closes the store. Further operations fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.wal != nil {
+		err = s.syncLocked()
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.closed = true
+	return err
+}
+
+// appendLocked writes one WAL record. Layout:
+//
+//	crc32(body) uint32 | bodyLen uint32 | body
+//	body = op byte | tableLen uvarint | table | keyLen uvarint | key
+//	       | valLen uvarint | val
+func (s *Store) appendLocked(op byte, table, key string, value []byte) error {
+	if s.wal == nil {
+		return nil // memory-only
+	}
+	body := encodeBody(op, table, key, value)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	if _, err := s.walBuf.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	if _, err := s.walBuf.Write(body); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	s.walLen += int64(len(hdr) + len(body))
+	if s.sync {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+func encodeBody(op byte, table, key string, value []byte) []byte {
+	buf := make([]byte, 0, 1+3*binary.MaxVarintLen64+len(table)+len(key)+len(value))
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, uint64(len(table)))
+	buf = append(buf, table...)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+func decodeBody(body []byte) (op byte, table, key string, value []byte, err error) {
+	if len(body) < 1 {
+		return 0, "", "", nil, errors.New("short body")
+	}
+	op = body[0]
+	rest := body[1:]
+	read := func() ([]byte, error) {
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < n {
+			return nil, errors.New("bad field length")
+		}
+		field := rest[k : k+int(n)]
+		rest = rest[k+int(n):]
+		return field, nil
+	}
+	t, err := read()
+	if err != nil {
+		return 0, "", "", nil, err
+	}
+	k, err := read()
+	if err != nil {
+		return 0, "", "", nil, err
+	}
+	v, err := read()
+	if err != nil {
+		return 0, "", "", nil, err
+	}
+	return op, string(t), string(k), v, nil
+}
+
+// replayWAL applies surviving WAL records over the snapshot state. A torn
+// or corrupt tail terminates replay silently (it is the expected result of
+// a crash mid-append); corruption in the middle is indistinguishable from a
+// tail and is handled the same way.
+func (s *Store) replayWAL() error {
+	f, err := os.Open(filepath.Join(s.dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header
+		}
+		want := binary.LittleEndian.Uint32(hdr[0:4])
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxEntrySize {
+			return nil
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			return nil // corrupt record: stop replay
+		}
+		op, table, key, value, err := decodeBody(body)
+		if err != nil {
+			return nil
+		}
+		switch op {
+		case opPut:
+			t, ok := s.tables[table]
+			if !ok {
+				t = make(map[string][]byte)
+				s.tables[table] = t
+			}
+			t[key] = append([]byte(nil), value...)
+		case opDelete:
+			if t, ok := s.tables[table]; ok {
+				delete(t, key)
+				if len(t) == 0 {
+					delete(s.tables, table)
+				}
+			}
+		}
+	}
+}
+
+// writeSnapshotLocked writes the whole state to a temp file and atomically
+// renames it over the previous snapshot.
+func (s *Store) writeSnapshotLocked() error {
+	tmp := filepath.Join(s.dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], snapshotVer)
+	count := 0
+	for _, t := range s.tables {
+		count += len(t)
+	}
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(count))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	// Deterministic order for reproducible snapshots.
+	tableNames := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, table := range tableNames {
+		keys := make([]string, 0, len(s.tables[table]))
+		for k := range s.tables[table] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			body := encodeBody(opPut, table, key, s.tables[table][key])
+			var rec [8]byte
+			binary.LittleEndian.PutUint32(rec[0:4], crc32.ChecksumIEEE(body))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(len(body)))
+			if _, err := w.Write(rec[:]); err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := w.Write(body); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, snapshotName))
+}
+
+func (s *Store) loadSnapshot() error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("storage: snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != snapshotMagic {
+		return errors.New("storage: snapshot: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapshotVer {
+		return fmt.Errorf("storage: snapshot: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(hdr[8:12])
+	for i := uint32(0); i < count; i++ {
+		var rec [8]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return fmt.Errorf("storage: snapshot record %d: %w", i, err)
+		}
+		want := binary.LittleEndian.Uint32(rec[0:4])
+		n := binary.LittleEndian.Uint32(rec[4:8])
+		if n > maxEntrySize {
+			return fmt.Errorf("storage: snapshot record %d: oversized", i)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return fmt.Errorf("storage: snapshot record %d: %w", i, err)
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			return fmt.Errorf("storage: snapshot record %d: checksum mismatch", i)
+		}
+		_, table, key, value, err := decodeBody(body)
+		if err != nil {
+			return fmt.Errorf("storage: snapshot record %d: %w", i, err)
+		}
+		t, ok := s.tables[table]
+		if !ok {
+			t = make(map[string][]byte)
+			s.tables[table] = t
+		}
+		t[key] = append([]byte(nil), value...)
+	}
+	return nil
+}

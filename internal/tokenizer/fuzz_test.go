@@ -1,0 +1,40 @@
+package tokenizer
+
+import "testing"
+
+// FuzzTokenize drives arbitrary byte soup through the tokenizer and checks
+// the offset invariants (run with `go test -fuzz=FuzzTokenize`).
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"a planar graph",
+		"$x$ and $$y$$ and \\(z\\)",
+		"<a href=x>link</a> body <em>text</em>",
+		"\\begin{align}x\\end{align}",
+		"`code` and $ stray dollar",
+		"Möbius' strips—and more",
+		"\\[ unclosed",
+		"< not a tag",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		prev := -1
+		for _, tok := range toks {
+			if tok.Start <= prev || tok.End <= tok.Start || tok.End > len(s) {
+				t.Fatalf("bad offsets %d:%d after %d in %q", tok.Start, tok.End, prev, s)
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("text mismatch at %d in %q", tok.Start, s)
+			}
+			prev = tok.Start
+		}
+		spans := EscapeSpans(s)
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].End {
+				t.Fatalf("overlapping spans in %q", s)
+			}
+		}
+	})
+}

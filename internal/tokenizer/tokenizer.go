@@ -1,0 +1,260 @@
+// Package tokenizer splits entry text into word tokens for concept-map
+// scanning, while escaping the unlinkable portions of the text
+// (paper §2.1: "NNexus starts link source identification by pulling out
+// unlinkable portions of text that need to be escaped (i.e., equations) and
+// replaces them by special tokens").
+//
+// Escaped regions — TeX math, code spans, HTML tags, and the bodies of
+// already-linked anchors — produce no tokens, so the linker can neither link
+// inside a formula nor re-link an existing hyperlink. Every token carries
+// the byte offsets of its raw occurrence so the renderer can substitute
+// hyperlinks back into the original text without disturbing anything else.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"nnexus/internal/morph"
+)
+
+// Token is one linkable word occurrence in the entry text.
+type Token struct {
+	Text  string // raw text as it appears in the entry
+	Norm  string // morphologically normalized form used for map lookups
+	Start int    // byte offset of the first byte of Text in the input
+	End   int    // byte offset one past the last byte of Text
+}
+
+// Span marks a half-open byte range [Start, End) of the input.
+type Span struct {
+	Start, End int
+}
+
+// Tokenize scans text and returns its linkable word tokens in order of
+// appearance. Unlinkable regions (see EscapeSpans) yield no tokens.
+func Tokenize(text string) []Token {
+	spans := EscapeSpans(text)
+	var tokens []Token
+	next := 0 // index into spans of the next escaped region
+	i := 0
+	for i < len(text) {
+		// Skip past any escaped region that starts at or before i.
+		for next < len(spans) && spans[next].End <= i {
+			next++
+		}
+		if next < len(spans) && i >= spans[next].Start {
+			i = spans[next].End
+			next++
+			continue
+		}
+		limit := len(text)
+		if next < len(spans) {
+			limit = spans[next].Start
+		}
+		r, size := rune(text[i]), 1
+		if r >= 0x80 {
+			r, size = decodeRune(text[i:])
+		}
+		if !isWordRune(r) {
+			i += size
+			continue
+		}
+		start := i
+		for i < limit {
+			r, size := rune(text[i]), 1
+			if r >= 0x80 {
+				r, size = decodeRune(text[i:])
+			}
+			if !isWordPart(r) {
+				break
+			}
+			i += size
+		}
+		raw := strings.TrimRight(text[start:i], "-'’")
+		if raw == "" {
+			continue
+		}
+		end := start + len(raw)
+		tokens = append(tokens, Token{
+			Text:  raw,
+			Norm:  morph.Normalize(raw),
+			Start: start,
+			End:   end,
+		})
+	}
+	return tokens
+}
+
+// EscapeSpans returns the unlinkable regions of text, sorted and
+// non-overlapping. The regions recognized are:
+//
+//   - TeX display and inline math: $$...$$, $...$, \[...\], \(...\)
+//   - TeX environments: \begin{name}...\end{name}
+//   - Markdown code spans: `...`
+//   - HTML tags themselves: <tag attr="...">
+//   - The full bodies of <a>, <code>, <pre>, <math>, <script>, <style>
+//     elements (an existing link must never be re-linked).
+func EscapeSpans(text string) []Span {
+	var spans []Span
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch c {
+		case '$':
+			if i > 0 && text[i-1] == '\\' {
+				i++
+				continue
+			}
+			if end, ok := scanDollar(text, i); ok {
+				spans = append(spans, Span{i, end})
+				i = end
+				continue
+			}
+			i++
+		case '\\':
+			if end, ok := scanTeX(text, i); ok {
+				spans = append(spans, Span{i, end})
+				i = end
+				continue
+			}
+			i++
+		case '`':
+			if end := strings.IndexByte(text[i+1:], '`'); end >= 0 {
+				spans = append(spans, Span{i, i + 1 + end + 1})
+				i = i + 1 + end + 1
+				continue
+			}
+			i++
+		case '<':
+			if end, ok := scanHTML(text, i); ok {
+				spans = append(spans, Span{i, end})
+				i = end
+				continue
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	return spans
+}
+
+// scanDollar handles $...$ and $$...$$ starting at i (text[i] == '$').
+func scanDollar(text string, i int) (end int, ok bool) {
+	if strings.HasPrefix(text[i:], "$$") {
+		if j := strings.Index(text[i+2:], "$$"); j >= 0 {
+			return i + 2 + j + 2, true
+		}
+		return 0, false
+	}
+	// Inline math: find an unescaped closing $ before a blank line.
+	for j := i + 1; j < len(text); j++ {
+		switch text[j] {
+		case '$':
+			if text[j-1] == '\\' {
+				continue
+			}
+			return j + 1, true
+		case '\n':
+			if j+1 < len(text) && text[j+1] == '\n' {
+				return 0, false // blank line: not inline math
+			}
+		}
+	}
+	return 0, false
+}
+
+// scanTeX handles \( \[ and \begin{...} starting at i (text[i] == '\\').
+func scanTeX(text string, i int) (end int, ok bool) {
+	rest := text[i:]
+	switch {
+	case strings.HasPrefix(rest, `\(`):
+		if j := strings.Index(rest, `\)`); j >= 0 {
+			return i + j + 2, true
+		}
+	case strings.HasPrefix(rest, `\[`):
+		if j := strings.Index(rest, `\]`); j >= 0 {
+			return i + j + 2, true
+		}
+	case strings.HasPrefix(rest, `\begin{`):
+		nameEnd := strings.IndexByte(rest, '}')
+		if nameEnd < 0 {
+			return 0, false
+		}
+		name := rest[len(`\begin{`):nameEnd]
+		closer := `\end{` + name + `}`
+		if j := strings.Index(rest, closer); j >= 0 {
+			return i + j + len(closer), true
+		}
+	}
+	return 0, false
+}
+
+// escapedElements are HTML elements whose entire body is unlinkable.
+var escapedElements = map[string]bool{
+	"a": true, "code": true, "pre": true, "math": true,
+	"script": true, "style": true,
+}
+
+// scanHTML handles an HTML tag starting at i (text[i] == '<'). For elements
+// in escapedElements the span extends through the matching close tag.
+func scanHTML(text string, i int) (end int, ok bool) {
+	gt := strings.IndexByte(text[i:], '>')
+	if gt < 0 {
+		return 0, false
+	}
+	tagEnd := i + gt + 1
+	inner := text[i+1 : tagEnd-1]
+	if inner == "" {
+		return 0, false
+	}
+	if inner[0] == '/' || inner[0] == '!' || inner[0] == '?' ||
+		strings.HasSuffix(inner, "/") {
+		return tagEnd, true // close tag, comment/doctype, or self-closing
+	}
+	name := strings.ToLower(tagName(inner))
+	if name == "" {
+		return 0, false // "<" followed by non-tag text, e.g. "x < y"
+	}
+	if !escapedElements[name] {
+		return tagEnd, true // tag itself escaped, body remains linkable
+	}
+	closer := "</" + name
+	rest := strings.ToLower(text[tagEnd:])
+	j := strings.Index(rest, closer)
+	if j < 0 {
+		return tagEnd, true // unclosed; escape just the open tag
+	}
+	closeGT := strings.IndexByte(text[tagEnd+j:], '>')
+	if closeGT < 0 {
+		return len(text), true
+	}
+	return tagEnd + j + closeGT + 1, true
+}
+
+func tagName(inner string) string {
+	for i := 0; i < len(inner); i++ {
+		c := inner[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			return inner[:i]
+		}
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return ""
+		}
+	}
+	return inner
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isWordPart(r rune) bool {
+	return isWordRune(r) || r == '\'' || r == '’' || r == '-'
+}
+
+func decodeRune(s string) (rune, int) {
+	return utf8.DecodeRuneInString(s)
+}

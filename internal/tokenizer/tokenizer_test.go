@@ -1,0 +1,223 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tokenTexts(ts []Token) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func tokenNorms(ts []Token) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Norm
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	ts := Tokenize("A planar graph is a graph.")
+	want := []string{"A", "planar", "graph", "is", "a", "graph"}
+	if got := tokenTexts(ts); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	norms := tokenNorms(ts)
+	if norms[2] != "graph" || norms[5] != "graph" {
+		t.Fatalf("norms = %v", norms)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "planar graphs embed"
+	ts := Tokenize(text)
+	for _, tok := range ts {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: [%d,%d)=%q vs Text=%q",
+				tok.Start, tok.End, text[tok.Start:tok.End], tok.Text)
+		}
+	}
+	if ts[1].Norm != "graph" {
+		t.Errorf("expected plural normalization, got %q", ts[1].Norm)
+	}
+}
+
+func TestTokenizeSkipsInlineMath(t *testing.T) {
+	ts := Tokenize("the function $f(x) = graph$ is continuous")
+	for _, tok := range ts {
+		if tok.Text == "f" || tok.Text == "x" || (tok.Text == "graph" && tok.Start > 13) {
+			t.Errorf("token %q from inside math region", tok.Text)
+		}
+	}
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "the function is continuous" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeSkipsDisplayMath(t *testing.T) {
+	ts := Tokenize(`before $$\sum graph$$ after \[x graph\] end \(y graph\) tail`)
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "before after end tail" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeSkipsTeXEnvironment(t *testing.T) {
+	text := "intro \\begin{align} graph &= x \\end{align} outro"
+	ts := Tokenize(text)
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "intro outro" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeSkipsCodeSpans(t *testing.T) {
+	ts := Tokenize("call `graph.AddEdge()` to add an edge")
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "call to add an edge" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeSkipsExistingAnchors(t *testing.T) {
+	text := `a <a href="/x">planar graph</a> has no crossing edges`
+	ts := Tokenize(text)
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "a has no crossing edges" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeHTMLTagsButLinkableBody(t *testing.T) {
+	text := `<em>planar graph</em> inside emphasis`
+	ts := Tokenize(text)
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "planar graph inside emphasis" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeLessThanIsNotATag(t *testing.T) {
+	ts := Tokenize("if x < y then the graph is planar")
+	got := strings.Join(tokenTexts(ts), " ")
+	if got != "if x y then the graph is planar" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestTokenizeEscapedDollar(t *testing.T) {
+	ts := Tokenize(`it costs \$5 for a graph`)
+	got := strings.Join(tokenTexts(ts), " ")
+	if !strings.Contains(got, "graph") {
+		t.Errorf("escaped dollar swallowed text: %q", got)
+	}
+}
+
+func TestTokenizeUnclosedMathDoesNotSwallow(t *testing.T) {
+	// A stray $ with no closing partner before a blank line should not
+	// escape the rest of the document.
+	ts := Tokenize("price is $5 and\n\nthe graph is planar")
+	got := strings.Join(tokenTexts(ts), " ")
+	if !strings.Contains(got, "graph") {
+		t.Errorf("stray $ swallowed text: %q", got)
+	}
+}
+
+func TestTokenizeHyphenAndPossessive(t *testing.T) {
+	ts := Tokenize("Euler's well-defined formula")
+	texts := tokenTexts(ts)
+	if len(texts) != 3 {
+		t.Fatalf("tokens = %v", texts)
+	}
+	if ts[0].Norm != "euler" {
+		t.Errorf("norm = %q, want euler", ts[0].Norm)
+	}
+	if ts[1].Text != "well-defined" {
+		t.Errorf("hyphenated token = %q", ts[1].Text)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	ts := Tokenize("the Möbius strip")
+	if len(ts) != 3 {
+		t.Fatalf("tokens = %v", tokenTexts(ts))
+	}
+	if ts[1].Norm != "mobius" {
+		t.Errorf("norm = %q, want mobius", ts[1].Norm)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if ts := Tokenize(""); len(ts) != 0 {
+		t.Errorf("tokens = %v", ts)
+	}
+	if ts := Tokenize("$$$$"); len(ts) != 0 {
+		t.Errorf("tokens = %v", ts)
+	}
+}
+
+func TestEscapeSpansSortedNonOverlapping(t *testing.T) {
+	text := "a $x$ b `c` d <a href=q>e</a> f $$g$$ h \\(i\\) j"
+	spans := EscapeSpans(text)
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("spans overlap or unsorted: %v", spans)
+		}
+	}
+}
+
+// Property: token offsets are strictly increasing, in-bounds, and each
+// token's [Start,End) slice equals its Text.
+func TestTokenizeOffsetInvariant(t *testing.T) {
+	f := func(s string) bool {
+		ts := Tokenize(s)
+		prev := -1
+		for _, tok := range ts {
+			if tok.Start <= prev || tok.End <= tok.Start || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prev = tok.Start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no token ever lies inside an escape span.
+func TestTokensAvoidEscapeSpans(t *testing.T) {
+	f := func(s string) bool {
+		spans := EscapeSpans(s)
+		for _, tok := range Tokenize(s) {
+			for _, sp := range spans {
+				if tok.Start < sp.End && tok.End > sp.Start {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("A planar graph is a graph that can be drawn in the plane $x^2$ so that its edges intersect only at their end vertices. ", 50)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}

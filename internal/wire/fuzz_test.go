@@ -1,0 +1,26 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes to the XML decoder: it must
+// either error out or return a request that re-encodes without panicking.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`<request method="ping"/>`))
+	f.Add([]byte(`<request seq="3" method="linkText"><text>x &amp; y</text><class>05C10</class></request>`))
+	f.Add([]byte(`<request`))
+	f.Add([]byte(`<!-- comment --><request method="stats"></request>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		_ = NewEncoder(&buf).Encode(&req)
+		_, _ = io.Copy(io.Discard, &buf)
+	})
+}

@@ -1,0 +1,230 @@
+// Package wire defines the XML request/response protocol NNexus speaks over
+// socket connections (paper §3.1: "NNexus uses simple XML formats for its
+// communications and configuration. ... All communications with NNexus are
+// over socket connections, and all requests and responses with the NNexus
+// server are in XML format").
+//
+// A connection carries a sequence of <request> documents from the client
+// and a sequence of <response> documents from the server, in order. Every
+// request names a method; the fields used depend on the method:
+//
+//	ping        — liveness check
+//	addDomain   — Domain
+//	addEntry    — Entry (engine assigns the ID, returned in Object)
+//	updateEntry — Entry (with ID)
+//	removeEntry — Object
+//	getEntry    — Object
+//	setPolicy   — Object, Policy
+//	linkEntry   — Object, Mode, Format
+//	linkText    — Text, Classes, Scheme, Mode, Format
+//	invalidated — (none)
+//	relink      — (none; relinks all invalidated entries)
+//	stats       — (none)
+package wire
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"nnexus/internal/corpus"
+)
+
+// Method names.
+const (
+	MethodPing        = "ping"
+	MethodAddDomain   = "addDomain"
+	MethodAddEntry    = "addEntry"
+	MethodUpdateEntry = "updateEntry"
+	MethodRemoveEntry = "removeEntry"
+	MethodGetEntry    = "getEntry"
+	MethodSetPolicy   = "setPolicy"
+	MethodLinkEntry   = "linkEntry"
+	MethodLinkText    = "linkText"
+	MethodInvalidated = "invalidated"
+	MethodRelink      = "relink"
+	MethodStats       = "stats"
+)
+
+// Request is one client→server message.
+type Request struct {
+	XMLName xml.Name `xml:"request"`
+	// Seq correlates responses with requests on a pipelined connection.
+	Seq int64 `xml:"seq,attr,omitempty"`
+	// Method selects the operation.
+	Method string `xml:"method,attr"`
+
+	Domain  *Domain  `xml:"domain,omitempty"`
+	Entry   *Entry   `xml:"entry,omitempty"`
+	Object  int64    `xml:"object,omitempty"`
+	Policy  string   `xml:"policy,omitempty"`
+	Text    string   `xml:"text,omitempty"`
+	Classes []string `xml:"class,omitempty"`
+	Scheme  string   `xml:"scheme,omitempty"`
+	Mode    string   `xml:"mode,omitempty"`
+	Format  string   `xml:"format,omitempty"`
+}
+
+// Response is one server→client message.
+type Response struct {
+	XMLName xml.Name `xml:"response"`
+	Seq     int64    `xml:"seq,attr,omitempty"`
+	// Status is "ok" or "error".
+	Status string `xml:"status,attr"`
+	Error  string `xml:"error,omitempty"`
+
+	Object      int64   `xml:"object,omitempty"`
+	Entry       *Entry  `xml:"entry,omitempty"`
+	Linked      *Linked `xml:"linked,omitempty"`
+	Stats       *Stats  `xml:"stats,omitempty"`
+	Invalidated []int64 `xml:"invalidated>object,omitempty"`
+}
+
+// Domain mirrors corpus.Domain on the wire.
+type Domain struct {
+	Name        string `xml:"name,attr"`
+	URLTemplate string `xml:"urltemplate"`
+	Scheme      string `xml:"scheme,omitempty"`
+	Priority    int    `xml:"priority,omitempty"`
+}
+
+// Entry mirrors corpus.Entry on the wire.
+type Entry struct {
+	ID         int64    `xml:"id,attr,omitempty"`
+	Domain     string   `xml:"domain,attr,omitempty"`
+	ExternalID string   `xml:"externalid,attr,omitempty"`
+	Title      string   `xml:"title"`
+	Concepts   []string `xml:"concept,omitempty"`
+	Classes    []string `xml:"class,omitempty"`
+	Body       string   `xml:"body,omitempty"`
+	Policy     string   `xml:"policy,omitempty"`
+}
+
+// Linked carries a linking result.
+type Linked struct {
+	Output string     `xml:"output"`
+	Links  []LinkInfo `xml:"link,omitempty"`
+	Skips  []SkipInfo `xml:"skip,omitempty"`
+}
+
+// LinkInfo describes one created link.
+type LinkInfo struct {
+	Label    string `xml:"label,attr"`
+	Start    int    `xml:"start,attr"`
+	End      int    `xml:"end,attr"`
+	Target   int64  `xml:"target,attr"`
+	Domain   string `xml:"domain,attr,omitempty"`
+	URL      string `xml:"url,attr"`
+	Distance int64  `xml:"distance,attr,omitempty"`
+}
+
+// SkipInfo describes one suppressed match.
+type SkipInfo struct {
+	Label  string `xml:"label,attr"`
+	Reason string `xml:"reason,attr"`
+}
+
+// Stats carries collection statistics.
+type Stats struct {
+	Entries     int `xml:"entries"`
+	Concepts    int `xml:"concepts"`
+	Domains     int `xml:"domains"`
+	Invalidated int `xml:"invalidated"`
+}
+
+// ToCorpus converts a wire entry to the document model.
+func (e *Entry) ToCorpus() *corpus.Entry {
+	return &corpus.Entry{
+		ID:         e.ID,
+		Domain:     e.Domain,
+		ExternalID: e.ExternalID,
+		Title:      e.Title,
+		Concepts:   append([]string(nil), e.Concepts...),
+		Classes:    append([]string(nil), e.Classes...),
+		Body:       e.Body,
+		Policy:     e.Policy,
+	}
+}
+
+// FromCorpus converts a document-model entry to the wire form.
+func FromCorpus(e *corpus.Entry) *Entry {
+	return &Entry{
+		ID:         e.ID,
+		Domain:     e.Domain,
+		ExternalID: e.ExternalID,
+		Title:      e.Title,
+		Concepts:   append([]string(nil), e.Concepts...),
+		Classes:    append([]string(nil), e.Classes...),
+		Body:       e.Body,
+		Policy:     e.Policy,
+	}
+}
+
+// ToCorpusDomain converts a wire domain to the document model.
+func (d *Domain) ToCorpusDomain() corpus.Domain {
+	return corpus.Domain{
+		Name:        d.Name,
+		URLTemplate: d.URLTemplate,
+		Scheme:      d.Scheme,
+		Priority:    d.Priority,
+	}
+}
+
+// Encoder writes a stream of XML messages.
+type Encoder struct {
+	enc *xml.Encoder
+	w   io.Writer
+}
+
+// NewEncoder wraps a writer.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: xml.NewEncoder(w), w: w}
+}
+
+// Encode writes one message followed by a newline separator.
+func (e *Encoder) Encode(v interface{}) error {
+	if err := e.enc.Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if err := e.enc.Flush(); err != nil {
+		return err
+	}
+	_, err := e.w.Write([]byte("\n"))
+	return err
+}
+
+// Decoder reads a stream of XML messages.
+type Decoder struct {
+	dec *xml.Decoder
+}
+
+// NewDecoder wraps a reader.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: xml.NewDecoder(r)}
+}
+
+// Decode reads the next message into v. io.EOF signals a cleanly closed
+// stream.
+func (d *Decoder) Decode(v interface{}) error {
+	err := d.dec.Decode(v)
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// OK builds a success response for a request.
+func OK(req *Request) *Response {
+	return &Response{Seq: req.Seq, Status: "ok"}
+}
+
+// Err builds an error response for a request.
+func Err(req *Request, err error) *Response {
+	return &Response{Seq: req.Seq, Status: "error", Error: err.Error()}
+}
+
+// IsOK reports whether the response indicates success.
+func (r *Response) IsOK() bool { return r.Status == "ok" }

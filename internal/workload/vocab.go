@@ -1,0 +1,126 @@
+package workload
+
+// Vocabularies for synthetic corpus generation. Concept labels are built
+// from adjective × noun combinations (plus bare nouns), so the label space
+// is large, word-like, and disjoint from the filler vocabulary — except for
+// the deliberate common-word concepts that drive overlinking.
+
+// conceptAdjectives qualify mathematical nouns in generated concept labels.
+var conceptAdjectives = []string{
+	"abelian", "absolute", "adjoint", "affine", "algebraic", "analytic",
+	"antisymmetric", "associative", "asymptotic", "bijective", "bilinear",
+	"binary", "bounded", "canonical", "cartesian", "closed", "coherent",
+	"commutative", "compact", "complete", "complex", "composite",
+	"conditional", "conformal", "congruent", "conjugate", "continuous",
+	"convergent", "convex", "countable", "cyclic", "decidable", "definite",
+	"degenerate", "dense", "diagonal", "differentiable", "dihedral",
+	"directed", "discrete", "disjoint", "distributive", "dual", "elliptic",
+	"empty", "equivalent", "euclidean", "exact", "exponential", "faithful",
+	"finite", "formal", "free", "fundamental", "generic", "geometric",
+	"harmonic", "hereditary", "holomorphic", "homogeneous", "hyperbolic",
+	"idempotent", "identical", "implicit", "indefinite", "infinite",
+	"injective", "integral", "invariant", "inverse", "invertible",
+	"irreducible", "isolated", "linear", "local", "logarithmic", "maximal",
+	"measurable", "meromorphic", "minimal", "modular", "monotone",
+	"multiplicative", "natural", "nilpotent", "nondegenerate", "nonsingular",
+	"nontrivial", "null", "open", "ordered", "orthogonal", "parabolic",
+	"partial", "perfect", "periodic", "polynomial", "positive", "primitive",
+	"principal", "projective", "proper", "quadratic", "rational", "real",
+	"recursive", "reduced", "reflexive", "regular", "relative", "residual",
+	"reversible", "riemannian", "self-adjoint", "separable", "simple",
+	"singular", "smooth", "solvable", "spectral", "stable", "stochastic",
+	"strict", "surjective", "symmetric", "topological", "total",
+	"transcendental", "transitive", "trivial", "unbounded", "uniform",
+	"unitary", "universal", "weak",
+}
+
+// conceptNouns are the heads of generated concept labels.
+var conceptNouns = []string{
+	"algebra", "algorithm", "annulus", "antichain", "arc", "automorphism",
+	"ball", "bundle", "category", "chain", "character", "circle", "closure",
+	"cocycle", "code", "cohomology", "colouring", "compactification",
+	"complement", "completion", "complexity", "congruence", "connection",
+	"continuum", "contraction", "convolution", "coordinate", "coset",
+	"covering", "cumulant", "curvature", "curve", "cycle", "decomposition",
+	"derivation", "derivative", "determinant", "diffeomorphism", "digraph",
+	"dimension", "divisor", "domain", "duality", "eigenvalue", "eigenvector",
+	"embedding", "endomorphism", "equation", "equivalence", "expansion",
+	"extension", "factorization", "family", "fibration", "filtration",
+	"fixpoint", "flow", "foliation", "form", "formula", "fraction",
+	"functional", "functor", "geodesic", "gradient", "grammar", "graphon",
+	"groupoid", "hierarchy", "homeomorphism", "homology", "homomorphism",
+	"hull", "hyperplane", "ideal", "identity", "immersion", "inclusion",
+	"inequality", "infimum", "injection", "integer", "integrand", "interval",
+	"involution", "isometry", "isomorphism", "iteration", "kernel",
+	"lattice", "lemma", "limit", "manifold", "mapping", "martingale",
+	"matrix", "matroid", "measure", "metric", "module", "monoid",
+	"monomial", "morphism", "neighbourhood", "net", "norm", "notation",
+	"operator", "orbit", "ordinal", "partition", "path",
+	"permutation", "plane", "point", "polygon", "polyhedron", "polytope",
+	"poset", "predicate", "presheaf", "product", "projection", "proof",
+	"quadrature", "quantifier", "quotient", "radical", "recursion",
+	"relation", "representation", "residue", "resolution", "rotation",
+	"scheme", "section", "semigroup", "sequence", "sheaf", "signature",
+	"simplex", "solution", "spectrum", "sphere", "subgroup", "sublattice",
+	"submanifold", "subring", "subsequence", "subspace", "substitution",
+	"sum", "supremum", "surface", "symmetry", "tensor", "theorem",
+	"topology", "transform", "transformation", "translation", "tree",
+	"triangulation", "tuple", "ultrafilter", "valuation", "variety",
+	"vector", "vertex", "walk", "wavelet", "zeta",
+}
+
+// commonWords are the deliberate overlinking culprits: concept labels that
+// are ordinary English words, so entries use them constantly in a
+// non-mathematical sense (the paper's "even" example). There are 67 of
+// them, matching the "67 user-supplied linking policies" of Table 2.
+var commonWords = []string{
+	"even", "odd", "prime", "power", "field", "ring", "group", "set",
+	"map", "base", "root", "degree", "order", "normal", "regular", "simple",
+	"face", "edge", "space", "term", "factor", "index", "unit", "sign",
+	"mean", "range", "image", "series", "limit", "bound", "measure", "net",
+	"chain", "word", "letter", "tree", "forest", "cover", "join", "meet",
+	"cut", "flow", "rank", "trace", "shift", "wave", "knot", "link",
+	"genus", "atlas", "chart", "fiber", "stalk", "germ", "category",
+	"class", "closed", "open", "dense", "complete", "perfect", "free",
+	"exact", "flat", "stable", "proper", "smooth",
+}
+
+// fillerWords form the non-concept prose of generated entries. They are
+// disjoint from every generated concept label (checked by tests), so the
+// only matches in a body are the planted invocations and the deliberate
+// common words.
+var fillerWords = []string{
+	"accordingly", "additionally", "afterwards", "albeit", "almost",
+	"already", "also", "although", "always", "among", "and", "another",
+	"anything", "are", "argue", "article", "assume", "assumption", "author",
+	"because", "become", "been", "before", "begin", "being", "below",
+	"between", "beyond", "both", "brief", "but", "can", "cannot", "case",
+	"certainly", "choose", "claim", "clearly", "conclude", "conclusion",
+	"consequently", "consider", "construct", "construction", "context",
+	"conversely", "could", "define", "definition", "demonstrate", "denote",
+	"describe", "description", "desired", "detail", "discussion", "does",
+	"each", "easily", "easy", "either", "enough", "establish", "evidently",
+	"example", "exercise", "exist", "exists", "fact", "finally", "first",
+	"fix", "follow", "following", "follows", "for", "from", "further",
+	"furthermore", "give", "given", "gives", "has", "have", "having",
+	"hence", "here", "hold", "holds", "how", "however", "idea", "immediate",
+	"immediately", "indeed", "instance", "into", "introduce", "intuition",
+	"its", "itself", "just", "know", "known", "last", "latter", "least",
+	"let", "likewise", "may", "mention", "merely", "might", "more",
+	"moreover", "most", "must", "namely", "need", "next", "not", "note",
+	"nothing", "notice", "now", "observe", "observation", "obtain",
+	"obviously", "occur", "often", "once", "one", "only", "onto", "other",
+	"otherwise", "our", "over", "particular", "particularly", "precisely",
+	"previous", "proceed", "provide", "purpose", "question", "rather",
+	"reader", "reason", "recall", "remains", "remark", "require",
+	"respectively", "result", "said", "same", "satisfies", "satisfy", "say",
+	"second", "see", "seen", "several", "shall", "show", "shown",
+	"similar", "similarly", "since", "some", "something", "statement",
+	"straightforward", "such", "suffices", "sufficient", "suppose", "take",
+	"text", "than", "that", "the", "their", "then", "there", "therefore",
+	"these", "they", "this", "those", "through", "thus", "together",
+	"toward", "under", "unless", "until", "upon", "use", "useful", "using",
+	"various", "verify", "very", "want", "was", "way", "well", "were",
+	"what", "when", "whence", "where", "whether", "which", "while", "whose",
+	"will", "with", "within", "without", "work", "would", "write", "yields",
+}

@@ -1,0 +1,540 @@
+// Package workload generates synthetic PlanetMath-scale corpora with ground
+// truth, substituting for the live PlanetMath collection the paper
+// evaluates on (7,145 entries defining 12,171 concepts). The generator
+// reproduces the statistical properties that drive the paper's numbers:
+//
+//   - an MSC-like three-level classification scheme;
+//   - homonymous concept labels defined in different subject areas (the
+//     mislinking driver, paper §2.3's "graph" example);
+//   - concept labels that are common English words used mostly in a
+//     non-mathematical sense (the overlinking driver, §2.4's "even"
+//     example) — 67 of them, matching Table 2's 67 linking policies;
+//   - morphological variation (pluralized and capitalized invocations);
+//   - TeX math spans that must not be linked.
+//
+// Unlike the paper's hand surveys, every generated invocation carries its
+// intended target, so precision and recall are measured exactly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/corpus"
+	"nnexus/internal/morph"
+)
+
+// Params controls corpus generation.
+type Params struct {
+	// Entries is the total number of generated entries.
+	Entries int
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// Scheme shape: Areas top-level classes, each with MidPerArea children,
+	// each with LeavesPerMid leaves.
+	Areas        int
+	MidPerArea   int
+	LeavesPerMid int
+	// BaseWeight is the classification edge-weight base (paper default 10).
+	BaseWeight int
+
+	// HomonymLabels is the number of concept labels defined by two entries
+	// in different areas.
+	HomonymLabels int
+	// CommonConcepts is the number of common-English-word concepts
+	// (overlink culprits). At most len(CommonWords()).
+	CommonConcepts int
+
+	// InvocationsPerEntry is how many concept invocations each entry body
+	// plants.
+	InvocationsPerEntry int
+
+	// PHomonym and PCommon are the per-invocation probabilities of
+	// invoking a homonym label or a common-word label (the rest invoke
+	// uniquely defined concepts).
+	PHomonym float64
+	PCommon  float64
+	// PCrossTopic is the probability that a homonym invocation means the
+	// sense *away* from the citing entry's own area — the cases
+	// classification steering necessarily gets wrong.
+	PCrossTopic float64
+	// PMathUseSameArea is the probability that a common word used by an
+	// entry in the definer's own area is meant mathematically.
+	PMathUseSameArea float64
+	// SynonymFraction of regular entries define one synonym label.
+	SynonymFraction float64
+	// SecondClassFraction of entries carry a second classification in a
+	// different section of the same area (the paper: "Each object ... may
+	// contain one or more classifications"; steering then uses the minimum
+	// distance over all class pairs).
+	SecondClassFraction float64
+	// LaTeX emits bodies with TeX markup (\emph-wrapped invocations,
+	// \(...\) math, comments), as real Noosphere entries are written.
+	// Engines must then run with the LaTeX option.
+	LaTeX bool
+}
+
+// DefaultParams returns the parameters used throughout the experiment
+// harness, calibrated so the three engine modes land in the precision bands
+// the paper reports (≈80% lexical, ≈88% steered, >92% with policies).
+func DefaultParams(entries int) Params {
+	h := entries / 25
+	if h < 4 {
+		h = 4
+	}
+	c := 67
+	if max := entries / 10; c > max {
+		c = max
+	}
+	if c < 1 {
+		c = 1
+	}
+	return Params{
+		Entries:             entries,
+		Seed:                20090601,
+		Areas:               12,
+		MidPerArea:          5,
+		LeavesPerMid:        6,
+		BaseWeight:          10,
+		HomonymLabels:       h,
+		CommonConcepts:      c,
+		InvocationsPerEntry: 8,
+		PHomonym:            0.25,
+		PCommon:             0.08,
+		PCrossTopic:         0.15,
+		PMathUseSameArea:    0.80,
+		SynonymFraction:     0.20,
+	}
+}
+
+// Invocation is one planted concept use with its intended target.
+type Invocation struct {
+	// Label is the normalized concept label as the engine will report it.
+	Label string
+	// Target is the generator index (1-based) of the intended target
+	// entry; 0 means the use is non-mathematical and must not be linked.
+	Target int
+	// Kind records why the invocation was planted: "regular", "homonym",
+	// "homonym-cross", "common-math", or "common-nonmath".
+	Kind string
+}
+
+// GenEntry is one generated entry with its ground truth.
+type GenEntry struct {
+	// Index is the 1-based generation index; adding the entries to a fresh
+	// engine in order makes engine IDs equal indexes.
+	Index int
+	Entry *corpus.Entry
+	Truth []Invocation
+	// Area is the entry's top-level class.
+	Area string
+}
+
+// Corpus is a generated corpus with its scheme and ground truth.
+type Corpus struct {
+	Params  Params
+	Scheme  *classification.Scheme
+	Entries []*GenEntry
+	// CommonDefiners maps each common-word label to the index of its
+	// defining entry.
+	CommonDefiners map[string]int
+	// HomonymSenses maps each homonym label to its 2 defining indexes.
+	HomonymSenses map[string][]int
+}
+
+// CommonWords exposes the common-word concept list (for harnesses that
+// install linking policies).
+func CommonWords() []string { return append([]string(nil), commonWords...) }
+
+// Generate builds a deterministic synthetic corpus.
+func Generate(p Params) (*Corpus, error) {
+	if p.Entries < 3 {
+		return nil, fmt.Errorf("workload: need at least 3 entries, got %d", p.Entries)
+	}
+	if p.CommonConcepts > len(commonWords) {
+		return nil, fmt.Errorf("workload: at most %d common concepts", len(commonWords))
+	}
+	minEntries := p.CommonConcepts + 2*p.HomonymLabels + 1
+	if p.Entries < minEntries {
+		return nil, fmt.Errorf("workload: %d entries cannot hold %d common + %d homonym definers",
+			p.Entries, p.CommonConcepts, p.HomonymLabels)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &generator{p: p, rng: rng}
+	g.buildScheme()
+	g.buildEntries()
+	g.buildBodies()
+	return g.corpus, nil
+}
+
+type generator struct {
+	p      Params
+	rng    *rand.Rand
+	corpus *Corpus
+	leaves []string            // all leaf class ids
+	areaOf map[string]string   // leaf class → area class
+	labels map[string]struct{} // all normalized labels, for uniqueness
+	// regular entries (unique definers) available as invocation targets
+	regularIdx []int
+	commonIdx  []int    // definer index per common concept
+	commonLbl  []string // label per common concept
+	homLbls    []string
+	// homByArea indexes homonym labels by the areas of their senses, so
+	// entries mostly invoke homonyms native to their own area (an article
+	// about graph theory says "graph"; one about set theory rarely does).
+	homByArea map[string][]string
+}
+
+// buildScheme creates the MSC-like classification tree.
+func (g *generator) buildScheme() {
+	s := classification.NewScheme("synthetic-msc", g.p.BaseWeight)
+	var leaves []string
+	areaOf := make(map[string]string)
+	for a := 0; a < g.p.Areas; a++ {
+		area := fmt.Sprintf("%02d-XX", a)
+		mustAdd(s, area, fmt.Sprintf("Area %02d", a), "")
+		for m := 0; m < g.p.MidPerArea; m++ {
+			mid := fmt.Sprintf("%02d%cxx", a, 'A'+m)
+			mustAdd(s, mid, fmt.Sprintf("Area %02d section %c", a, 'A'+m), area)
+			for l := 0; l < g.p.LeavesPerMid; l++ {
+				leaf := fmt.Sprintf("%02d%c%02d", a, 'A'+m, l*5)
+				mustAdd(s, leaf, fmt.Sprintf("Leaf %s", leaf), mid)
+				leaves = append(leaves, leaf)
+				areaOf[leaf] = area
+			}
+		}
+	}
+	if err := s.Build(); err != nil {
+		panic("workload: scheme build: " + err.Error())
+	}
+	g.leaves = leaves
+	g.areaOf = areaOf
+	g.corpus = &Corpus{
+		Params:         g.p,
+		Scheme:         s,
+		CommonDefiners: make(map[string]int),
+		HomonymSenses:  make(map[string][]int),
+	}
+}
+
+func mustAdd(s *classification.Scheme, id, name, parent string) {
+	if err := s.AddClass(id, name, parent); err != nil {
+		panic("workload: " + err.Error())
+	}
+}
+
+// leafInArea picks a random leaf whose area equals area.
+func (g *generator) leafInArea(area string) string {
+	for {
+		leaf := g.leaves[g.rng.Intn(len(g.leaves))]
+		if g.areaOf[leaf] == area {
+			return leaf
+		}
+	}
+}
+
+// leafInOtherArea picks a random leaf outside the given area.
+func (g *generator) leafInOtherArea(area string) string {
+	for {
+		leaf := g.leaves[g.rng.Intn(len(g.leaves))]
+		if g.areaOf[leaf] != area {
+			return leaf
+		}
+	}
+}
+
+// freshLabel generates a unique adjective–noun concept label.
+func (g *generator) freshLabel() string {
+	for {
+		adj := conceptAdjectives[g.rng.Intn(len(conceptAdjectives))]
+		noun := conceptNouns[g.rng.Intn(len(conceptNouns))]
+		label := adj + " " + noun
+		norm := morph.NormalizeLabel(label)
+		if _, dup := g.labels[norm]; !dup {
+			g.labels[norm] = struct{}{}
+			return label
+		}
+	}
+}
+
+// buildEntries creates the entry skeletons: common-word definers first,
+// then homonym sense pairs, then regular unique definers.
+func (g *generator) buildEntries() {
+	g.labels = make(map[string]struct{})
+	// Reserve every common word up front so regular labels can't collide.
+	for _, w := range commonWords {
+		g.labels[morph.NormalizeLabel(w)] = struct{}{}
+	}
+	idx := 0
+	newEntry := func(title string, concepts []string, leaf string) *GenEntry {
+		idx++
+		classes := []string{leaf}
+		if g.p.SecondClassFraction > 0 && g.rng.Float64() < g.p.SecondClassFraction {
+			// A second class within the same area keeps the entry's topic
+			// coherent while exercising the min-over-pairs distance rule.
+			second := g.leafInArea(g.areaOf[leaf])
+			if second != leaf {
+				classes = append(classes, second)
+			}
+		}
+		ge := &GenEntry{
+			Index: idx,
+			Area:  g.areaOf[leaf],
+			Entry: &corpus.Entry{
+				Title:    title,
+				Concepts: concepts,
+				Classes:  classes,
+			},
+		}
+		g.corpus.Entries = append(g.corpus.Entries, ge)
+		return ge
+	}
+
+	// Common-word definers ("even number" defines concept "even").
+	for i := 0; i < g.p.CommonConcepts; i++ {
+		w := commonWords[i]
+		leaf := g.leaves[g.rng.Intn(len(g.leaves))]
+		ge := newEntry(w+" object", []string{w}, leaf)
+		g.corpus.CommonDefiners[morph.NormalizeLabel(w)] = ge.Index
+		g.commonIdx = append(g.commonIdx, ge.Index)
+		g.commonLbl = append(g.commonLbl, w)
+		// The definer's own title is also a label; register it.
+		g.labels[morph.NormalizeLabel(w+" object")] = struct{}{}
+	}
+
+	// Homonym sense pairs: same label, different areas.
+	for i := 0; i < g.p.HomonymLabels; i++ {
+		label := g.freshLabel()
+		norm := morph.NormalizeLabel(label)
+		leafA := g.leaves[g.rng.Intn(len(g.leaves))]
+		leafB := g.leafInOtherArea(g.areaOf[leafA])
+		a := newEntry(label, nil, leafA)
+		b := newEntry(label, nil, leafB)
+		g.corpus.HomonymSenses[norm] = []int{a.Index, b.Index}
+		g.homLbls = append(g.homLbls, label)
+		if g.homByArea == nil {
+			g.homByArea = make(map[string][]string)
+		}
+		g.homByArea[a.Area] = append(g.homByArea[a.Area], label)
+		g.homByArea[b.Area] = append(g.homByArea[b.Area], label)
+	}
+
+	// Regular unique definers.
+	for idx < g.p.Entries {
+		label := g.freshLabel()
+		var concepts []string
+		if g.rng.Float64() < g.p.SynonymFraction {
+			syn := g.freshLabel()
+			concepts = append(concepts, syn)
+		}
+		leaf := g.leaves[g.rng.Intn(len(g.leaves))]
+		ge := newEntry(label, concepts, leaf)
+		g.regularIdx = append(g.regularIdx, ge.Index)
+	}
+}
+
+// buildBodies plants the invocations and filler prose.
+func (g *generator) buildBodies() {
+	for _, ge := range g.corpus.Entries {
+		g.buildBody(ge)
+	}
+}
+
+func (g *generator) buildBody(ge *GenEntry) {
+	var b strings.Builder
+	used := map[string]bool{}
+	// Never invoke the entry's own labels (they would be self-links).
+	for _, l := range ge.Entry.Labels() {
+		used[morph.NormalizeLabel(l)] = true
+	}
+	writeFiller := func() {
+		n := 4 + g.rng.Intn(8)
+		for i := 0; i < n; i++ {
+			b.WriteString(fillerWords[g.rng.Intn(len(fillerWords))])
+			b.WriteByte(' ')
+		}
+		switch g.rng.Intn(10) {
+		case 0:
+			if g.p.LaTeX && g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "\\(x_{%d} + y^{%d}\\) ", g.rng.Intn(9), g.rng.Intn(9))
+			} else {
+				fmt.Fprintf(&b, "$x_{%d} + y^{%d}$ ", g.rng.Intn(9), g.rng.Intn(9))
+			}
+		case 1:
+			b.WriteString(". ")
+		case 2:
+			if g.p.LaTeX {
+				b.WriteString("% a source comment\n")
+			}
+		}
+	}
+	writeFiller()
+	planted := 0
+	for attempts := 0; planted < g.p.InvocationsPerEntry && attempts < g.p.InvocationsPerEntry*6; attempts++ {
+		inv, text := g.pickInvocation(ge)
+		if inv == nil || used[inv.Label] {
+			continue
+		}
+		used[inv.Label] = true
+		ge.Truth = append(ge.Truth, *inv)
+		b.WriteString(text)
+		b.WriteByte(' ')
+		writeFiller()
+		planted++
+	}
+	b.WriteString(".")
+	ge.Entry.Body = b.String()
+}
+
+// pickInvocation selects one invocation for the entry and renders its
+// surface form (possibly pluralized or capitalized).
+func (g *generator) pickInvocation(ge *GenEntry) (*Invocation, string) {
+	r := g.rng.Float64()
+	switch {
+	case r < g.p.PCommon && len(g.commonIdx) > 0:
+		k := g.rng.Intn(len(g.commonIdx))
+		definer := g.corpus.Entries[g.commonIdx[k]-1]
+		label := g.commonLbl[k]
+		norm := morph.NormalizeLabel(label)
+		if definer.Area == ge.Area && g.rng.Float64() < g.p.PMathUseSameArea {
+			return &Invocation{Label: norm, Target: definer.Index, Kind: "common-math"}, label
+		}
+		return &Invocation{Label: norm, Target: 0, Kind: "common-nonmath"}, label
+
+	case r < g.p.PCommon+g.p.PHomonym && len(g.homLbls) > 0:
+		// Prefer homonyms with a sense in the entry's own area: that is
+		// where the term is actually in an author's working vocabulary,
+		// and it is what makes steering informative (same-area sense near,
+		// other-area sense far).
+		pool := g.homByArea[ge.Area]
+		if len(pool) == 0 || g.rng.Float64() < 0.1 {
+			pool = g.homLbls
+		}
+		label := pool[g.rng.Intn(len(pool))]
+		norm := morph.NormalizeLabel(label)
+		senses := g.corpus.HomonymSenses[norm]
+		near, far := g.orderSenses(ge, senses)
+		if g.rng.Float64() < g.p.PCrossTopic {
+			return &Invocation{Label: norm, Target: far, Kind: "homonym-cross"}, g.surface(label)
+		}
+		return &Invocation{Label: norm, Target: near, Kind: "homonym"}, g.surface(label)
+
+	default:
+		if len(g.regularIdx) == 0 {
+			return nil, ""
+		}
+		target := g.corpus.Entries[g.regularIdx[g.rng.Intn(len(g.regularIdx))]-1]
+		if target.Index == ge.Index {
+			return nil, ""
+		}
+		labels := target.Entry.Labels()
+		label := labels[g.rng.Intn(len(labels))]
+		return &Invocation{
+			Label:  morph.NormalizeLabel(label),
+			Target: target.Index,
+			Kind:   "regular",
+		}, g.surface(label)
+	}
+}
+
+// orderSenses returns the homonym sense nearest to the entry's class (by
+// scheme distance, ties to the lower index — matching the engine's
+// deterministic tie-break) and the farther one.
+func (g *generator) orderSenses(ge *GenEntry, senses []int) (near, far int) {
+	src := ge.Entry.Classes
+	best, bestD := senses[0], int64(1<<62-1)
+	for _, s := range senses {
+		d := classification.MinDistance(g.corpus.Scheme, src, g.corpus.Entries[s-1].Entry.Classes)
+		if d < bestD || (d == bestD && s < best) {
+			best, bestD = s, d
+		}
+	}
+	near = best
+	for _, s := range senses {
+		if s != near {
+			return near, s
+		}
+	}
+	return near, near
+}
+
+// surface renders a label's textual occurrence: sometimes pluralized,
+// sometimes capitalized, and — in LaTeX corpora — sometimes wrapped in a
+// text command, exercising the morphological and markup invariances.
+func (g *generator) surface(label string) string {
+	words := strings.Fields(label)
+	if g.rng.Float64() < 0.2 {
+		words[len(words)-1] = morph.Pluralize(words[len(words)-1])
+	}
+	if g.rng.Float64() < 0.15 {
+		words[0] = strings.ToUpper(words[0][:1]) + words[0][1:]
+	}
+	out := strings.Join(words, " ")
+	if g.p.LaTeX {
+		switch g.rng.Intn(6) {
+		case 0:
+			out = `\emph{` + out + `}`
+		case 1:
+			out = `\textbf{` + out + `}`
+		}
+	}
+	return out
+}
+
+// PolicyFor builds the linking policy that fixes a common-word concept's
+// overlinking, in the style of the paper's "even" example: forbid the label
+// everywhere except from the definer's own top-level area.
+func (c *Corpus) PolicyFor(label string) (index int, policyText string, err error) {
+	norm := morph.NormalizeLabel(label)
+	idx, ok := c.CommonDefiners[norm]
+	if !ok {
+		return 0, "", fmt.Errorf("workload: %q is not a common-word concept", label)
+	}
+	area := c.Entries[idx-1].Area
+	return idx, fmt.Sprintf("forbid %s\nallow %s from %s", norm, norm, area), nil
+}
+
+// Subset returns the first n entries (generation order), re-slicing the
+// corpus for scalability sweeps. Ground truth targets beyond n are marked
+// external (Target 0 would be wrong — they become un-linkable, so they are
+// dropped from truth).
+func (c *Corpus) Subset(n int) *Corpus {
+	if n >= len(c.Entries) {
+		return c
+	}
+	sub := &Corpus{
+		Params:         c.Params,
+		Scheme:         c.Scheme,
+		CommonDefiners: make(map[string]int),
+		HomonymSenses:  make(map[string][]int),
+	}
+	for label, idx := range c.CommonDefiners {
+		if idx <= n {
+			sub.CommonDefiners[label] = idx
+		}
+	}
+	for label, senses := range c.HomonymSenses {
+		var kept []int
+		for _, s := range senses {
+			if s <= n {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) > 0 {
+			sub.HomonymSenses[label] = kept
+		}
+	}
+	for _, ge := range c.Entries[:n] {
+		copied := &GenEntry{Index: ge.Index, Area: ge.Area, Entry: ge.Entry}
+		for _, inv := range ge.Truth {
+			if inv.Target <= n {
+				copied.Truth = append(copied.Truth, inv)
+			}
+		}
+		sub.Entries = append(sub.Entries, copied)
+	}
+	return sub
+}

@@ -1,0 +1,445 @@
+// Package nnexus is a Go implementation of NNexus (Noosphere Networked
+// Entry eXtension and Unification System), the automatic invocation linker
+// behind PlanetMath.org, as described in Gardner, Krowne & Xiong,
+// "NNexus: An Automatic Linker for Collaborative Web-Based Corpora" (2009).
+//
+// NNexus turns every term or phrase in an entry that invokes a concept
+// defined elsewhere in a collection into a hyperlink to the defining entry
+// — automatically, with no author effort. It keeps perfect link recall via
+// a concept map with longest-phrase matching, fights mislinking with
+// classification-based link steering over a weighted subject-class tree,
+// fights overlinking with per-entry linking policies, and keeps a growing
+// corpus fully linked with an invalidation index.
+//
+// # Quick start
+//
+//	scheme := nnexus.SampleMSC(10)
+//	engine, _ := nnexus.New(nnexus.Config{Scheme: scheme})
+//	defer engine.Close()
+//	engine.AddDomain(nnexus.Domain{
+//		Name:        "planetmath.org",
+//		URLTemplate: "http://planetmath.org/?op=getobj&id={id}",
+//		Scheme:      "msc",
+//	})
+//	engine.AddEntry(&nnexus.Entry{
+//		Domain:  "planetmath.org",
+//		Title:   "planar graph",
+//		Classes: []string{"05C10"},
+//	})
+//	res, _ := engine.LinkText("every planar graph is nice", nnexus.LinkOptions{})
+//	fmt.Println(res.Output)
+//
+// The deeper machinery lives in internal packages; this package is the
+// stable public surface.
+package nnexus
+
+import (
+	"time"
+
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"nnexus/internal/cfrank"
+	"nnexus/internal/classification"
+	"nnexus/internal/client"
+	"nnexus/internal/config"
+	"nnexus/internal/core"
+	"nnexus/internal/corpus"
+	"nnexus/internal/httpapi"
+	"nnexus/internal/keywords"
+	"nnexus/internal/latex"
+	"nnexus/internal/ontomap"
+	"nnexus/internal/owl"
+	"nnexus/internal/render"
+	"nnexus/internal/semnet"
+	"nnexus/internal/server"
+	"nnexus/internal/storage"
+)
+
+// Core data types, re-exported from the implementation packages.
+type (
+	// Entry is one corpus object: its concept labels, classes, and body.
+	Entry = corpus.Entry
+	// Domain describes one corpus site: URL template, scheme, priority.
+	Domain = corpus.Domain
+	// Scheme is a subject classification hierarchy.
+	Scheme = classification.Scheme
+	// Mapper translates classes between classification schemes.
+	Mapper = ontomap.Mapper
+	// Mode selects the linking pipeline configuration.
+	Mode = core.Mode
+	// Format selects the output syntax of substituted links.
+	Format = render.Format
+	// LinkOptions controls a single linking operation.
+	LinkOptions = core.LinkOptions
+	// Result is the outcome of linking one text or entry.
+	Result = core.Result
+	// Link is one created hyperlink.
+	Link = core.Link
+	// Skip is one suppressed match.
+	Skip = core.Skip
+	// Client talks to a remote NNexus server over the XML socket protocol.
+	Client = client.Client
+	// DeployConfig is a parsed XML deployment configuration.
+	DeployConfig = config.Config
+	// KeywordExtractor suggests concept labels and overlink suspects from
+	// corpus statistics (the paper's automatic keyword extraction).
+	KeywordExtractor = keywords.Extractor
+	// Keyword is one scored candidate concept label.
+	Keyword = keywords.Keyword
+	// LinkMatrix is the entry-entry link matrix used for collaborative-
+	// filtering tie ranking (the paper's §5 future work).
+	LinkMatrix = cfrank.Matrix
+	// Network is the semantic network of invocation links between entries.
+	Network = semnet.Graph
+	// NetworkStats summarizes a network's connectivity.
+	NetworkStats = semnet.Stats
+)
+
+// LoadConfig reads an XML deployment configuration file.
+func LoadConfig(path string) (*DeployConfig, error) { return config.Load(path) }
+
+// Pipeline modes (see the paper's Table 2 configurations).
+const (
+	// ModeDefault resolves to ModeSteeredPolicies, the deployed pipeline.
+	ModeDefault = core.ModeDefault
+	// ModeLexical links by lexical matching only.
+	ModeLexical = core.ModeLexical
+	// ModeSteered adds classification-based link steering.
+	ModeSteered = core.ModeSteered
+	// ModeSteeredPolicies adds entry filtering by linking policies.
+	ModeSteeredPolicies = core.ModeSteeredPolicies
+)
+
+// Output formats.
+const (
+	// HTML wraps link sources in <a href="..."> anchors.
+	HTML = render.HTML
+	// Markdown emits [text](url) links.
+	Markdown = render.Markdown
+)
+
+// DefaultBaseWeight is the paper's default classification weight base.
+const DefaultBaseWeight = classification.DefaultBaseWeight
+
+// NewScheme creates an empty classification scheme with the given weight
+// base; add classes with AddClass and freeze it with Build.
+func NewScheme(name string, baseWeight int) *Scheme {
+	return classification.NewScheme(name, baseWeight)
+}
+
+// SampleMSC builds the Mathematical Subject Classification subtree used in
+// the paper's running example — handy for tests and demos.
+func SampleMSC(baseWeight int) *Scheme {
+	return classification.SampleMSC(baseWeight)
+}
+
+// MSC2000 builds a scheme with every top-level area of the real MSC 2000
+// classification; grow deeper subtrees with AddClass before Build by using
+// NewScheme instead.
+func MSC2000(baseWeight int) *Scheme {
+	return classification.MSC2000(baseWeight)
+}
+
+// NewKeywordExtractor returns an empty keyword extractor; feed it the
+// corpus with AddDocument, then call Keywords or OverlinkSuspects.
+func NewKeywordExtractor() *KeywordExtractor { return keywords.NewExtractor() }
+
+// NewLinkMatrix returns an empty collaborative-filtering link matrix. Wire
+// it into an engine with Config.TieRanker = matrix.Best and feed it with
+// RecordLink / RecordFeedback.
+func NewLinkMatrix() *LinkMatrix { return cfrank.NewMatrix() }
+
+// LaTeXToText converts LaTeX-marked prose to plain linkable text,
+// preserving math spans verbatim so the linker skips them.
+func LaTeXToText(input string) string { return latex.ToText(input) }
+
+// LoadSchemeOWL reads a classification scheme from an OWL RDF/XML document.
+func LoadSchemeOWL(r io.Reader, name string, baseWeight int) (*Scheme, error) {
+	return owl.ParseScheme(r, name, baseWeight)
+}
+
+// LoadSchemeOWLFile reads a classification scheme from an OWL file on disk.
+func LoadSchemeOWLFile(path, name string, baseWeight int) (*Scheme, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nnexus: open scheme: %w", err)
+	}
+	defer f.Close()
+	return owl.ParseScheme(f, name, baseWeight)
+}
+
+// SaveSchemeOWL writes a classification scheme as OWL RDF/XML.
+func SaveSchemeOWL(w io.Writer, s *Scheme) error {
+	return owl.WriteScheme(w, s)
+}
+
+// NewMapper creates an ontology mapper translating classes of scheme
+// `from` into classes of scheme `to`.
+func NewMapper(from, to string) *Mapper {
+	return ontomap.NewMapper(from, to)
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Scheme is the canonical classification scheme used for link
+	// steering. Required.
+	Scheme *Scheme
+	// DataDir persists the engine's tables (entries, domains, policies,
+	// invalidation flags) under this directory; empty runs memory-only.
+	DataDir string
+	// SyncWrites makes every persisted mutation fsync before returning.
+	SyncWrites bool
+	// Mode is the default pipeline mode (ModeDefault = full pipeline).
+	Mode Mode
+	// Format is the default output format (HTML).
+	Format Format
+	// AllowSelfLinks permits entries to link to their own concepts.
+	AllowSelfLinks bool
+	// LinkAllOccurrences links every occurrence of a concept label rather
+	// than only the first (the deployed system links only the first, "to
+	// reduce visual clutter").
+	LinkAllOccurrences bool
+	// TieRanker optionally resolves classification-steering ties from
+	// accumulated link history; use NewLinkMatrix().Best.
+	TieRanker func(source int64, candidates []int64) (int64, bool)
+	// LaTeX converts entry bodies and linked text from LaTeX markup to
+	// plain text before scanning (Noosphere entries are written in TeX).
+	LaTeX bool
+}
+
+// Engine is a fully assembled NNexus instance.
+type Engine struct {
+	core  *core.Engine
+	store *storage.Store
+}
+
+// New assembles an engine from the configuration. When DataDir is set, any
+// previously persisted state is loaded and all indexes rebuilt.
+func New(cfg Config) (*Engine, error) {
+	var store *storage.Store
+	if cfg.DataDir != "" {
+		var opts []storage.Option
+		if cfg.SyncWrites {
+			opts = append(opts, storage.WithSyncWrites())
+		}
+		var err error
+		store, err = storage.Open(cfg.DataDir, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := core.NewEngine(core.Config{
+		Scheme:             cfg.Scheme,
+		Store:              store,
+		Mode:               cfg.Mode,
+		Format:             cfg.Format,
+		AllowSelfLinks:     cfg.AllowSelfLinks,
+		LinkAllOccurrences: cfg.LinkAllOccurrences,
+		TieRanker:          cfg.TieRanker,
+		LaTeX:              cfg.LaTeX,
+	})
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	return &Engine{core: eng, store: store}, nil
+}
+
+// Close flushes and closes the engine's persistent store, if any.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
+}
+
+// Compact snapshots the persistent store and truncates its write-ahead log.
+func (e *Engine) Compact() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Compact()
+}
+
+// AddDomain registers (or replaces) a corpus domain.
+func (e *Engine) AddDomain(d Domain) error { return e.core.AddDomain(d) }
+
+// Domain returns a registered domain by name.
+func (e *Engine) Domain(name string) (*Domain, bool) { return e.core.Domain(name) }
+
+// Domains returns all registered domain names, sorted.
+func (e *Engine) Domains() []string { return e.core.Domains() }
+
+// RegisterMapper installs an ontology mapper used to translate a foreign
+// domain's classes into the engine's canonical scheme.
+func (e *Engine) RegisterMapper(m *Mapper) error { return e.core.RegisterMapper(m) }
+
+// AddEntry validates, stores, and indexes a new entry, assigns its ID (also
+// set on the passed entry), and invalidates affected entries.
+func (e *Engine) AddEntry(entry *Entry) (int64, error) { return e.core.AddEntry(entry) }
+
+// UpdateEntry replaces an existing entry and re-indexes it.
+func (e *Engine) UpdateEntry(entry *Entry) error { return e.core.UpdateEntry(entry) }
+
+// RemoveEntry deletes an entry and invalidates entries that linked to it.
+func (e *Engine) RemoveEntry(id int64) error { return e.core.RemoveEntry(id) }
+
+// Entry returns a copy of the entry with the given ID.
+func (e *Engine) Entry(id int64) (*Entry, bool) { return e.core.Entry(id) }
+
+// Entries returns all entry IDs, sorted.
+func (e *Engine) Entries() []int64 { return e.core.Entries() }
+
+// NumEntries returns the number of entries in the collection.
+func (e *Engine) NumEntries() int { return e.core.NumEntries() }
+
+// NumConcepts returns the number of distinct concept labels indexed.
+func (e *Engine) NumConcepts() int { return e.core.NumConcepts() }
+
+// Scheme returns the engine's canonical classification scheme.
+func (e *Engine) Scheme() *Scheme { return e.core.Scheme() }
+
+// SetPolicy installs (or with empty text removes) an entry's linking
+// policy, e.g. "forbid even\nallow even from 11-XX".
+func (e *Engine) SetPolicy(id int64, policyText string) error {
+	return e.core.SetPolicy(id, policyText)
+}
+
+// LinkText runs the linking pipeline over free text: tokenize with
+// escaping, match concepts, filter by policies, steer by classification,
+// substitute the winning links.
+func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
+	return e.core.LinkText(text, opts)
+}
+
+// LinkEntry links a stored entry's body against the whole collection and
+// clears its invalidation flag.
+func (e *Engine) LinkEntry(id int64, opts LinkOptions) (*Result, error) {
+	return e.core.LinkEntry(id, opts)
+}
+
+// ApplyConfig registers the domains and ontology mappers of a parsed
+// deployment configuration (see internal/config's package documentation for
+// the XML format).
+func (e *Engine) ApplyConfig(cfg *DeployConfig) error { return cfg.Apply(e.core) }
+
+// LinkEntryCached serves a default-pipeline rendering of a stored entry
+// from the rendered-output cache, re-linking only when the entry has been
+// invalidated. The boolean reports whether the cache was hit.
+func (e *Engine) LinkEntryCached(id int64) (*Result, bool, error) {
+	return e.core.LinkEntryCached(id)
+}
+
+// CacheStats returns cumulative hit/miss counts of the rendered cache.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.core.CacheStats() }
+
+// Invalidated returns the IDs of entries marked for re-linking because
+// concepts they may invoke were added or changed.
+func (e *Engine) Invalidated() []int64 { return e.core.Invalidated() }
+
+// RelinkInvalidated re-links every invalidated entry.
+func (e *Engine) RelinkInvalidated() (map[int64]*Result, error) {
+	return e.core.RelinkInvalidated()
+}
+
+// RelinkInvalidatedParallel re-links every invalidated entry with a worker
+// pool (workers ≤ 0 selects GOMAXPROCS).
+func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, error) {
+	return e.core.RelinkInvalidatedParallel(workers)
+}
+
+// ImportOAI ingests an OAI-style XML metadata dump (see the corpus format
+// in the README): the named domain must already be registered. It returns
+// the assigned entry IDs.
+func (e *Engine) ImportOAI(r io.Reader) ([]int64, error) {
+	res, err := corpus.ImportOAI(r)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(res.Entries))
+	for _, entry := range res.Entries {
+		id, err := e.core.AddEntry(entry)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// ImportOAIStream ingests an OAI-style dump record by record in constant
+// memory, for large corpus exports. It returns how many entries were added.
+func (e *Engine) ImportOAIStream(r io.Reader) (int, error) {
+	n := 0
+	_, _, err := corpus.ImportOAIStream(r, func(entry *Entry) error {
+		if _, err := e.core.AddEntry(entry); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// SemanticNetwork links every stored entry and materializes the resulting
+// network of invocation links — the paper's "fully connected network of
+// articles". Analyse it with Network.Stats (pass 1 for exact reachability,
+// larger values to sample sources on big corpora) or export it with
+// Network.WriteDOT.
+func (e *Engine) SemanticNetwork() (*Network, error) {
+	g := semnet.New()
+	ids := e.core.Entries()
+	for _, id := range ids {
+		if entry, ok := e.core.Entry(id); ok {
+			g.AddNode(id, entry.Title)
+		}
+	}
+	for _, id := range ids {
+		res, err := e.core.LinkEntry(id, core.LinkOptions{})
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range res.Links {
+			g.AddEdge(id, l.Target, l.Label)
+		}
+	}
+	return g, nil
+}
+
+// Server exposes an engine over the XML socket protocol.
+type Server = server.Server
+
+// Serve starts an XML-protocol TCP server for the engine on addr
+// ("host:port"; port 0 picks a free port). The returned bound address can
+// be passed to Dial. logger may be nil.
+func (e *Engine) Serve(addr string, logger *log.Logger) (*Server, string, error) {
+	srv := server.New(e.core, logger)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// Dial connects to an NNexus server.
+func Dial(addr string) (*Client, error) {
+	return client.Dial(addr, dialTimeout)
+}
+
+// HTTPHandler returns an http.Handler exposing the engine as a web service
+// (paper §3.4): POST /api/link for on-demand text linking, CRUD under
+// /api/entries, and an interactive form at /. Mount it on any mux or server:
+//
+//	http.ListenAndServe(":8080", engine.HTTPHandler())
+func (e *Engine) HTTPHandler() http.Handler {
+	return httpapi.New(e.core)
+}
+
+// dialTimeout bounds Dial's connection attempt.
+const dialTimeout = 5 * time.Second
