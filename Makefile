@@ -1,9 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench experiments fuzz cover clean
+.PHONY: build vet test race bench experiments fuzz cover clean
 
 build:
 	go build ./...
+
+vet:
+	go vet ./...
 
 test:
 	go test ./...

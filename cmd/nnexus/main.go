@@ -293,6 +293,7 @@ func runRelink(args []string) error {
 
 func runStats(args []string) error {
 	c := newFlags("stats")
+	prom := c.fs.Bool("prometheus", false, "dump full telemetry in Prometheus text format instead of a summary")
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
@@ -308,6 +309,11 @@ func runStats(args []string) error {
 		}
 		fmt.Printf("entries: %d\nconcepts: %d\ndomains: %d\ninvalidated: %d\n",
 			s.Entries, s.Concepts, s.Domains, s.Invalidated)
+		// Telemetry counters, when the server reports them.
+		if s.TextsLinked > 0 || s.LinksCreated > 0 || s.CacheHits > 0 || s.CacheMisses > 0 {
+			fmt.Printf("texts linked: %d\nlinks created: %d\ncache: %d hits / %d misses\n",
+				s.TextsLinked, s.LinksCreated, s.CacheHits, s.CacheMisses)
+		}
 		return nil
 	}
 	engine, err := c.engine()
@@ -315,10 +321,33 @@ func runStats(args []string) error {
 		return err
 	}
 	defer engine.Close()
+	if *prom {
+		return engine.WriteMetrics(os.Stdout)
+	}
 	fmt.Printf("entries: %d\nconcepts: %d\ndomains: %s\ninvalidated: %d\n",
 		engine.NumEntries(), engine.NumConcepts(),
 		strings.Join(engine.Domains(), ", "), len(engine.Invalidated()))
+	printTelemetrySummary(engine.TelemetrySnapshot())
 	return nil
+}
+
+// printTelemetrySummary prints the interesting scalar telemetry of a local
+// engine. A freshly opened data directory has no runtime traffic, so only
+// collection-shape gauges are usually non-zero here; the full registry is
+// available with -prometheus or from a live daemon's /metrics.
+func printTelemetrySummary(snap map[string]interface{}) {
+	if snap == nil {
+		return
+	}
+	num := func(name string) float64 {
+		v, _ := snap[name].(float64)
+		return v
+	}
+	fmt.Printf("invalidation index keys: %.0f\n", num("nnexus_invalidation_index_keys"))
+	fmt.Printf("rendered cache: %.0f entries, %.0f hits / %.0f misses\n",
+		num("nnexus_rendered_cache_entries"),
+		num("nnexus_rendered_cache_hits_total"),
+		num("nnexus_rendered_cache_misses_total"))
 }
 
 func runScheme(args []string) error {

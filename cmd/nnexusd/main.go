@@ -7,7 +7,9 @@
 //	nnexusd -addr 127.0.0.1:7070 -data /var/lib/nnexus -scheme msc.owl
 //
 // With -scheme sample the built-in MSC fixture is used, which is enough to
-// play with the protocol.
+// play with the protocol. With -http the HTTP API is served too, including
+// Prometheus telemetry at GET /metrics; -pprof adds the standard
+// /debug/pprof/ profiling handlers to the same listener.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +35,7 @@ func main() {
 		base     = flag.Int("base", nnexus.DefaultBaseWeight, "classification weight base (1 = non-weighted)")
 		sync     = flag.Bool("sync", false, "fsync every write")
 		httpAddr = flag.String("http", "", "also serve the HTTP API on this address (e.g. 127.0.0.1:8080)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the HTTP address")
 		confPath = flag.String("config", "", "XML deployment configuration file (overrides the flags above)")
 	)
 	flag.Parse()
@@ -96,13 +100,33 @@ func main() {
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		httpSrv = &http.Server{Addr: *httpAddr, Handler: engine.HTTPHandler()}
+		// The API handler already serves GET /metrics (Prometheus text
+		// format); -pprof additionally mounts the standard profiling
+		// handlers so a live daemon can be profiled under load.
+		handler := engine.HTTPHandler()
+		if *pprofOn {
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+		}
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: handler}
 		go func() {
-			fmt.Printf("nnexusd HTTP API on %s\n", *httpAddr)
+			fmt.Printf("nnexusd HTTP API on %s (metrics at /metrics", *httpAddr)
+			if *pprofOn {
+				fmt.Print(", profiling at /debug/pprof/")
+			}
+			fmt.Println(")")
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Print(err)
 			}
 		}()
+	} else if *pprofOn {
+		logger.Print("-pprof has no effect without -http")
 	}
 
 	sig := make(chan os.Signal, 1)

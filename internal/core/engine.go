@@ -26,6 +26,7 @@ import (
 	"nnexus/internal/policy"
 	"nnexus/internal/render"
 	"nnexus/internal/storage"
+	"nnexus/internal/telemetry"
 )
 
 // Mode selects how much of the pipeline runs; the three modes correspond to
@@ -106,6 +107,15 @@ type Config struct {
 	// returning ok=false falls back to the deterministic priority/ID
 	// tie-break.
 	TieRanker func(source int64, candidates []int64) (choice int64, ok bool)
+	// Telemetry is the metrics registry the engine instruments itself
+	// into; the serving layers (httpapi, server) register their own
+	// families on the same registry. Nil creates a fresh registry.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry turns off all operational instrumentation,
+	// including pipeline stage timing. Engine.Telemetry returns nil. It
+	// exists so the overhead of instrumentation can be benchmarked
+	// against the bare pipeline; deployments should leave it off.
+	DisableTelemetry bool
 }
 
 // Engine is a fully assembled NNexus instance. All methods are safe for
@@ -123,6 +133,10 @@ type Engine struct {
 	rendered *cache.LRU[int64, *Result]
 
 	met metrics
+	// tel holds the operational telemetry instruments; nil when
+	// Config.DisableTelemetry is set, which turns every instrumentation
+	// site into a cheap nil check.
+	tel *engineTelemetry
 
 	mu      sync.RWMutex
 	entries map[int64]*corpus.Entry
@@ -156,6 +170,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		domains:  make(map[string]*corpus.Domain),
 		invalid:  make(map[int64]bool),
 		nextID:   1,
+	}
+	if !cfg.DisableTelemetry {
+		reg := cfg.Telemetry
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		e.tel = newEngineTelemetry(e, reg)
 	}
 	if e.store != nil {
 		if err := e.load(); err != nil {
@@ -289,6 +310,9 @@ func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
 	e.nextID++
 	entry.ID = id
 	e.met.entriesAdded.Add(1)
+	if e.tel != nil {
+		e.tel.opAddEntry.Inc()
+	}
 	if entry.ExternalID == "" {
 		entry.ExternalID = strconv.FormatInt(id, 10)
 	}
@@ -325,6 +349,9 @@ func (e *Engine) UpdateEntry(entry *corpus.Entry) error {
 	// Both the old and the new label sets may affect other entries.
 	e.invalidateForLabelsLocked(old.Labels(), entry.ID)
 	e.invalidateForLabelsLocked(entry.Labels(), entry.ID)
+	if e.tel != nil {
+		e.tel.opUpdateEntry.Inc()
+	}
 	return e.persistLocked(entry)
 }
 
@@ -351,6 +378,9 @@ func (e *Engine) RemoveEntry(id int64) error {
 		if err := e.store.Delete(tableInvalid, strconv.FormatInt(id, 10)); err != nil {
 			return err
 		}
+	}
+	if e.tel != nil {
+		e.tel.opRemoveEntry.Inc()
 	}
 	return nil
 }
@@ -403,6 +433,9 @@ func (e *Engine) SetPolicy(id int64, text string) error {
 	// Policy changes alter which links are permitted; everything that
 	// mentions this entry's labels may need re-linking.
 	e.invalidateForLabelsLocked(entry.Labels(), id)
+	if e.tel != nil {
+		e.tel.opSetPolicy.Inc()
+	}
 	return e.persistLocked(entry)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"nnexus/internal/classification"
 	"nnexus/internal/conceptmap"
@@ -84,6 +85,10 @@ type LinkOptions struct {
 // LinkText runs the full linking pipeline over free text: tokenize with
 // escaping, find candidate links in the concept map, filter by linking
 // policies, steer by classification, substitute the winners.
+//
+// When telemetry is enabled, the run is timed per pipeline stage
+// (tokenize/match/policy/steer/render) into the engine's registry; the
+// policy and steer slots accumulate across the per-match target selection.
 func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 	mode := opts.Mode
 	if mode == ModeDefault {
@@ -95,11 +100,29 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 	}
 	sourceClasses := e.mappers.Translate(schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
 
+	var (
+		st    *stageTimes
+		start time.Time
+		mark  time.Time
+	)
+	if e.tel != nil {
+		st = &stageTimes{}
+		start = time.Now()
+		mark = start
+	}
 	if e.cfg.LaTeX {
 		text = latex.ToText(text)
 	}
 	tokens := tokenizer.Tokenize(text)
+	if st != nil {
+		now := time.Now()
+		st.tokenize = now.Sub(mark)
+		mark = now
+	}
 	matches := e.cmap.Scan(tokens)
+	if st != nil {
+		st.match = time.Since(mark)
+	}
 
 	res := &Result{Output: text}
 	linkedLabels := make(map[string]bool)
@@ -109,7 +132,7 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 			res.Skips = append(res.Skips, Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: SkipDuplicate})
 			continue
 		}
-		link, skip := e.chooseTarget(m, sourceClasses, opts.ExcludeObject, mode)
+		link, skip := e.chooseTarget(m, sourceClasses, opts.ExcludeObject, mode, st)
 		if skip != nil {
 			res.Skips = append(res.Skips, *skip)
 			continue
@@ -121,12 +144,19 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 		})
 		linkedLabels[m.Label] = true
 	}
+	if st != nil {
+		mark = time.Now()
+	}
 	out, err := render.Apply(text, anchors, format)
 	if err != nil {
 		return nil, fmt.Errorf("core: render: %w", err)
 	}
 	res.Output = out
 	e.met.countResult(res)
+	if st != nil {
+		st.render = time.Since(mark)
+		e.tel.observeLink(st, time.Since(start), res)
+	}
 	return res, nil
 }
 
@@ -150,6 +180,9 @@ func (e *Engine) LinkEntry(id int64, opts LinkOptions) (*Result, error) {
 	}
 	res.Source = id
 	e.met.entriesLinked.Add(1)
+	if e.tel != nil {
+		e.tel.opLinkEntry.Inc()
+	}
 	e.clearInvalid(id)
 	return res, nil
 }
@@ -181,24 +214,55 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 }
 
 // RelinkInvalidated re-links every invalidated entry and returns their
-// results, keyed by entry ID.
+// results, keyed by entry ID. On error the results completed so far are
+// returned alongside it.
 func (e *Engine) RelinkInvalidated() (map[int64]*Result, error) {
+	var start time.Time
+	if e.tel != nil {
+		e.tel.relinkRuns.Inc()
+		start = time.Now()
+	}
 	out := make(map[int64]*Result)
 	for _, id := range e.Invalidated() {
 		res, err := e.LinkEntry(id, LinkOptions{})
 		if err != nil {
+			e.finishRelink(start, len(out), 1)
 			return out, err
 		}
 		out[id] = res
 	}
+	e.finishRelink(start, len(out), 0)
 	return out, nil
+}
+
+// finishRelink folds one completed (or aborted) relink batch into the
+// telemetry counters: relinked entries and errors always reflect the work
+// actually performed, even when a batch aborts early.
+func (e *Engine) finishRelink(start time.Time, relinked, errors int) {
+	if e.tel == nil {
+		return
+	}
+	e.tel.relinkEntries.Add(int64(relinked))
+	e.tel.relinkErrors.Add(int64(errors))
+	e.tel.relinkDuration.Observe(time.Since(start).Seconds())
 }
 
 // RelinkInvalidatedParallel is RelinkInvalidated with a worker pool, for
 // batch re-linking after large imports. workers ≤ 0 selects GOMAXPROCS.
-// The first error aborts outstanding work and is returned together with the
-// results completed so far.
+//
+// Error semantics: the first error stops the feeder, so no *new* work is
+// dispatched, but entries already handed to workers finish; the first error
+// is returned together with every result completed before (or concurrently
+// with) the abort. The telemetry relink counters stay consistent with the
+// returned values even for an aborted batch: nnexus_relink_entries_total
+// advances by exactly len(results), nnexus_relink_errors_total by the
+// number of failed entries observed.
 func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, error) {
+	var start time.Time
+	if e.tel != nil {
+		e.tel.relinkRuns.Inc()
+		start = time.Now()
+	}
 	ids := e.Invalidated()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -208,11 +272,13 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 	}
 	out := make(map[int64]*Result, len(ids))
 	if len(ids) == 0 {
+		e.finishRelink(start, 0, 0)
 		return out, nil
 	}
 	var (
 		mu       sync.Mutex
 		firstErr error
+		nerrs    int
 		wg       sync.WaitGroup
 	)
 	work := make(chan int64)
@@ -224,6 +290,7 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 				res, err := e.LinkEntry(id, LinkOptions{})
 				mu.Lock()
 				if err != nil {
+					nerrs++
 					if firstErr == nil {
 						firstErr = err
 					}
@@ -245,17 +312,19 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 	}
 	close(work)
 	wg.Wait()
+	e.finishRelink(start, len(out), nerrs)
 	return out, firstErr
 }
 
 // chooseTarget runs policy filtering, steering, and tie-breaking for one
-// concept match. It returns either a link or a skip record.
-func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclude int64, mode Mode) (*Link, *Skip) {
+// concept match. It returns either a link or a skip record. st, when
+// non-nil, accumulates the wall time spent in the policy and steering
+// stages.
+func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclude int64, mode Mode, st *stageTimes) (*Link, *Skip) {
 	mode = mode.resolve()
 	skip := func(reason string) *Skip {
 		return &Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: reason}
 	}
-
 	// Gather candidates, excluding the source entry.
 	var cands []*corpus.Entry
 	e.mu.RLock()
@@ -272,6 +341,12 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 	if len(cands) == 0 {
 		return nil, skip(SkipSelf)
 	}
+	// One timestamp is shared between the policy stage's end and the steer
+	// stage's start, keeping the hot path at ≤3 clock reads per match.
+	var mark time.Time
+	if st != nil {
+		mark = time.Now()
+	}
 
 	// Entry filtering by linking policies (§2.4).
 	if mode == ModeSteeredPolicies {
@@ -282,6 +357,11 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 			}
 		}
 		cands = permitted
+		if st != nil {
+			now := time.Now()
+			st.policy += now.Sub(mark)
+			mark = now
+		}
 		if len(cands) == 0 {
 			return nil, skip(SkipPolicy)
 		}
@@ -313,6 +393,9 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 				}
 			}
 			cands = winners
+		}
+		if st != nil {
+			st.steer += time.Since(mark)
 		}
 	}
 

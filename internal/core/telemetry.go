@@ -1,0 +1,176 @@
+package core
+
+import (
+	"time"
+
+	"nnexus/internal/telemetry"
+)
+
+// Pipeline stage names, as they appear in the `stage` label of
+// nnexus_pipeline_stage_duration_seconds (the stages of the paper's Fig 2).
+const (
+	StageTokenize = "tokenize" // LaTeX conversion + tokenization
+	StageMatch    = "match"    // concept-map scan (link source identification)
+	StagePolicy   = "policy"   // entry filtering by linking policies
+	StageSteer    = "steer"    // classification steering + tie resolution
+	StageRender   = "render"   // link substitution into the output text
+)
+
+// engineTelemetry holds the engine's pre-resolved instruments so the hot
+// path never performs a labeled lookup. A nil *engineTelemetry disables all
+// instrumentation (Config.DisableTelemetry), which is what the overhead
+// benchmark compares against.
+type engineTelemetry struct {
+	reg *telemetry.Registry
+
+	// Operation counters (nnexus_engine_operations_total{op=...}).
+	opAddEntry    *telemetry.Counter
+	opUpdateEntry *telemetry.Counter
+	opRemoveEntry *telemetry.Counter
+	opSetPolicy   *telemetry.Counter
+	opLinkText    *telemetry.Counter
+	opLinkEntry   *telemetry.Counter
+
+	// Pipeline stage timings and whole-operation latency.
+	stageTokenize *telemetry.Histogram
+	stageMatch    *telemetry.Histogram
+	stagePolicy   *telemetry.Histogram
+	stageSteer    *telemetry.Histogram
+	stageRender   *telemetry.Histogram
+	linkDuration  *telemetry.Histogram
+
+	// Link outcomes (nnexus_link_skips_total{reason=...}).
+	linksCreated  *telemetry.Counter
+	skipPolicy    *telemetry.Counter
+	skipSelf      *telemetry.Counter
+	skipDuplicate *telemetry.Counter
+	skipNoDomain  *telemetry.Counter
+
+	// Relink batches (sequential and parallel).
+	relinkRuns     *telemetry.Counter
+	relinkEntries  *telemetry.Counter
+	relinkErrors   *telemetry.Counter
+	relinkDuration *telemetry.Histogram
+}
+
+// newEngineTelemetry registers the engine's metric families on reg and
+// resolves every labeled child once. The gauge funcs close over the engine
+// and read live state at scrape time.
+func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
+	t := &engineTelemetry{reg: reg}
+
+	ops := reg.CounterVec("nnexus_engine_operations_total",
+		"Engine operations by type.", "op")
+	t.opAddEntry = ops.With("add_entry")
+	t.opUpdateEntry = ops.With("update_entry")
+	t.opRemoveEntry = ops.With("remove_entry")
+	t.opSetPolicy = ops.With("set_policy")
+	t.opLinkText = ops.With("link_text")
+	t.opLinkEntry = ops.With("link_entry")
+
+	stages := reg.HistogramVec("nnexus_pipeline_stage_duration_seconds",
+		"Per-stage latency of the linking pipeline (Fig 2).", nil, "stage")
+	t.stageTokenize = stages.With(StageTokenize)
+	t.stageMatch = stages.With(StageMatch)
+	t.stagePolicy = stages.With(StagePolicy)
+	t.stageSteer = stages.With(StageSteer)
+	t.stageRender = stages.With(StageRender)
+	t.linkDuration = reg.Histogram("nnexus_link_duration_seconds",
+		"End-to-end latency of one LinkText pipeline run.")
+
+	t.linksCreated = reg.Counter("nnexus_links_created_total",
+		"Hyperlinks created by the linking pipeline.")
+	skips := reg.CounterVec("nnexus_link_skips_total",
+		"Concept matches deliberately not linked, by reason.", "reason")
+	t.skipPolicy = skips.With(SkipPolicy)
+	t.skipSelf = skips.With(SkipSelf)
+	t.skipDuplicate = skips.With(SkipDuplicate)
+	t.skipNoDomain = skips.With(SkipNoDomain)
+
+	t.relinkRuns = reg.Counter("nnexus_relink_runs_total",
+		"Relink batches started (sequential or parallel).")
+	t.relinkEntries = reg.Counter("nnexus_relink_entries_total",
+		"Entries successfully re-linked by relink batches.")
+	t.relinkErrors = reg.Counter("nnexus_relink_errors_total",
+		"Errors encountered by relink batches.")
+	t.relinkDuration = reg.Histogram("nnexus_relink_batch_duration_seconds",
+		"Wall time of one relink batch.")
+
+	// Live state, read at scrape time.
+	reg.GaugeFunc("nnexus_invalidation_queue_depth",
+		"Entries currently marked for re-linking by the invalidation index.",
+		func() float64 {
+			e.mu.RLock()
+			n := len(e.invalid)
+			e.mu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("nnexus_entries",
+		"Entries in the collection.",
+		func() float64 { return float64(e.NumEntries()) })
+	reg.GaugeFunc("nnexus_concepts",
+		"Distinct concept labels in the concept map.",
+		func() float64 { return float64(e.NumConcepts()) })
+	reg.CounterFunc("nnexus_rendered_cache_hits_total",
+		"Rendered-output cache hits (paper §2.5 cache table).",
+		func() float64 { h, _ := e.rendered.Stats(); return float64(h) })
+	reg.CounterFunc("nnexus_rendered_cache_misses_total",
+		"Rendered-output cache misses.",
+		func() float64 { _, m := e.rendered.Stats(); return float64(m) })
+	reg.GaugeFunc("nnexus_rendered_cache_entries",
+		"Entries currently held by the rendered-output cache.",
+		func() float64 { return float64(e.rendered.Len()) })
+	reg.GaugeFunc("nnexus_invalidation_index_keys",
+		"Words and phrases tracked by the invalidation index.",
+		func() float64 { return float64(e.inv.Keys()) })
+
+	return t
+}
+
+// stageTimes accumulates one pipeline run's per-stage wall time. Policy and
+// steering run once per concept match; their slots accumulate across the
+// match loop and are observed once per run.
+type stageTimes struct {
+	tokenize time.Duration
+	match    time.Duration
+	policy   time.Duration
+	steer    time.Duration
+	render   time.Duration
+}
+
+// observeLink records one completed LinkText run.
+func (t *engineTelemetry) observeLink(st *stageTimes, total time.Duration, res *Result) {
+	if t == nil {
+		return
+	}
+	t.opLinkText.Inc()
+	t.stageTokenize.Observe(st.tokenize.Seconds())
+	t.stageMatch.Observe(st.match.Seconds())
+	t.stagePolicy.Observe(st.policy.Seconds())
+	t.stageSteer.Observe(st.steer.Seconds())
+	t.stageRender.Observe(st.render.Seconds())
+	t.linkDuration.Observe(total.Seconds())
+	t.linksCreated.Add(int64(len(res.Links)))
+	for _, s := range res.Skips {
+		switch s.Reason {
+		case SkipPolicy:
+			t.skipPolicy.Inc()
+		case SkipSelf:
+			t.skipSelf.Inc()
+		case SkipDuplicate:
+			t.skipDuplicate.Inc()
+		case SkipNoDomain:
+			t.skipNoDomain.Inc()
+		}
+	}
+}
+
+// Telemetry returns the engine's metrics registry, shared by every serving
+// layer (httpapi middleware, TCP server). It is nil when the engine was
+// built with Config.DisableTelemetry.
+func (e *Engine) Telemetry() *telemetry.Registry {
+	if e.tel == nil {
+		return nil
+	}
+	return e.tel.reg
+}

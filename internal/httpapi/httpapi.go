@@ -16,8 +16,13 @@
 //	PUT  /api/entries/{id}/policy   install linking policy (text/plain body)
 //	GET  /api/invalidated    IDs awaiting re-linking
 //	POST /api/relink         re-link all invalidated entries
-//	GET  /api/stats          collection statistics
+//	GET  /api/stats          collection statistics + telemetry snapshot
 //	POST /api/import         OAI-style corpus dump (XML body; streamed)
+//	GET  /metrics            Prometheus text-format telemetry (not JSON)
+//
+// Every route is instrumented into the engine's telemetry registry:
+// request counts by endpoint and status class, latency histograms per
+// endpoint, and an in-flight gauge (see internal/telemetry).
 package httpapi
 
 import (
@@ -32,29 +37,49 @@ import (
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
 	"nnexus/internal/render"
+	"nnexus/internal/telemetry"
 )
 
 // Handler serves the HTTP API for one engine.
 type Handler struct {
 	engine *core.Engine
 	mux    *http.ServeMux
+	reg    *telemetry.Registry
 }
 
-// New builds the HTTP handler around an engine.
+// New builds the HTTP handler around an engine. Routes share the engine's
+// telemetry registry; when the engine was built with telemetry disabled the
+// handler keeps a private registry so /metrics still serves the HTTP-layer
+// families.
 func New(engine *core.Engine) *Handler {
-	h := &Handler{engine: engine, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /{$}", h.form)
-	h.mux.HandleFunc("POST /api/link", h.link)
-	h.mux.HandleFunc("POST /api/entries", h.createEntry)
-	h.mux.HandleFunc("GET /api/entries/{id}", h.getEntry)
-	h.mux.HandleFunc("PUT /api/entries/{id}", h.updateEntry)
-	h.mux.HandleFunc("DELETE /api/entries/{id}", h.removeEntry)
-	h.mux.HandleFunc("GET /api/entries/{id}/linked", h.linkedEntry)
-	h.mux.HandleFunc("PUT /api/entries/{id}/policy", h.setPolicy)
-	h.mux.HandleFunc("GET /api/invalidated", h.invalidated)
-	h.mux.HandleFunc("POST /api/relink", h.relink)
-	h.mux.HandleFunc("GET /api/stats", h.stats)
-	h.mux.HandleFunc("POST /api/import", h.importOAI)
+	reg := engine.Telemetry()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	h := &Handler{engine: engine, mux: http.NewServeMux(), reg: reg}
+	m := newHTTPMetrics(reg)
+	routes := []struct {
+		pattern string // method + route, for mux registration
+		label   string // endpoint label (route only, metrics-friendly)
+		handler http.HandlerFunc
+	}{
+		{"GET /{$}", "/", h.form},
+		{"POST /api/link", "/api/link", h.link},
+		{"POST /api/entries", "/api/entries", h.createEntry},
+		{"GET /api/entries/{id}", "/api/entries/{id}", h.getEntry},
+		{"PUT /api/entries/{id}", "/api/entries/{id}", h.updateEntry},
+		{"DELETE /api/entries/{id}", "/api/entries/{id}", h.removeEntry},
+		{"GET /api/entries/{id}/linked", "/api/entries/{id}/linked", h.linkedEntry},
+		{"PUT /api/entries/{id}/policy", "/api/entries/{id}/policy", h.setPolicy},
+		{"GET /api/invalidated", "/api/invalidated", h.invalidated},
+		{"POST /api/relink", "/api/relink", h.relink},
+		{"GET /api/stats", "/api/stats", h.stats},
+		{"POST /api/import", "/api/import", h.importOAI},
+		{"GET /metrics", "/metrics", h.metrics},
+	}
+	for _, rt := range routes {
+		h.mux.HandleFunc(rt.pattern, m.instrument(rt.label, rt.handler))
+	}
 	return h
 }
 
@@ -240,7 +265,15 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		"cacheHits":   hits,
 		"cacheMisses": misses,
 		"metrics":     h.engine.Metrics(),
+		"telemetry":   h.reg.Snapshot(),
 	})
+}
+
+// metrics serves the telemetry registry in the Prometheus text exposition
+// format, for scraping by any Prometheus-compatible collector.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = h.reg.WritePrometheus(w)
 }
 
 var formTmpl = template.Must(template.New("form").Parse(`<!DOCTYPE html>

@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"nnexus/internal/telemetry"
+)
+
+// httpMetrics instruments the API's request handling: per-endpoint request
+// counts broken down by status class, per-endpoint latency histograms, and
+// an in-flight gauge. Children are resolved once per route at mux setup, so
+// the per-request path performs no labeled lookups and no allocations
+// beyond the ResponseWriter wrapper.
+type httpMetrics struct {
+	inFlight  *telemetry.Gauge
+	requests  *telemetry.CounterVec
+	durations *telemetry.HistogramVec
+}
+
+func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
+	return &httpMetrics{
+		inFlight: reg.Gauge("nnexus_http_in_flight_requests",
+			"HTTP API requests currently being served."),
+		requests: reg.CounterVec("nnexus_http_requests_total",
+			"HTTP API requests by endpoint and status class.", "endpoint", "code"),
+		durations: reg.HistogramVec("nnexus_http_request_duration_seconds",
+			"HTTP API request latency by endpoint.", nil, "endpoint"),
+	}
+}
+
+// endpointMetrics are one route's pre-resolved children.
+type endpointMetrics struct {
+	duration *telemetry.Histogram
+	// byClass indexes status/100 (so byClass[2] counts 2xx). Index 0
+	// collects anything outside 100–599.
+	byClass [6]*telemetry.Counter
+}
+
+// endpoint resolves one route's children. The endpoint label is the route
+// pattern (e.g. "/api/entries/{id}"), not the concrete path, so label
+// cardinality stays bounded no matter what IDs clients request.
+func (m *httpMetrics) endpoint(pattern string) *endpointMetrics {
+	em := &endpointMetrics{duration: m.durations.With(pattern)}
+	classes := [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, c := range classes {
+		em.byClass[i] = m.requests.With(pattern, c)
+	}
+	return em
+}
+
+// instrument wraps one route's handler with accounting.
+func (m *httpMetrics) instrument(pattern string, next http.HandlerFunc) http.HandlerFunc {
+	em := m.endpoint(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next(sw, r)
+		m.inFlight.Dec()
+		em.duration.Observe(time.Since(start).Seconds())
+		class := sw.status / 100
+		if class < 1 || class > 5 {
+			class = 0
+		}
+		em.byClass[class].Inc()
+	}
+}
+
+// statusWriter captures the status code a handler writes; a handler that
+// writes the body without an explicit WriteHeader implies 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

@@ -291,6 +291,14 @@ func (ix *Index) Stats() Stats {
 	return s
 }
 
+// Keys returns the number of distinct keys (words and phrases) currently
+// stored — a cheap size signal for monitoring, unlike the full Stats scan.
+func (ix *Index) Keys() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
 // Contains reports whether the exact key (word or phrase, raw form) is
 // currently stored. Intended for tests and diagnostics.
 func (ix *Index) Contains(label string) bool {

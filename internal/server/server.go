@@ -16,6 +16,7 @@ import (
 
 	"nnexus/internal/core"
 	"nnexus/internal/render"
+	"nnexus/internal/telemetry"
 	"nnexus/internal/wire"
 )
 
@@ -26,6 +27,7 @@ const DefaultMaxRequestBytes = 32 << 20
 type Server struct {
 	engine *core.Engine
 	logger *log.Logger
+	tel    *serverTelemetry
 
 	maxRequestBytes int64
 	idleTimeout     time.Duration
@@ -35,6 +37,64 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// serverTelemetry is the TCP layer's connection and request accounting,
+// registered on the engine's registry. Nil (engine telemetry disabled)
+// turns every site into a nil check.
+type serverTelemetry struct {
+	connsTotal  *telemetry.Counter
+	connsActive *telemetry.Gauge
+	requests    *telemetry.CounterVec
+	errors      *telemetry.Counter
+	duration    *telemetry.Histogram
+	byMethod    map[string]*telemetry.Counter
+	unknown     *telemetry.Counter
+}
+
+func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &serverTelemetry{
+		connsTotal: reg.Counter("nnexus_tcp_connections_total",
+			"TCP protocol connections accepted."),
+		connsActive: reg.Gauge("nnexus_tcp_connections_active",
+			"TCP protocol connections currently open."),
+		requests: reg.CounterVec("nnexus_tcp_requests_total",
+			"XML protocol requests by method.", "method"),
+		errors: reg.Counter("nnexus_tcp_request_errors_total",
+			"XML protocol requests answered with an error response."),
+		duration: reg.Histogram("nnexus_tcp_request_duration_seconds",
+			"XML protocol request handling latency."),
+	}
+	t.byMethod = make(map[string]*telemetry.Counter)
+	for _, m := range []string{
+		wire.MethodPing, wire.MethodAddDomain, wire.MethodAddEntry,
+		wire.MethodUpdateEntry, wire.MethodRemoveEntry, wire.MethodGetEntry,
+		wire.MethodSetPolicy, wire.MethodLinkEntry, wire.MethodLinkText,
+		wire.MethodInvalidated, wire.MethodRelink, wire.MethodStats,
+	} {
+		t.byMethod[m] = t.requests.With(m)
+	}
+	t.unknown = t.requests.With("unknown")
+	return t
+}
+
+// request counts one handled request.
+func (t *serverTelemetry) request(method string, start time.Time, failed bool) {
+	if t == nil {
+		return
+	}
+	c, ok := t.byMethod[method]
+	if !ok {
+		c = t.unknown
+	}
+	c.Inc()
+	if failed {
+		t.errors.Inc()
+	}
+	t.duration.Observe(time.Since(start).Seconds())
 }
 
 // Option configures a Server.
@@ -62,6 +122,7 @@ func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{
 		engine:          engine,
 		logger:          logger,
+		tel:             newServerTelemetry(engine.Telemetry()),
 		conns:           make(map[net.Conn]struct{}),
 		maxRequestBytes: DefaultMaxRequestBytes,
 	}
@@ -135,11 +196,18 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	if s.tel != nil {
+		s.tel.connsTotal.Inc()
+		s.tel.connsActive.Inc()
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if s.tel != nil {
+			s.tel.connsActive.Dec()
+		}
 	}()
 	metered := &meteredReader{r: conn, limit: s.maxRequestBytes}
 	dec := wire.NewDecoder(metered)
@@ -191,9 +259,13 @@ func (m *meteredReader) Read(p []byte) (int, error) {
 
 // Handle dispatches one request to the engine and builds the response. It
 // is exported so in-process callers (tests, embedded deployments) can speak
-// the protocol without a socket.
+// the protocol without a socket. Requests are counted by method into the
+// engine's telemetry registry, with errored requests and handling latency
+// tracked alongside.
 func (s *Server) Handle(req *wire.Request) *wire.Response {
+	start := time.Now()
 	resp, err := s.dispatch(req)
+	s.tel.request(req.Method, start, err != nil)
 	if err != nil {
 		return wire.Err(req, err)
 	}
@@ -300,12 +372,18 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 		return resp, nil
 
 	case wire.MethodStats:
+		hits, misses := s.engine.CacheStats()
+		met := s.engine.Metrics()
 		resp := wire.OK(req)
 		resp.Stats = &wire.Stats{
-			Entries:     s.engine.NumEntries(),
-			Concepts:    s.engine.NumConcepts(),
-			Domains:     len(s.engine.Domains()),
-			Invalidated: len(s.engine.Invalidated()),
+			Entries:      s.engine.NumEntries(),
+			Concepts:     s.engine.NumConcepts(),
+			Domains:      len(s.engine.Domains()),
+			Invalidated:  len(s.engine.Invalidated()),
+			CacheHits:    hits,
+			CacheMisses:  misses,
+			LinksCreated: met.LinksCreated,
+			TextsLinked:  met.TextsLinked,
 		}
 		return resp, nil
 

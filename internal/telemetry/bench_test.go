@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The hot-path contract of the package: increments and observations are
+// zero-allocation. CI asserts this via testing.AllocsPerRun in
+// TestHotPathZeroAllocation; the benchmarks report the per-op cost.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("g", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) * 1e-6)
+			i++
+		}
+	})
+}
+
+// BenchmarkVecWith measures the labeled-child lookup that instrumented
+// code should hoist out of hot loops.
+func BenchmarkVecWith(b *testing.B) {
+	v := NewRegistry().CounterVec("v_total", "", "op")
+	v.With("link")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("link").Inc()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	ops := r.CounterVec("ops_total", "ops", "op")
+	for _, op := range []string{"add", "update", "remove", "link"} {
+		ops.With(op).Add(100)
+	}
+	hv := r.HistogramVec("stage_seconds", "stages", nil, "stage")
+	for _, st := range []string{"tokenize", "match", "policy", "steer", "render"} {
+		h := hv.With(st)
+		for i := 0; i < 64; i++ {
+			h.Observe(float64(i) * 1e-5)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHotPathZeroAllocation is the allocation contract as a test, so `go
+// test` (not only benchmarks) fails if an increment starts allocating.
+func TestHotPathZeroAllocation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "")
+	child := r.CounterVec("v_total", "", "op").With("link")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(1.5e-4)
+		child.Inc()
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", n)
+	}
+}

@@ -124,12 +124,19 @@ type SkipInfo struct {
 	Reason string `xml:"reason,attr"`
 }
 
-// Stats carries collection statistics.
+// Stats carries collection statistics. The telemetry fields (cache and
+// link counters) are cumulative since server start; older servers omit
+// them, so clients must treat zero as "not reported".
 type Stats struct {
 	Entries     int `xml:"entries"`
 	Concepts    int `xml:"concepts"`
 	Domains     int `xml:"domains"`
 	Invalidated int `xml:"invalidated"`
+
+	CacheHits    int64 `xml:"cachehits,omitempty"`
+	CacheMisses  int64 `xml:"cachemisses,omitempty"`
+	LinksCreated int64 `xml:"linkscreated,omitempty"`
+	TextsLinked  int64 `xml:"textslinked,omitempty"`
 }
 
 // ToCorpus converts a wire entry to the document model.

@@ -339,6 +339,30 @@ func (e *Engine) LinkEntryCached(id int64) (*Result, bool, error) {
 // CacheStats returns cumulative hit/miss counts of the rendered cache.
 func (e *Engine) CacheStats() (hits, misses int64) { return e.core.CacheStats() }
 
+// WriteMetrics writes the engine's operational telemetry (operation
+// counters, pipeline stage latency histograms, cache effectiveness,
+// invalidation-queue depth, and the serving layers' request accounting) in
+// the Prometheus text exposition format. The same data is served by the
+// HTTP handler at GET /metrics.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	reg := e.core.Telemetry()
+	if reg == nil {
+		return nil
+	}
+	return reg.WritePrometheus(w)
+}
+
+// TelemetrySnapshot returns a JSON-friendly snapshot of the engine's
+// operational telemetry: scalar metrics as numbers, histograms as
+// {count, sum, p50, p90, p99} summaries. Nil when telemetry is disabled.
+func (e *Engine) TelemetrySnapshot() map[string]interface{} {
+	reg := e.core.Telemetry()
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
+}
+
 // Invalidated returns the IDs of entries marked for re-linking because
 // concepts they may invoke were added or changed.
 func (e *Engine) Invalidated() []int64 { return e.core.Invalidated() }
