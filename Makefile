@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench experiments fuzz cover clean
+.PHONY: build vet test race bench chaos experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -16,6 +16,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Fault-injection suite: connection kills, server restarts, torn WAL tails,
+# fsync failures, drains under live traffic — always under the race detector.
+chaos:
+	go test -race -run '^TestChaos' ./...
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"nnexus"
 	"nnexus/internal/config"
@@ -37,6 +39,11 @@ func main() {
 		httpAddr = flag.String("http", "", "also serve the HTTP API on this address (e.g. 127.0.0.1:8080)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the HTTP address")
 		confPath = flag.String("config", "", "XML deployment configuration file (overrides the flags above)")
+
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may wait for in-flight requests before force-closing")
+		maxConns       = flag.Int("max-conns", 0, "cap on concurrent TCP connections (0 = unlimited)")
+		maxActive      = flag.Int("max-active", 0, "cap on concurrently executing requests before load shedding, per serving layer (0 = unlimited)")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request handler deadline (0 = unlimited)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
@@ -91,7 +98,22 @@ func main() {
 		}
 	}
 
-	srv, bound, err := engine.Serve(*addr, logger)
+	// Health state backing GET /healthz and /readyz: readiness requires the
+	// storage layer to be open and the drain not to have started.
+	healthState := nnexus.NewHealthState()
+	healthState.AddCheck("storage", engine.Ready)
+
+	var srvOpts []nnexus.ServerOption
+	if *maxConns > 0 {
+		srvOpts = append(srvOpts, nnexus.WithMaxConns(*maxConns))
+	}
+	if *maxActive > 0 {
+		srvOpts = append(srvOpts, nnexus.WithMaxActiveRequests(*maxActive))
+	}
+	if *requestTimeout > 0 {
+		srvOpts = append(srvOpts, nnexus.WithHandlerTimeout(*requestTimeout))
+	}
+	srv, bound, err := engine.Serve(*addr, logger, srvOpts...)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -103,7 +125,11 @@ func main() {
 		// The API handler already serves GET /metrics (Prometheus text
 		// format); -pprof additionally mounts the standard profiling
 		// handlers so a live daemon can be profiled under load.
-		handler := engine.HTTPHandler()
+		httpOpts := []nnexus.HTTPOption{nnexus.WithHealth(healthState)}
+		if *maxActive > 0 {
+			httpOpts = append(httpOpts, nnexus.WithMaxInFlight(*maxActive))
+		}
+		handler := engine.HTTPHandler(httpOpts...)
 		if *pprofOn {
 			mux := http.NewServeMux()
 			mux.Handle("/", handler)
@@ -114,7 +140,11 @@ func main() {
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			handler = mux
 		}
-		httpSrv = &http.Server{Addr: *httpAddr, Handler: handler}
+		httpSrv = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           handler,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
 			fmt.Printf("nnexusd HTTP API on %s (metrics at /metrics", *httpAddr)
 			if *pprofOn {
@@ -128,20 +158,35 @@ func main() {
 	} else if *pprofOn {
 		logger.Print("-pprof has no effect without -http")
 	}
+	healthState.SetReady(true)
 
-	sig := make(chan os.Signal, 1)
+	// Graceful drain: on SIGTERM/SIGINT flip readiness (so orchestrators
+	// stop routing new traffic), stop accepting, let in-flight requests
+	// finish under the drain deadline, then persist and exit. A second
+	// signal force-exits immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Print("shutting down")
+	logger.Printf("draining (deadline %s; signal again to force quit)", *drainTimeout)
+	healthState.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		logger.Print("second signal: force quitting")
+		cancel()
+	}()
 	if httpSrv != nil {
-		if err := httpSrv.Close(); err != nil {
-			logger.Print(err)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("http drain: %v", err)
+			httpSrv.Close()
 		}
 	}
-	if err := srv.Close(); err != nil {
-		logger.Print(err)
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("tcp drain: %v", err)
 	}
 	if err := engine.Compact(); err != nil {
 		logger.Print(err)
 	}
+	logger.Print("drained")
 }

@@ -12,15 +12,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"nnexus/internal/classification"
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
+	"nnexus/internal/health"
 	"nnexus/internal/httpapi"
 	"nnexus/internal/noosphere"
 	"nnexus/internal/storage"
@@ -28,10 +34,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		dataDir = flag.String("data", "", "data directory (empty = memory only)")
-		domain  = flag.String("domain", "planetmath.local", "wiki domain name")
-		base    = flag.Int("base", classification.DefaultBaseWeight, "classification weight base")
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		dataDir      = flag.String("data", "", "data directory (empty = memory only)")
+		domain       = flag.String("domain", "planetmath.local", "wiki domain name")
+		base         = flag.Int("base", classification.DefaultBaseWeight, "classification weight base")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may wait for in-flight requests")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "noosphere: ", log.LstdFlags)
@@ -70,12 +77,51 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/api/", httpapi.New(engine))
-	mux.Handle("/", wiki)
-
-	fmt.Printf("noosphere wiki on http://%s/ (%d entries)\n", *addr, engine.NumEntries())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		logger.Fatal(err)
+	healthState := health.NewState()
+	if store != nil {
+		healthState.AddCheck("storage", store.Ready)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/api/", httpapi.New(engine, httpapi.WithHealth(healthState)))
+	mux.Handle("/", wiki)
+	// The API handler is mounted under /api/, so expose the probes at the
+	// conventional root paths here.
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if err := check(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	mux.HandleFunc("GET /healthz", probe(healthState.Live))
+	mux.HandleFunc("GET /readyz", probe(healthState.Ready))
+
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		fmt.Printf("noosphere wiki on http://%s/ (%d entries)\n", *addr, engine.NumEntries())
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	}()
+	healthState.SetReady(true)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("draining (deadline %s)", *drainTimeout)
+	healthState.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+		srv.Close()
+	}
+	if store != nil {
+		if err := store.Compact(); err != nil {
+			logger.Print(err)
+		}
+	}
+	logger.Print("drained")
 }

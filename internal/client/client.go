@@ -2,45 +2,190 @@
 // socket protocol of the wire package, offering typed methods mirroring the
 // engine API. A Client serializes requests, so one instance may be shared
 // by concurrent goroutines.
+//
+// The client is self-healing: a dropped, desynced, or timed-out connection
+// is torn down and transparently re-established on the next call
+// (exponential backoff with jitter between attempts), idempotent methods
+// (ping, getEntry, invalidated, stats, linkEntry, linkText) are retried
+// across connection failures, and "overloaded"/"unavailable" rejections —
+// which the server issues before executing anything — are retried for
+// every method. Per-call deadlines bound each exchange so a hung server
+// cannot block a caller forever.
 package client
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nnexus/internal/corpus"
+	"nnexus/internal/telemetry"
 	"nnexus/internal/wire"
 )
 
+// Defaults for the resilience knobs; override with the Options.
+const (
+	// DefaultCallTimeout bounds one request/response exchange.
+	DefaultCallTimeout = 30 * time.Second
+	// DefaultMaxRetries is how many times a retryable call is retried
+	// after its first failure.
+	DefaultMaxRetries = 3
+	// DefaultBackoffBase is the first retry's backoff ceiling.
+	DefaultBackoffBase = 25 * time.Millisecond
+	// DefaultBackoffMax caps the exponential backoff.
+	DefaultBackoffMax = 2 * time.Second
+)
+
+// ErrClosed is returned by calls on a Close()d client.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is an error response from the server. Code carries the wire
+// error code when the server sent one (see wire.Code*).
+type ServerError struct {
+	Code    string
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	return "client: server error: " + e.Message
+}
+
+// IsOverloaded reports whether err is a server-side load-shed or
+// drain rejection — the request was never executed and may be retried.
+func IsOverloaded(err error) bool {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == wire.CodeOverloaded || se.Code == wire.CodeUnavailable
+}
+
+// idempotent lists the methods safe to retry after a connection failure
+// that leaves the request's fate unknown. Mutating methods are only
+// retried on typed pre-execution rejections (see IsOverloaded).
+var idempotent = map[string]bool{
+	wire.MethodPing:        true,
+	wire.MethodGetEntry:    true,
+	wire.MethodInvalidated: true,
+	wire.MethodStats:       true,
+	wire.MethodLinkEntry:   true,
+	wire.MethodLinkText:    true,
+}
+
 // Client is a connection to an NNexus server.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *wire.Encoder
-	dec  *wire.Decoder
-	seq  int64
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	retries    atomic.Int64 // calls re-attempted after a failure
+	reconnects atomic.Int64 // connections re-established after the first
+
+	telRetries    *telemetry.Counter
+	telReconnects *telemetry.Counter
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *wire.Encoder
+	dec    *wire.Decoder
+	seq    int64
+	closed bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithCallTimeout bounds each request/response exchange; zero or negative
+// disables the deadline. The default is DefaultCallTimeout.
+func WithCallTimeout(d time.Duration) Option {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithMaxRetries sets how many times a retryable call is re-attempted
+// after its first failure (0 disables retries). The default is
+// DefaultMaxRetries.
+func WithMaxRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.maxRetries = n
+		}
+	}
+}
+
+// WithBackoff sets the retry backoff's base and cap. Attempt n sleeps a
+// uniformly jittered duration in (0, min(base·2ⁿ, max)].
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithTelemetry mirrors the client's retry/reconnect counters into reg as
+// nnexus_client_retries_total and nnexus_client_reconnects_total.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.telRetries = reg.Counter("nnexus_client_retries_total",
+			"Client calls re-attempted after a retryable failure.")
+		c.telReconnects = reg.Counter("nnexus_client_reconnects_total",
+			"Client connections re-established after a connection failure.")
+	}
 }
 
 // Dial connects to an NNexus server at addr with the given timeout.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
+func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		dialTimeout: timeout,
+		callTimeout: DefaultCallTimeout,
+		maxRetries:  DefaultMaxRetries,
+		backoffBase: DefaultBackoffBase,
+		backoffMax:  DefaultBackoffMax,
+	}
+	for _, o := range opts {
+		o(c)
+	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn: conn,
-		enc:  wire.NewEncoder(conn),
-		dec:  wire.NewDecoder(conn),
-	}, nil
+	c.installConn(conn)
+	return c, nil
 }
 
-// Close closes the connection.
+func (c *Client) installConn(conn net.Conn) {
+	c.conn = conn
+	c.enc = wire.NewEncoder(conn)
+	c.dec = wire.NewDecoder(conn)
+}
+
+// Retries returns how many call re-attempts this client has made.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Reconnects returns how many times the client re-established its
+// connection after the initial dial.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// Close closes the connection. Subsequent calls fail with ErrClosed; the
+// client does not reconnect.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
@@ -49,29 +194,132 @@ func (c *Client) Close() error {
 	return err
 }
 
-// call performs one synchronous request/response exchange.
+// teardownLocked discards a connection known (or suspected) to be broken
+// or desynced, so the next call dials fresh instead of mispairing
+// responses.
+func (c *Client) teardownLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.enc = nil
+	c.dec = nil
+}
+
+// ensureConnLocked re-establishes the connection if a previous failure
+// tore it down.
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: reconnect %s: %w", c.addr, err)
+	}
+	c.installConn(conn)
+	c.reconnects.Add(1)
+	if c.telReconnects != nil {
+		c.telReconnects.Inc()
+	}
+	return nil
+}
+
+// failClass classifies a doCall failure by what it implies about the
+// request's fate, which is what decides retryability.
+type failClass int
+
+const (
+	failNone      failClass = iota
+	failNotSent             // dial/reconnect failed: the request never reached the wire
+	failUnknown             // the connection broke mid-exchange: fate unknown
+	failRejected            // typed pre-execution rejection (overloaded / unavailable)
+	failPermanent           // application error, protocol violation, or closed client
+)
+
+// call performs one request/response exchange, transparently reconnecting
+// and retrying per the client's policy.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, class, err := c.doCall(req)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= c.maxRetries {
+			return nil, err
+		}
+		switch class {
+		case failNotSent, failRejected:
+			// Definitely not executed: any method may retry.
+		case failUnknown:
+			// Fate unknown: only idempotent methods may retry.
+			if !idempotent[req.Method] {
+				return nil, err
+			}
+		default:
+			return nil, err
+		}
+		c.retries.Add(1)
+		if c.telRetries != nil {
+			c.telRetries.Inc()
+		}
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// backoff returns the jittered sleep before retry n (0-based):
+// uniform in (0, min(base·2ⁿ, max)].
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.backoffBase << uint(attempt)
+	if d <= 0 || d > c.backoffMax {
+		d = c.backoffMax
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// doCall performs a single exchange attempt, classifying any failure by
+// what it implies about the request's fate.
+func (c *Client) doCall(req *wire.Request) (resp *wire.Response, class failClass, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil, errors.New("client: closed")
+	if c.closed {
+		return nil, failPermanent, ErrClosed
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		return nil, failNotSent, err
 	}
 	c.seq++
 	req.Seq = c.seq
+	if c.callTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.callTimeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, err
+		c.teardownLocked()
+		return nil, failUnknown, err
 	}
-	var resp wire.Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+	var r wire.Response
+	if err := c.dec.Decode(&r); err != nil {
+		c.teardownLocked()
+		return nil, failUnknown, fmt.Errorf("client: read response: %w", err)
 	}
-	if resp.Seq != req.Seq {
-		return nil, fmt.Errorf("client: response seq %d for request %d", resp.Seq, req.Seq)
+	if c.callTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
 	}
-	if !resp.IsOK() {
-		return nil, fmt.Errorf("client: server error: %s", resp.Error)
+	if r.Seq != req.Seq {
+		// The stream is desynced: a stale or mispaired response would
+		// corrupt every later exchange, so the connection is unusable.
+		// Tear it down (the next call reconnects) but fail this call:
+		// mispairing is a protocol violation, not a transient fault.
+		c.teardownLocked()
+		return nil, failPermanent, fmt.Errorf("client: response seq %d for request %d (connection desynced)", r.Seq, req.Seq)
 	}
-	return &resp, nil
+	if !r.IsOK() {
+		serr := &ServerError{Code: r.Code, Message: r.Error}
+		if IsOverloaded(serr) {
+			return nil, failRejected, serr
+		}
+		return nil, failPermanent, serr
+	}
+	return &r, failNone, nil
 }
 
 // Ping checks server liveness.

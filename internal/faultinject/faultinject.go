@@ -1,0 +1,300 @@
+// Package faultinject provides controllable failure wrappers used by the
+// chaos test suites: a net.Conn that injects errors, latency, partial
+// writes, and mid-request disconnects; a net.Listener that wraps every
+// accepted connection; and an os.File-style wrapper that fails writes and
+// fsyncs on cue.
+//
+// The wrappers are deliberately deterministic: failures fire at configured
+// call counts, not probabilistically, so a chaos test asserting "the third
+// write on this connection dies" reproduces the same way every run. All
+// wrappers are safe for concurrent use.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by a triggered fault.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Conn wraps a net.Conn with injectable faults. The zero configuration is
+// a transparent pass-through.
+type Conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	reads  int // completed Read calls
+	writes int // completed Write calls
+
+	failReadAt  int   // 1-based Read call index at which reads start failing
+	readErr     error // error returned once reads fail
+	failWriteAt int   // 1-based Write call index at which writes start failing
+	writeErr    error
+	closeOnFail bool // also close the underlying conn when a fault fires
+
+	latency       time.Duration // added before every Read and Write
+	maxWriteBytes int           // cap on bytes accepted per Write call (partial writes)
+	maxReadBytes  int           // cap on bytes returned per Read call
+}
+
+// ConnOption configures a Conn.
+type ConnOption func(*Conn)
+
+// FailReadAfter makes Read fail from the nth call on (n=1 fails the first
+// read). A nil err uses ErrInjected.
+func FailReadAfter(n int, err error) ConnOption {
+	return func(c *Conn) { c.failReadAt = n; c.readErr = orInjected(err) }
+}
+
+// FailWriteAfter makes Write fail from the nth call on. A nil err uses
+// ErrInjected.
+func FailWriteAfter(n int, err error) ConnOption {
+	return func(c *Conn) { c.failWriteAt = n; c.writeErr = orInjected(err) }
+}
+
+// CloseOnFail closes the underlying connection when an injected read or
+// write fault fires, simulating a peer that drops the TCP connection
+// mid-request rather than one that merely errors locally.
+func CloseOnFail() ConnOption {
+	return func(c *Conn) { c.closeOnFail = true }
+}
+
+// WithLatency adds a fixed delay before every Read and Write, simulating a
+// slow or congested link.
+func WithLatency(d time.Duration) ConnOption {
+	return func(c *Conn) { c.latency = d }
+}
+
+// WithMaxWriteBytes caps the bytes accepted per Write call, forcing the
+// caller through the short-write path.
+func WithMaxWriteBytes(n int) ConnOption {
+	return func(c *Conn) { c.maxWriteBytes = n }
+}
+
+// WithMaxReadBytes caps the bytes returned per Read call.
+func WithMaxReadBytes(n int) ConnOption {
+	return func(c *Conn) { c.maxReadBytes = n }
+}
+
+// WrapConn wraps inner with the configured faults.
+func WrapConn(inner net.Conn, opts ...ConnOption) *Conn {
+	c := &Conn{Conn: inner}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func orInjected(err error) error {
+	if err == nil {
+		return ErrInjected
+	}
+	return err
+}
+
+// Reads returns how many Read calls have completed or faulted.
+func (c *Conn) Reads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads
+}
+
+// Writes returns how many Write calls have completed or faulted.
+func (c *Conn) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	c.reads++
+	fail := c.failReadAt > 0 && c.reads >= c.failReadAt
+	err := c.readErr
+	closeOnFail := c.closeOnFail
+	latency := c.latency
+	if c.maxReadBytes > 0 && len(p) > c.maxReadBytes {
+		p = p[:c.maxReadBytes]
+	}
+	c.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if fail {
+		if closeOnFail {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	fail := c.failWriteAt > 0 && c.writes >= c.failWriteAt
+	err := c.writeErr
+	closeOnFail := c.closeOnFail
+	latency := c.latency
+	max := c.maxWriteBytes
+	c.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if fail {
+		if closeOnFail {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	if max > 0 && len(p) > max {
+		n, werr := c.Conn.Write(p[:max])
+		if werr != nil {
+			return n, werr
+		}
+		return n, io.ErrShortWrite
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection is wrapped
+// with the configured faults. OnAccept, when set, is called with each
+// wrapped connection (for tests that want a handle to trigger faults on
+// the live connection).
+type Listener struct {
+	net.Listener
+
+	mu       sync.Mutex
+	opts     []ConnOption
+	onAccept func(*Conn)
+	accepted int
+}
+
+// WrapListener wraps ln; every accepted conn receives opts.
+func WrapListener(ln net.Listener, opts ...ConnOption) *Listener {
+	return &Listener{Listener: ln, opts: opts}
+}
+
+// OnAccept registers a callback invoked with every wrapped connection.
+func (l *Listener) OnAccept(fn func(*Conn)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onAccept = fn
+}
+
+// Accepted returns how many connections have been accepted.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	wrapped := WrapConn(conn, l.opts...)
+	fn := l.onAccept
+	l.mu.Unlock()
+	if fn != nil {
+		fn(wrapped)
+	}
+	return wrapped, nil
+}
+
+// OSFile is the file surface the storage layer requires of its WAL and
+// snapshot files; *os.File satisfies it, and File wraps any implementation
+// with injectable faults. It structurally matches storage.File without
+// importing that package.
+type OSFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+}
+
+// File wraps an OSFile with write and fsync fault injection.
+type File struct {
+	OSFile
+
+	mu     sync.Mutex
+	writes int
+	syncs  int
+
+	failWriteAt int // 1-based Write call index at which writes start failing
+	writeErr    error
+	failSyncAt  int // 1-based Sync call index at which fsyncs start failing
+	syncErr     error
+}
+
+// FileOption configures a File.
+type FileOption func(*File)
+
+// FailFileWriteAfter makes Write fail from the nth call on. A nil err uses
+// ErrInjected.
+func FailFileWriteAfter(n int, err error) FileOption {
+	return func(f *File) { f.failWriteAt = n; f.writeErr = orInjected(err) }
+}
+
+// FailSyncAfter makes Sync fail from the nth call on. A nil err uses
+// ErrInjected.
+func FailSyncAfter(n int, err error) FileOption {
+	return func(f *File) { f.failSyncAt = n; f.syncErr = orInjected(err) }
+}
+
+// WrapFile wraps inner with the configured faults.
+func WrapFile(inner OSFile, opts ...FileOption) *File {
+	f := &File{OSFile: inner}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Writes returns how many Write calls have completed or faulted.
+func (f *File) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Syncs returns how many Sync calls have completed or faulted.
+func (f *File) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	fail := f.failWriteAt > 0 && f.writes >= f.failWriteAt
+	err := f.writeErr
+	f.mu.Unlock()
+	if fail {
+		return 0, err
+	}
+	return f.OSFile.Write(p)
+}
+
+func (f *File) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	fail := f.failSyncAt > 0 && f.syncs >= f.failSyncAt
+	err := f.syncErr
+	f.mu.Unlock()
+	if fail {
+		return err
+	}
+	return f.OSFile.Sync()
+}

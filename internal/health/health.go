@@ -1,0 +1,95 @@
+// Package health tracks process liveness and readiness for the serving
+// layers. A single State is shared by the daemon, the TCP server, and the
+// HTTP API: the daemon marks it ready once storage is open and the engine
+// loaded, flips it to draining when a shutdown signal arrives, and the
+// HTTP layer answers GET /healthz and GET /readyz from it.
+//
+// Liveness ("is the process up?") is distinct from readiness ("should a
+// load balancer send traffic here?"): a draining process is still live but
+// no longer ready, which is exactly what lets an orchestrator stop routing
+// new work while in-flight requests finish.
+package health
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State is the shared liveness/readiness record. The zero value is usable:
+// not ready, not draining, no checks.
+type State struct {
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	checks []check
+}
+
+type check struct {
+	name string
+	fn   func() error
+}
+
+// NewState returns an empty state (not ready until SetReady(true)).
+func NewState() *State { return &State{} }
+
+// SetReady marks the process ready (or not) to receive traffic.
+func (s *State) SetReady(ready bool) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(ready)
+}
+
+// SetDraining marks the process as draining: still live, no longer ready.
+func (s *State) SetDraining(draining bool) {
+	if s == nil {
+		return
+	}
+	s.draining.Store(draining)
+}
+
+// Draining reports whether the process is draining.
+func (s *State) Draining() bool {
+	return s != nil && s.draining.Load()
+}
+
+// AddCheck registers a named readiness probe evaluated on every Ready
+// call. A probe returning an error fails readiness with that reason.
+func (s *State) AddCheck(name string, fn func() error) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checks = append(s.checks, check{name: name, fn: fn})
+}
+
+// Live reports liveness. A running process is always live; the probe
+// exists so orchestrators distinguish "restart me" (no answer at all) from
+// "stop routing to me" (Ready failing).
+func (s *State) Live() error { return nil }
+
+// Ready returns nil when the process should receive traffic: marked
+// ready, not draining, and every registered check passing.
+func (s *State) Ready() error {
+	if s == nil {
+		return nil // no state configured: always ready
+	}
+	if s.draining.Load() {
+		return fmt.Errorf("draining")
+	}
+	if !s.ready.Load() {
+		return fmt.Errorf("not ready")
+	}
+	s.mu.Lock()
+	checks := append([]check(nil), s.checks...)
+	s.mu.Unlock()
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package health
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestZeroValueNotReady(t *testing.T) {
+	var s State
+	if err := s.Live(); err != nil {
+		t.Errorf("live: %v", err)
+	}
+	if err := s.Ready(); err == nil {
+		t.Error("zero state reported ready")
+	}
+}
+
+func TestReadyLifecycle(t *testing.T) {
+	s := NewState()
+	s.SetReady(true)
+	if err := s.Ready(); err != nil {
+		t.Fatalf("ready after SetReady: %v", err)
+	}
+	s.SetDraining(true)
+	if err := s.Ready(); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("draining state ready: %v", err)
+	}
+	if err := s.Live(); err != nil {
+		t.Errorf("draining process not live: %v", err)
+	}
+	if !s.Draining() {
+		t.Error("Draining() false after SetDraining(true)")
+	}
+	s.SetDraining(false)
+	if err := s.Ready(); err != nil {
+		t.Errorf("ready after drain cancelled: %v", err)
+	}
+}
+
+func TestChecksGateReadiness(t *testing.T) {
+	s := NewState()
+	s.SetReady(true)
+	fail := errors.New("disk gone")
+	ok := true
+	s.AddCheck("storage", func() error {
+		if ok {
+			return nil
+		}
+		return fail
+	})
+	if err := s.Ready(); err != nil {
+		t.Fatalf("passing check failed readiness: %v", err)
+	}
+	ok = false
+	err := s.Ready()
+	if err == nil || !errors.Is(err, fail) || !strings.Contains(err.Error(), "storage") {
+		t.Errorf("failing check: %v, want named wrap of disk gone", err)
+	}
+}
+
+func TestNilStateAlwaysReady(t *testing.T) {
+	var s *State
+	if err := s.Ready(); err != nil {
+		t.Errorf("nil state: %v", err)
+	}
+	if s.Draining() {
+		t.Error("nil state draining")
+	}
+	s.SetReady(true) // must not panic
+	s.SetDraining(true)
+	s.AddCheck("x", func() error { return nil })
+}

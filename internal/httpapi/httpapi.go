@@ -19,10 +19,20 @@
 //	GET  /api/stats          collection statistics + telemetry snapshot
 //	POST /api/import         OAI-style corpus dump (XML body; streamed)
 //	GET  /metrics            Prometheus text-format telemetry (not JSON)
+//	GET  /healthz            liveness probe (plain text; always 200 while up)
+//	GET  /readyz             readiness probe (503 while loading or draining)
 //
 // Every route is instrumented into the engine's telemetry registry:
 // request counts by endpoint and status class, latency histograms per
 // endpoint, and an in-flight gauge (see internal/telemetry).
+//
+// Resilience: API routes run behind panic recovery (a panicking handler
+// answers 500 and bumps nnexus_panics_recovered_total{layer="http"} instead
+// of killing the process) and, when WithMaxInFlight is set, load shedding
+// (503 + Retry-After once the in-flight bound is hit, counted in
+// nnexus_requests_shed_total{layer="http"}). Probe routes are never shed:
+// an overloaded server is still live, and readiness must stay observable
+// while draining.
 package httpapi
 
 import (
@@ -36,27 +46,51 @@ import (
 
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
+	"nnexus/internal/health"
 	"nnexus/internal/render"
 	"nnexus/internal/telemetry"
 )
 
 // Handler serves the HTTP API for one engine.
 type Handler struct {
-	engine *core.Engine
-	mux    *http.ServeMux
-	reg    *telemetry.Registry
+	engine      *core.Engine
+	mux         *http.ServeMux
+	reg         *telemetry.Registry
+	health      *health.State
+	maxInFlight int64
+	res         *resilience
+}
+
+// Option customises a Handler.
+type Option func(*Handler)
+
+// WithHealth wires a health state into the /healthz and /readyz probes.
+// Without it the probes still exist and report the process as ready.
+func WithHealth(st *health.State) Option {
+	return func(h *Handler) { h.health = st }
+}
+
+// WithMaxInFlight bounds concurrently served API requests; excess requests
+// are shed with 503 + Retry-After instead of queueing without bound.
+// n <= 0 (the default) disables shedding.
+func WithMaxInFlight(n int) Option {
+	return func(h *Handler) { h.maxInFlight = int64(n) }
 }
 
 // New builds the HTTP handler around an engine. Routes share the engine's
 // telemetry registry; when the engine was built with telemetry disabled the
 // handler keeps a private registry so /metrics still serves the HTTP-layer
 // families.
-func New(engine *core.Engine) *Handler {
+func New(engine *core.Engine, opts ...Option) *Handler {
 	reg := engine.Telemetry()
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 	h := &Handler{engine: engine, mux: http.NewServeMux(), reg: reg}
+	for _, opt := range opts {
+		opt(h)
+	}
+	h.res = newResilience(reg, h.maxInFlight)
 	m := newHTTPMetrics(reg)
 	routes := []struct {
 		pattern string // method + route, for mux registration
@@ -78,9 +112,31 @@ func New(engine *core.Engine) *Handler {
 		{"GET /metrics", "/metrics", h.metrics},
 	}
 	for _, rt := range routes {
-		h.mux.HandleFunc(rt.pattern, m.instrument(rt.label, rt.handler))
+		h.mux.HandleFunc(rt.pattern, h.res.protect(m.instrument(rt.label, rt.handler)))
 	}
+	// Probes bypass shedding (but keep panic recovery): liveness and
+	// readiness must answer even when the API is saturated or draining.
+	h.mux.HandleFunc("GET /healthz", h.res.recoverOnly(m.instrument("/healthz", h.healthz)))
+	h.mux.HandleFunc("GET /readyz", h.res.recoverOnly(m.instrument("/readyz", h.readyz)))
 	return h
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if err := h.health.Live(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if err := h.health.Ready(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,10 +1,83 @@
 package httpapi
 
 import (
+	"log"
 	"net/http"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"nnexus/internal/telemetry"
+)
+
+// resilience guards API routes: an optional in-flight bound shed with
+// 503 + Retry-After, and panic recovery that converts a poisoned request
+// into a 500 and a counter bump instead of a dead process. The shed and
+// panic counter families are shared with the TCP server (same names,
+// "layer" label), so one dashboard covers both serving layers.
+type resilience struct {
+	maxInFlight int64 // 0 disables shedding
+	active      atomic.Int64
+	shed        *telemetry.Counter // nnexus_requests_shed_total{layer="http"}
+	panics      *telemetry.Counter // nnexus_panics_recovered_total{layer="http"}
+}
+
+func newResilience(reg *telemetry.Registry, maxInFlight int64) *resilience {
+	return &resilience{
+		maxInFlight: maxInFlight,
+		shed: reg.CounterVec("nnexus_requests_shed_total",
+			"Requests rejected by load shedding, by serving layer.", "layer").With("http"),
+		panics: reg.CounterVec("nnexus_panics_recovered_total",
+			"Handler panics recovered into error responses, by serving layer.", "layer").With("http"),
+	}
+}
+
+// protect wraps an API route with shedding and panic recovery.
+func (rs *resilience) protect(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rs.maxInFlight > 0 {
+			if rs.active.Add(1) > rs.maxInFlight {
+				rs.active.Add(-1)
+				rs.shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, errOverloadedHTTP)
+				return
+			}
+			defer rs.active.Add(-1)
+		}
+		rs.serveRecovered(next, w, r)
+	}
+}
+
+// recoverOnly wraps a probe route: panic recovery without shedding.
+func (rs *resilience) recoverOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rs.serveRecovered(next, w, r)
+	}
+}
+
+func (rs *resilience) serveRecovered(next http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		rs.panics.Inc()
+		log.Printf("httpapi: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		// Best effort: if the handler already wrote a status, the conn is
+		// in an unknown state and this write is ignored by net/http.
+		httpError(w, http.StatusInternalServerError, errInternalHTTP)
+	}()
+	next(w, r)
+}
+
+type stringError string
+
+func (e stringError) Error() string { return string(e) }
+
+const (
+	errOverloadedHTTP = stringError("server overloaded, retry later")
+	errInternalHTTP   = stringError("internal server error")
 )
 
 // httpMetrics instruments the API's request handling: per-endpoint request
@@ -49,21 +122,25 @@ func (m *httpMetrics) endpoint(pattern string) *endpointMetrics {
 	return em
 }
 
-// instrument wraps one route's handler with accounting.
+// instrument wraps one route's handler with accounting. The accounting is
+// deferred so it survives a handler panic (the resilience wrapper recovers
+// outside this layer); a panic before any write is counted as "other".
 func (m *httpMetrics) instrument(pattern string, next http.HandlerFunc) http.HandlerFunc {
 	em := m.endpoint(pattern)
 	return func(w http.ResponseWriter, r *http.Request) {
 		m.inFlight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			m.inFlight.Dec()
+			em.duration.Observe(time.Since(start).Seconds())
+			class := sw.status / 100
+			if class < 1 || class > 5 {
+				class = 0
+			}
+			em.byClass[class].Inc()
+		}()
 		next(sw, r)
-		m.inFlight.Dec()
-		em.duration.Observe(time.Since(start).Seconds())
-		class := sw.status / 100
-		if class < 1 || class > 5 {
-			class = 0
-		}
-		em.byClass[class].Inc()
 	}
 }
 

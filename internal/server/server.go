@@ -2,16 +2,31 @@
 // of the wire package (paper §3.1 / Fig 7: the NNexus server answers XML
 // requests over socket connections so that "client software written in any
 // programming language" can link documents against the collection).
+//
+// The server is built to run unattended behind a production corpus:
+//
+//   - Shutdown drains gracefully — it stops accepting, closes idle
+//     connections, lets in-flight requests finish under the caller's
+//     deadline, and only then force-closes stragglers;
+//   - a connection cap and an active-request bound shed excess load with a
+//     typed "overloaded" wire error instead of queueing without bound;
+//   - per-request handler deadlines and per-response write deadlines keep a
+//     slow engine call or a stalled reader from pinning goroutines forever;
+//   - a panic in a handler is recovered into an "internal" error response
+//     and a counter bump, not a dead process.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nnexus/internal/core"
@@ -23,6 +38,14 @@ import (
 // DefaultMaxRequestBytes bounds a single XML request on the wire.
 const DefaultMaxRequestBytes = 32 << 20
 
+// DefaultWriteTimeout bounds writing one response to a client; a reader
+// stalled longer than this loses the connection rather than pinning the
+// handler goroutine.
+const DefaultWriteTimeout = 30 * time.Second
+
+// errOverloaded is the message body of a shed request.
+var errOverloaded = errors.New("server overloaded, retry later")
+
 // Server serves one engine to any number of concurrent connections.
 type Server struct {
 	engine *core.Engine
@@ -31,25 +54,48 @@ type Server struct {
 
 	maxRequestBytes int64
 	idleTimeout     time.Duration
+	writeTimeout    time.Duration
+	handlerTimeout  time.Duration
+	maxConns        int
+	maxActive       int
+
+	active atomic.Int64 // requests currently being handled
+
+	// testHook, when non-nil, runs at the top of every dispatch. The
+	// resilience tests use it to make handlers block or panic on cue;
+	// production code never sets it.
+	testHook func(*wire.Request)
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
+	draining bool
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-request, so a drain can
+// close idle connections immediately while letting busy ones finish.
+type connState struct {
+	inRequest bool
 }
 
 // serverTelemetry is the TCP layer's connection and request accounting,
 // registered on the engine's registry. Nil (engine telemetry disabled)
 // turns every site into a nil check.
 type serverTelemetry struct {
-	connsTotal  *telemetry.Counter
-	connsActive *telemetry.Gauge
-	requests    *telemetry.CounterVec
-	errors      *telemetry.Counter
-	duration    *telemetry.Histogram
-	byMethod    map[string]*telemetry.Counter
-	unknown     *telemetry.Counter
+	connsTotal    *telemetry.Counter
+	connsActive   *telemetry.Gauge
+	connsRejected *telemetry.Counter
+	requests      *telemetry.CounterVec
+	errors        *telemetry.Counter
+	duration      *telemetry.Histogram
+	shed          *telemetry.Counter
+	panics        *telemetry.Counter
+	timeouts      *telemetry.Counter
+	drainDuration *telemetry.Histogram
+	byMethod      map[string]*telemetry.Counter
+	unknown       *telemetry.Counter
 }
 
 func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
@@ -61,12 +107,22 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 			"TCP protocol connections accepted."),
 		connsActive: reg.Gauge("nnexus_tcp_connections_active",
 			"TCP protocol connections currently open."),
+		connsRejected: reg.Counter("nnexus_tcp_connections_rejected_total",
+			"TCP connections refused because the connection cap was reached."),
 		requests: reg.CounterVec("nnexus_tcp_requests_total",
 			"XML protocol requests by method.", "method"),
 		errors: reg.Counter("nnexus_tcp_request_errors_total",
 			"XML protocol requests answered with an error response."),
 		duration: reg.Histogram("nnexus_tcp_request_duration_seconds",
 			"XML protocol request handling latency."),
+		shed: reg.CounterVec("nnexus_requests_shed_total",
+			"Requests rejected by load shedding, by serving layer.", "layer").With("tcp"),
+		panics: reg.CounterVec("nnexus_panics_recovered_total",
+			"Handler panics recovered into error responses, by serving layer.", "layer").With("tcp"),
+		timeouts: reg.Counter("nnexus_tcp_request_timeouts_total",
+			"XML protocol requests answered with a timeout error because the handler deadline expired."),
+		drainDuration: reg.Histogram("nnexus_drain_duration_seconds",
+			"Time graceful shutdown spent draining in-flight work."),
 	}
 	t.byMethod = make(map[string]*telemetry.Counter)
 	for _, m := range []string{
@@ -116,6 +172,35 @@ func WithIdleTimeout(d time.Duration) Option {
 	return func(s *Server) { s.idleTimeout = d }
 }
 
+// WithWriteTimeout bounds writing one response to a client; a peer that
+// stops reading for longer loses its connection. Zero or negative disables
+// the bound. The default is DefaultWriteTimeout.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithHandlerTimeout bounds one request's handling time: when it expires
+// the client receives a typed "timeout" error while the handler finishes
+// (and is discarded) in the background. Zero (the default) disables it.
+func WithHandlerTimeout(d time.Duration) Option {
+	return func(s *Server) { s.handlerTimeout = d }
+}
+
+// WithMaxConns caps concurrently open connections; excess connections are
+// accepted and immediately closed. Zero (the default) is unlimited.
+func WithMaxConns(n int) Option {
+	return func(s *Server) { s.maxConns = n }
+}
+
+// WithMaxActiveRequests bounds requests being handled at once across all
+// connections. A request arriving over the bound is answered immediately
+// with a typed "overloaded" error instead of queueing, so overload degrades
+// into fast rejections rather than cascading latency. Zero (the default)
+// is unlimited.
+func WithMaxActiveRequests(n int) Option {
+	return func(s *Server) { s.maxActive = n }
+}
+
 // New creates a server around an engine. logger may be nil to disable
 // logging.
 func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
@@ -123,8 +208,9 @@ func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
 		engine:          engine,
 		logger:          logger,
 		tel:             newServerTelemetry(engine.Telemetry()),
-		conns:           make(map[net.Conn]struct{}),
+		conns:           make(map[net.Conn]*connState),
 		maxRequestBytes: DefaultMaxRequestBytes,
+		writeTimeout:    DefaultWriteTimeout,
 	}
 	for _, o := range opts {
 		o(s)
@@ -141,7 +227,7 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("server: listen: %w", err)
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		ln.Close()
 		return "", errors.New("server: already closed")
@@ -161,19 +247,40 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			conn.Close()
+			if s.tel != nil {
+				s.tel.connsRejected.Inc()
+			}
+			continue
+		}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Draining reports whether the server has begun shutting down (and is no
+// longer accepting connections). Readiness probes key off this.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// ActiveRequests returns how many requests are being handled right now.
+func (s *Server) ActiveRequests() int64 { return s.active.Load() }
+
+// Close stops accepting, force-closes all connections (in-flight requests
+// are abandoned), and waits for handler goroutines. For a graceful stop
+// use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -181,7 +288,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.draining = true
 	ln := s.listener
+	s.listener = nil
 	for conn := range s.conns {
 		conn.Close()
 	}
@@ -192,6 +301,78 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown gracefully drains the server: it stops accepting connections,
+// closes idle ones, and lets requests already being handled finish and
+// flush their responses. When ctx expires first, remaining connections are
+// force-closed and ctx's error returned; Shutdown still waits for the
+// connection goroutines to unwind, which happens as soon as their current
+// handler returns (or its handler deadline expires). The drain duration is
+// recorded in the nnexus_drain_duration_seconds histogram.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.listener
+	s.listener = nil
+	for conn, st := range s.conns {
+		if !st.inRequest {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	if s.tel != nil {
+		s.tel.drainDuration.Observe(time.Since(start).Seconds())
+	}
+	return err
+}
+
+// beginRequest marks the connection as mid-request so a concurrent drain
+// will not close it underneath the handler.
+func (s *Server) beginRequest(conn net.Conn) {
+	s.mu.Lock()
+	if st, ok := s.conns[conn]; ok {
+		st.inRequest = true
+	}
+	s.mu.Unlock()
+	s.active.Add(1)
+}
+
+func (s *Server) endRequest(conn net.Conn) {
+	s.active.Add(-1)
+	s.mu.Lock()
+	if st, ok := s.conns[conn]; ok {
+		st.inRequest = false
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -224,13 +405,65 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.Handle(&req)
-		if err := enc.Encode(resp); err != nil {
+		var resp *wire.Response
+		if s.maxActive > 0 && s.active.Load() >= int64(s.maxActive) {
+			// Shed before dispatch: the request never executes, so it
+			// is safe for the client to retry even mutating methods.
+			if s.tel != nil {
+				s.tel.shed.Inc()
+			}
+			resp = wire.ErrCoded(&req, wire.CodeOverloaded, errOverloaded)
+		} else {
+			s.beginRequest(conn)
+			resp = s.handleWithTimeout(&req)
+			s.endRequest(conn)
+		}
+		if s.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		err := enc.Encode(resp)
+		if s.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
 			if s.logger != nil {
 				s.logger.Printf("server: write: %v", err)
 			}
 			return
 		}
+		// A drain lets the in-flight request finish and flush, then
+		// retires the connection instead of waiting for more requests.
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
+		}
+	}
+}
+
+// handleWithTimeout runs Handle under the configured handler deadline.
+// When the deadline expires the client gets a typed "timeout" error; the
+// abandoned handler finishes in the background and its response is
+// discarded (the engine has no cancellation points, so this is a bound on
+// client-visible latency, not on server-side work).
+func (s *Server) handleWithTimeout(req *wire.Request) *wire.Response {
+	if s.handlerTimeout <= 0 {
+		return s.Handle(req)
+	}
+	ch := make(chan *wire.Response, 1)
+	go func() { ch <- s.Handle(req) }()
+	timer := time.NewTimer(s.handlerTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp
+	case <-timer.C:
+		if s.tel != nil {
+			s.tel.timeouts.Inc()
+		}
+		return wire.ErrCoded(req, wire.CodeTimeout,
+			fmt.Errorf("%s: handler deadline %v exceeded", req.Method, s.handlerTimeout))
 	}
 }
 
@@ -261,18 +494,38 @@ func (m *meteredReader) Read(p []byte) (int, error) {
 // is exported so in-process callers (tests, embedded deployments) can speak
 // the protocol without a socket. Requests are counted by method into the
 // engine's telemetry registry, with errored requests and handling latency
-// tracked alongside.
-func (s *Server) Handle(req *wire.Request) *wire.Response {
+// tracked alongside. A panicking handler is recovered into a typed
+// "internal" error response and counted in nnexus_panics_recovered_total,
+// so one poisoned request cannot kill the daemon.
+func (s *Server) Handle(req *wire.Request) (resp *wire.Response) {
 	start := time.Now()
-	resp, err := s.dispatch(req)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s.tel != nil {
+			s.tel.panics.Inc()
+		}
+		if s.logger != nil {
+			s.logger.Printf("server: panic handling %s: %v\n%s", req.Method, r, debug.Stack())
+		}
+		s.tel.request(req.Method, start, true)
+		resp = wire.ErrCoded(req, wire.CodeInternal,
+			fmt.Errorf("internal error handling %s", req.Method))
+	}()
+	r, err := s.dispatch(req)
 	s.tel.request(req.Method, start, err != nil)
 	if err != nil {
 		return wire.Err(req, err)
 	}
-	return resp
+	return r
 }
 
 func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
+	if s.testHook != nil {
+		s.testHook(req)
+	}
 	switch req.Method {
 	case wire.MethodPing:
 		return wire.OK(req), nil

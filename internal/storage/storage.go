@@ -47,17 +47,37 @@ const (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("storage: store is closed")
 
+// File is the slice of *os.File the store's write paths need. Tests inject
+// failing implementations (see internal/faultinject) to exercise fsync
+// failures and torn writes without touching a real disk's failure modes.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+}
+
+// OpenFileFunc opens a writable file; it has the shape of os.OpenFile.
+type OpenFileFunc func(name string, flag int, perm os.FileMode) (File, error)
+
+func osOpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
 // Store is a durable, table-scoped key-value store. All methods are safe
 // for concurrent use.
 type Store struct {
-	mu     sync.RWMutex
-	dir    string
-	tables map[string]map[string][]byte
-	wal    *os.File
-	walBuf *bufio.Writer
-	walLen int64 // bytes appended since last compaction
-	closed bool
-	sync   bool // fsync after every append
+	mu       sync.RWMutex
+	dir      string
+	tables   map[string]map[string][]byte
+	wal      File
+	walBuf   *bufio.Writer
+	walLen   int64 // bytes appended since last compaction
+	closed   bool
+	sync     bool // fsync after every append
+	openFile OpenFileFunc
 }
 
 // Option configures Open.
@@ -70,10 +90,16 @@ func WithSyncWrites() Option {
 	return func(s *Store) { s.sync = true }
 }
 
+// WithOpenFile routes the store's writable file opens (WAL, snapshot temp)
+// through fn instead of os.OpenFile. Used by fault-injection tests.
+func WithOpenFile(fn OpenFileFunc) Option {
+	return func(s *Store) { s.openFile = fn }
+}
+
 // Open opens (or creates) a store rooted at dir. If dir is empty the store
 // is memory-only: mutations are not persisted and Compact is a no-op.
 func Open(dir string, opts ...Option) (*Store, error) {
-	s := &Store{dir: dir, tables: make(map[string]map[string][]byte)}
+	s := &Store{dir: dir, tables: make(map[string]map[string][]byte), openFile: osOpenFile}
 	for _, o := range opts {
 		o(s)
 	}
@@ -89,7 +115,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := s.replayWAL(); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := s.openFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
@@ -198,6 +224,17 @@ func (s *Store) WALSize() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.walLen
+}
+
+// Ready reports whether the store can serve traffic: nil while open,
+// ErrClosed after Close. It backs readiness probes.
+func (s *Store) Ready() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Sync flushes buffered WAL appends to the operating system and fsyncs.
@@ -390,7 +427,7 @@ func (s *Store) replayWAL() error {
 // renames it over the previous snapshot.
 func (s *Store) writeSnapshotLocked() error {
 	tmp := filepath.Join(s.dir, snapshotTmp)
-	f, err := os.Create(tmp)
+	f, err := s.openFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: snapshot: %w", err)
 	}

@@ -65,13 +65,36 @@ type Request struct {
 	Format  string   `xml:"format,omitempty"`
 }
 
+// Error codes carried in Response.Code. They classify error responses so
+// clients can react mechanically: an "overloaded" or "unavailable" error is
+// transient (the request was rejected before execution and is safe to retry,
+// even for mutating methods), a "timeout" may or may not have executed, and
+// an "internal" error is a server-side failure. Older servers omit the code.
+const (
+	// CodeOverloaded: the server shed the request before dispatching it
+	// because it was over its load bound. Safe to retry after backoff.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the server is draining for shutdown and rejected
+	// the request before dispatching it. Safe to retry (elsewhere).
+	CodeUnavailable = "unavailable"
+	// CodeTimeout: the handler deadline expired; the request may still
+	// complete server-side. Retry only idempotent methods.
+	CodeTimeout = "timeout"
+	// CodeInternal: the handler failed unexpectedly (e.g. a recovered
+	// panic).
+	CodeInternal = "internal"
+)
+
 // Response is one server→client message.
 type Response struct {
 	XMLName xml.Name `xml:"response"`
 	Seq     int64    `xml:"seq,attr,omitempty"`
 	// Status is "ok" or "error".
 	Status string `xml:"status,attr"`
-	Error  string `xml:"error,omitempty"`
+	// Code classifies error responses (see the Code* constants); empty on
+	// success and on untyped errors from older servers.
+	Code  string `xml:"code,attr,omitempty"`
+	Error string `xml:"error,omitempty"`
 
 	Object      int64   `xml:"object,omitempty"`
 	Entry       *Entry  `xml:"entry,omitempty"`
@@ -231,6 +254,11 @@ func OK(req *Request) *Response {
 // Err builds an error response for a request.
 func Err(req *Request, err error) *Response {
 	return &Response{Seq: req.Seq, Status: "error", Error: err.Error()}
+}
+
+// ErrCoded builds a typed error response for a request.
+func ErrCoded(req *Request, code string, err error) *Response {
+	return &Response{Seq: req.Seq, Status: "error", Code: code, Error: err.Error()}
 }
 
 // IsOK reports whether the response indicates success.

@@ -48,6 +48,7 @@ import (
 	"nnexus/internal/config"
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
+	"nnexus/internal/health"
 	"nnexus/internal/httpapi"
 	"nnexus/internal/keywords"
 	"nnexus/internal/latex"
@@ -439,11 +440,71 @@ func (e *Engine) SemanticNetwork() (*Network, error) {
 // Server exposes an engine over the XML socket protocol.
 type Server = server.Server
 
+// ServerOption configures Serve: deadlines, connection caps, load-shedding
+// bounds. See the With* constructors below.
+type ServerOption = server.Option
+
+// ClientOption configures Dial: per-call deadlines, retry counts, backoff.
+type ClientOption = client.Option
+
+// HTTPOption configures HTTPHandler: health probes and in-flight bounds.
+type HTTPOption = httpapi.Option
+
+// HealthState tracks process liveness and readiness for the /healthz and
+// /readyz probes; see NewHealthState.
+type HealthState = health.State
+
+// NewHealthState returns a health state that is live but not yet ready.
+// Wire it into HTTPHandler with WithHealth, mark it ready once serving, and
+// mark it draining during shutdown so readiness flips before connections
+// close.
+func NewHealthState() *HealthState { return health.NewState() }
+
+// Server-side resilience options.
+
+// WithWriteTimeout bounds how long the TCP server may block writing one
+// response to a slow or stalled client.
+func WithWriteTimeout(d time.Duration) ServerOption { return server.WithWriteTimeout(d) }
+
+// WithHandlerTimeout bounds each request's handler execution; an expired
+// handler answers a typed "timeout" error.
+func WithHandlerTimeout(d time.Duration) ServerOption { return server.WithHandlerTimeout(d) }
+
+// WithMaxConns caps concurrently served TCP connections; excess connections
+// are closed on accept.
+func WithMaxConns(n int) ServerOption { return server.WithMaxConns(n) }
+
+// WithMaxActiveRequests bounds concurrently executing requests; excess
+// requests are shed with a typed "overloaded" error, which clients retry
+// after backoff.
+func WithMaxActiveRequests(n int) ServerOption { return server.WithMaxActiveRequests(n) }
+
+// Client-side resilience options.
+
+// WithCallTimeout bounds each remote call, including its wire round trip.
+func WithCallTimeout(d time.Duration) ClientOption { return client.WithCallTimeout(d) }
+
+// WithMaxRetries caps transparent retries per call (0 disables retrying).
+func WithMaxRetries(n int) ClientOption { return client.WithMaxRetries(n) }
+
+// WithBackoff sets the client's exponential backoff range between retries.
+func WithBackoff(base, max time.Duration) ClientOption { return client.WithBackoff(base, max) }
+
+// HTTP-side resilience options.
+
+// WithHealth wires a health state into GET /healthz and GET /readyz.
+func WithHealth(st *HealthState) HTTPOption { return httpapi.WithHealth(st) }
+
+// WithMaxInFlight bounds concurrently served HTTP API requests; excess
+// requests get 503 + Retry-After.
+func WithMaxInFlight(n int) HTTPOption { return httpapi.WithMaxInFlight(n) }
+
 // Serve starts an XML-protocol TCP server for the engine on addr
 // ("host:port"; port 0 picks a free port). The returned bound address can
-// be passed to Dial. logger may be nil.
-func (e *Engine) Serve(addr string, logger *log.Logger) (*Server, string, error) {
-	srv := server.New(e.core, logger)
+// be passed to Dial. logger may be nil. Stop it with Server.Close, or drain
+// it gracefully with Server.Shutdown.
+func (e *Engine) Serve(addr string, logger *log.Logger, opts ...ServerOption) (*Server, string, error) {
+	srv := server.New(e.core, logger, opts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, "", err
@@ -451,9 +512,22 @@ func (e *Engine) Serve(addr string, logger *log.Logger) (*Server, string, error)
 	return srv, bound, nil
 }
 
-// Dial connects to an NNexus server.
-func Dial(addr string) (*Client, error) {
-	return client.Dial(addr, dialTimeout)
+// Dial connects to an NNexus server. The returned client is self-healing:
+// it reconnects on broken connections and transparently retries idempotent
+// calls (and pre-execution rejections such as load shedding) with
+// exponential backoff.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	return client.Dial(addr, dialTimeout, opts...)
+}
+
+// Ready reports whether the engine can serve traffic; it currently reflects
+// the persistent store (nil for memory-only engines). Wire it into a
+// HealthState with AddCheck for readiness probes.
+func (e *Engine) Ready() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Ready()
 }
 
 // HTTPHandler returns an http.Handler exposing the engine as a web service
@@ -461,8 +535,8 @@ func Dial(addr string) (*Client, error) {
 // /api/entries, and an interactive form at /. Mount it on any mux or server:
 //
 //	http.ListenAndServe(":8080", engine.HTTPHandler())
-func (e *Engine) HTTPHandler() http.Handler {
-	return httpapi.New(e.core)
+func (e *Engine) HTTPHandler(opts ...HTTPOption) http.Handler {
+	return httpapi.New(e.core, opts...)
 }
 
 // dialTimeout bounds Dial's connection attempt.
