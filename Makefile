@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench chaos experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare chaos experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -16,6 +16,22 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Record the performance trajectory: the key linking benchmarks (sequential
+# modes, free text, maintenance, and the parallel path at 1/2/4/8 procs) as
+# JSON. The output is committed (BENCH_PR3.json) so later perf PRs have a
+# baseline to be judged against.
+bench-json:
+	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth' -benchmem . ; \
+	  go test -run '^$$' -bench 'Link(Text)?Parallel' -benchmem -cpu 1,2,4,8 . ; } \
+	| go run ./cmd/benchjson -o BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
+
+# Benchstat-style old/new comparison against the committed baseline.
+bench-compare:
+	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth' -benchmem . ; \
+	  go test -run '^$$' -bench 'Link(Text)?Parallel' -benchmem -cpu 1,2,4,8 . ; } \
+	| go run ./cmd/benchjson -compare BENCH_PR3.json
 
 # Fault-injection suite: connection kills, server restarts, torn WAL tails,
 # fsync failures, drains under live traffic — always under the race detector.

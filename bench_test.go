@@ -11,6 +11,7 @@ package nnexus_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"nnexus"
@@ -74,6 +75,54 @@ func BenchmarkTable2LinkingModes(b *testing.B) {
 			b.ReportMetric(float64(counts.Created)/float64(b.N), "links/op")
 		})
 	}
+}
+
+// BenchmarkLinkParallel measures aggregate link throughput with concurrent
+// requests (b.RunParallel spreads the loop over GOMAXPROCS goroutines).
+// Because the whole read path — concept-map scan, candidate view, steering
+// distances — is lock-free, throughput should scale with cores; run with
+// -cpu 1,2,4,8 to record the scaling curve (see BENCH_PR3.json).
+func BenchmarkLinkParallel(b *testing.B) {
+	c := corpusFor(b, 1500)
+	e := engineFor(b, c)
+	// Clear the invalidation backlog left by corpus loading so the
+	// steady-state parallel path (no invalidation writes) is measured.
+	if _, err := e.RelinkInvalidatedParallel(0); err != nil {
+		b.Fatal(err)
+	}
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			idx := atomic.AddInt64(&next, 1)%int64(len(c.Entries)) + 1
+			if _, err := e.LinkEntry(idx, core.LinkOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLinkTextParallel is the free-text variant of the parallel
+// benchmark: the Fig 9 lecture-notes request fanned out across cores, the
+// shape a busy multi-tenant deployment serves.
+func BenchmarkLinkTextParallel(b *testing.B) {
+	c := corpusFor(b, 1500)
+	e := engineFor(b, c)
+	notes := "These lecture notes discuss " + c.Entries[100].Entry.Title +
+		" and " + c.Entries[200].Entry.Title + " with respect to " +
+		c.Entries[300].Entry.Title + ", among considerable other prose that " +
+		"does not invoke concepts at all, plus some math $x^2 + y^2$."
+	classes := c.Entries[100].Entry.Classes
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.LinkText(notes, core.LinkOptions{SourceClasses: classes}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTable1PolicyFix measures re-surveying the Table 1 sample after

@@ -1,0 +1,127 @@
+package cache
+
+// Sharded is a bounded cache that spreads keys across independently locked
+// LRU shards, so concurrent readers on different keys proceed without
+// contending on a single mutex. The shard count is rounded up to a power of
+// two and the caller supplies the hash function that routes a key to its
+// shard (see HashString and friends for ready-made hashes).
+//
+// Each shard is an independent LRU holding capacity/shards entries, so the
+// total size stays bounded at roughly the requested capacity; eviction is
+// per-shard rather than globally least-recently-used, the standard sharding
+// trade-off.
+type Sharded[K comparable, V any] struct {
+	shards []*LRU[K, V]
+	mask   uint64
+	hash   func(K) uint64
+}
+
+// NewSharded creates a sharded cache of roughly the given total capacity.
+// shards is rounded up to a power of two (minimum 1); hash must be
+// deterministic and should spread keys uniformly.
+func NewSharded[K comparable, V any](shards, capacity int, hash func(K) uint64) *Sharded[K, V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	s := &Sharded[K, V]{
+		shards: make([]*LRU[K, V], n),
+		mask:   uint64(n - 1),
+		hash:   hash,
+	}
+	for i := range s.shards {
+		s.shards[i] = NewLRU[K, V](per)
+	}
+	return s
+}
+
+func (s *Sharded[K, V]) shard(key K) *LRU[K, V] {
+	return s.shards[s.hash(key)&s.mask]
+}
+
+// Get returns the cached value and whether it was present.
+func (s *Sharded[K, V]) Get(key K) (V, bool) {
+	return s.shard(key).Get(key)
+}
+
+// Put stores a value, evicting within the key's shard if full.
+func (s *Sharded[K, V]) Put(key K, value V) {
+	s.shard(key).Put(key, value)
+}
+
+// Invalidate removes a key (a no-op when absent).
+func (s *Sharded[K, V]) Invalidate(key K) {
+	s.shard(key).Invalidate(key)
+}
+
+// Clear drops every entry in every shard.
+func (s *Sharded[K, V]) Clear() {
+	for _, sh := range s.shards {
+		sh.Clear()
+	}
+}
+
+// Len returns the total number of cached entries across shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Shards returns the number of shards (always a power of two).
+func (s *Sharded[K, V]) Shards() int { return len(s.shards) }
+
+// Stats returns cumulative hit and miss counts summed across shards.
+func (s *Sharded[K, V]) Stats() (hits, misses int64) {
+	for _, sh := range s.shards {
+		h, m := sh.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// FNV-1a constants, for the ready-made hash helpers.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashString is FNV-1a over the bytes of a string key.
+func HashString(s string) uint64 {
+	return hashStringSeed(fnvOffset64, s)
+}
+
+// HashStrings hashes a sequence of strings, separating them so ("ab","c")
+// and ("a","bc") land on different values.
+func HashStrings(parts ...string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range parts {
+		h = hashStringSeed(h, p)
+		h = (h ^ 0xff) * fnvPrime64 // separator byte
+	}
+	return h
+}
+
+// HashInt64 is FNV-1a over the 8 bytes of an integer key.
+func HashInt64(v int64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(v>>(8*i)))) * fnvPrime64
+	}
+	return h
+}
+
+func hashStringSeed(seed uint64, s string) uint64 {
+	h := seed
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded[string, int](3, 64, HashString) // rounds up to 4 shards
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", s.Shards())
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	s.Put("a", 1)
+	s.Put("b", 2)
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d,%v", v, ok)
+	}
+	if v, ok := s.Get("b"); !ok || v != 2 {
+		t.Fatalf("b = %d,%v", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Invalidate("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("invalidated key still present")
+	}
+	hits, misses := s.Stats()
+	if hits != 2 || misses != 2 { // a-miss, a-hit, b-hit, a-miss(after invalidate)
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("len after clear = %d", s.Len())
+	}
+}
+
+func TestShardedBounded(t *testing.T) {
+	s := NewSharded[int64, int](4, 16, HashInt64)
+	for i := int64(0); i < 1000; i++ {
+		s.Put(i, int(i))
+	}
+	if n := s.Len(); n > 16 {
+		t.Fatalf("cache exceeded capacity: %d", n)
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[string, int](16, 4096, HashString)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", i%512)
+				if v, ok := s.Get(key); ok && v != i%512 {
+					t.Errorf("key %s = %d", key, v)
+					return
+				}
+				s.Put(key, i%512)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v, ok := s.Get(key); !ok || v != i {
+			t.Fatalf("key %s = %d,%v", key, v, ok)
+		}
+	}
+}
+
+func TestHashStringsSeparates(t *testing.T) {
+	if HashStrings("ab", "c") == HashStrings("a", "bc") {
+		t.Fatal("concatenation collision")
+	}
+	if HashStrings("x") == HashStrings("x", "") {
+		t.Fatal("arity collision")
+	}
+}

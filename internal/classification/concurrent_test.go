@@ -1,0 +1,126 @@
+package classification
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nnexus/internal/cache"
+)
+
+// TestDistanceConcurrent hammers the lock-free memoized rows from many
+// goroutines — including first-touch races on the same source row and an
+// AllPairs installation mid-flight — and asserts every answer matches the
+// sequentially computed ground truth.
+func TestDistanceConcurrent(t *testing.T) {
+	s := MSC2000(DefaultBaseWeight)
+	classes := s.Classes()
+	// Ground truth from a second, identical scheme, computed sequentially.
+	ref := MSC2000(DefaultBaseWeight)
+	type query struct {
+		a, b string
+		d    int64
+	}
+	rng := rand.New(rand.NewSource(42))
+	queries := make([]query, 2000)
+	for i := range queries {
+		a := classes[rng.Intn(len(classes))]
+		b := classes[rng.Intn(len(classes))]
+		d, ok := ref.Distance(a, b)
+		if !ok {
+			t.Fatalf("ref distance %s→%s not ok", a, b)
+		}
+		queries[i] = query{a, b, d}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range queries {
+				d, ok := s.Distance(q.a, q.b)
+				if !ok || d != q.d {
+					t.Errorf("worker %d query %d: Distance(%s,%s) = %d,%v want %d", w, i, q.a, q.b, d, ok, q.d)
+					return
+				}
+			}
+		}(w)
+	}
+	// Install the all-pairs table while queries are in flight; answers must
+	// stay identical through the switchover.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.AllPairs(); err != nil {
+			t.Errorf("AllPairs: %v", err)
+		}
+	}()
+	wg.Wait()
+}
+
+// TestShardedDistanceCacheEquivalence is the property test of the steering
+// pair cache: for random multi-class sources and targets — including
+// unknown classes — MinDistanceCached through a cache.Sharded must return
+// bit-identical results to the uncached MinDistance, on both cold and warm
+// cache passes.
+func TestShardedDistanceCacheEquivalence(t *testing.T) {
+	s := MSC2000(DefaultBaseWeight)
+	classes := s.Classes()
+	dc := cache.NewSharded[ClassPair, int64](8, 1024, func(p ClassPair) uint64 {
+		return cache.HashStrings(p.Source, p.Target)
+	})
+
+	rng := rand.New(rand.NewSource(7))
+	pick := func() []string {
+		n := 1 + rng.Intn(3)
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(8) == 0 {
+				out = append(out, "no-such-class")
+				continue
+			}
+			out = append(out, classes[rng.Intn(len(classes))])
+		}
+		return out
+	}
+
+	type pair struct{ src, tgt []string }
+	cases := make([]pair, 500)
+	for i := range cases {
+		cases[i] = pair{pick(), pick()}
+	}
+	for pass := 0; pass < 2; pass++ { // pass 0 fills, pass 1 hits
+		for i, c := range cases {
+			want := MinDistance(s, c.src, c.tgt)
+			got := MinDistanceCached(s, dc, c.src, c.tgt)
+			if got != want {
+				t.Fatalf("pass %d case %d: cached %d != uncached %d (src=%v tgt=%v)",
+					pass, i, got, want, c.src, c.tgt)
+			}
+		}
+	}
+	hits, misses := dc.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache not exercised: hits=%d misses=%d", hits, misses)
+	}
+
+	// Steer itself must agree through the cache as well.
+	for i := 0; i < 100; i++ {
+		src := pick()
+		cands := make([]Candidate, 1+rng.Intn(5))
+		for j := range cands {
+			cands[j] = Candidate{Object: int64(j + 1), Classes: pick()}
+		}
+		plain := Steer(s, src, cands)
+		cached := SteerCached(s, dc, src, cands)
+		if len(plain) != len(cached) {
+			t.Fatalf("case %d: steer lengths differ: %d vs %d", i, len(plain), len(cached))
+		}
+		for j := range plain {
+			if plain[j].Object != cached[j].Object || plain[j].Distance != cached[j].Distance {
+				t.Fatalf("case %d winner %d: %+v vs %+v", i, j, plain[j], cached[j])
+			}
+		}
+	}
+}

@@ -51,9 +51,7 @@ func (s *Scheme) AllPairs() error {
 		}
 		table[u] = row
 	}
-	s.mu.Lock()
-	s.allPairs = table
-	s.mu.Unlock()
+	s.allPairs.Store(&table)
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBaseWeight is the paper's default weight base.
@@ -54,9 +55,20 @@ type Scheme struct {
 	// adj is the undirected weighted adjacency list, filled by Build.
 	adj [][]edge
 
-	mu       sync.Mutex
-	distOnce map[int][]int64 // per-source Dijkstra results, memoized
-	allPairs [][]int64       // full Johnson table when AllPairs was run
+	// rows memoizes per-source Dijkstra results. The slots are allocated
+	// once by Build; each row is computed at most once (sync.Once) and read
+	// lock-free afterwards, so concurrent Distance queries never contend on
+	// a shared mutex the way the previous map-under-mutex cache did.
+	rows []distSlot
+	// allPairs holds the full Johnson table when AllPairs was run,
+	// published atomically so it can be installed while queries are live.
+	allPairs atomic.Pointer[[][]int64]
+}
+
+// distSlot lazily holds one source class's full distance row.
+type distSlot struct {
+	once sync.Once
+	row  []int64
 }
 
 type edge struct {
@@ -146,7 +158,7 @@ func (s *Scheme) Build() error {
 		s.adj[n.parent] = append(s.adj[n.parent], edge{to: n.index, w: w})
 		s.adj[n.index] = append(s.adj[n.index], edge{to: n.parent, w: w})
 	}
-	s.distOnce = make(map[int][]int64)
+	s.rows = make([]distSlot, len(s.nodes))
 	s.built = true
 	return nil
 }
@@ -238,7 +250,8 @@ func (s *Scheme) EdgeWeight(id string) int64 {
 
 // Distance returns the weighted shortest-path distance between two classes.
 // Unknown classes yield (Infinite, false). Results are memoized per source
-// class; the first query from a given class runs one Dijkstra pass.
+// class; the first query from a given class runs one Dijkstra pass, after
+// which queries from that class are lock-free row lookups.
 func (s *Scheme) Distance(a, b string) (int64, bool) {
 	ia, oka := s.byID[a]
 	ib, okb := s.byID[b]
@@ -248,27 +261,19 @@ func (s *Scheme) Distance(a, b string) (int64, bool) {
 	if ia == ib {
 		return 0, true
 	}
-	if s.allPairs != nil {
-		return s.allPairs[ia][ib], true
+	if table := s.allPairs.Load(); table != nil {
+		return (*table)[ia][ib], true
 	}
-	row := s.distRow(ia)
-	return row[ib], true
+	return s.distRow(ia)[ib], true
 }
 
-// distRow returns (computing and caching if needed) the full distance row
-// from source node index ia.
+// distRow returns (computing if needed) the full distance row from source
+// node index ia. The sync.Once fast path is a single atomic load, so
+// concurrent queries from already-memoized sources never serialize.
 func (s *Scheme) distRow(ia int) []int64 {
-	s.mu.Lock()
-	row, ok := s.distOnce[ia]
-	s.mu.Unlock()
-	if ok {
-		return row
-	}
-	row = s.dijkstra(ia)
-	s.mu.Lock()
-	s.distOnce[ia] = row
-	s.mu.Unlock()
-	return row
+	slot := &s.rows[ia]
+	slot.once.Do(func() { slot.row = s.dijkstra(ia) })
+	return slot.row
 }
 
 func pow(b int64, e int) int64 {

@@ -4,10 +4,25 @@
 // text is scanned.
 //
 // The map is keyed by the (morphologically normalized) first word of each
-// concept label; each key chains to the full labels beginning with that
-// word, longest first, so that scanning always performs the longest-phrase
-// match the paper mandates ("orthogonal function" wins over "orthogonal"
-// and "function").
+// concept label; each first word chains to the full labels beginning with
+// that word, longest first, so that scanning always performs the
+// longest-phrase match the paper mandates ("orthogonal function" wins over
+// "orthogonal" and "function").
+//
+// # Concurrency model
+//
+// The map is read-dominated: every link request scans it, while writes only
+// happen when entries are added, updated, or removed. The whole structure is
+// therefore kept as an immutable snapshot published through an
+// atomic.Pointer (the RCU pattern): readers — Scan, Lookup, LabelsOf, the
+// stats accessors — load the current snapshot with a single atomic load and
+// never take a lock, so the read path scales with cores. Writers serialize
+// on a writer-only mutex and build the next generation copy-on-write: the
+// snapshot's tables are split into fixed bucket arrays, so a write clones
+// only the few buckets it touches (a handful of map entries each), never a
+// whole table and never a whole first-word chain, then publishes the new
+// snapshot atomically. A reader consequently always observes either the
+// complete old snapshot or the complete new one, never a torn chain.
 package conceptmap
 
 import (
@@ -15,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nnexus/internal/morph"
 	"nnexus/internal/tokenizer"
@@ -33,6 +49,8 @@ type Match struct {
 	TokenEnd   int    // one past the last matched token
 	ByteStart  int    // byte offset of the match in the original text
 	ByteEnd    int    // byte offset one past the match
+	// Candidates is the sorted set of objects defining the label. The slice
+	// is shared with the map's internal snapshot and MUST NOT be mutated.
 	Candidates []ObjectID
 }
 
@@ -41,64 +59,252 @@ func (m Match) Text(original string) string {
 	return original[m.ByteStart:m.ByteEnd]
 }
 
-// labelEntry is one chained concept label: the normalized words of the
-// label and the set of objects defining it.
+// labelEntry is one indexed concept label. Entries are immutable once
+// published in a snapshot: changing the object set of a label produces a
+// fresh labelEntry.
 type labelEntry struct {
-	words   []string
-	objects map[ObjectID]struct{}
+	label  string     // full normalized label
+	nWords int        // number of words in the label
+	ids    []ObjectID // objects defining the label, sorted ascending
 }
 
-// chain holds every concept label sharing a first word. Labels are stored
-// by their full normalized text, and the distinct label lengths present are
-// kept sorted descending, so a scan probes one exact key per length —
-// longest phrase first — instead of walking the whole chain.
-type chain struct {
-	byLabel map[string]*labelEntry
-	lengths []int // distinct word counts, descending
+// withObject returns a copy of the entry with id added (binary-search
+// insertion keeps ids sorted without a re-sort), or the receiver when id is
+// already present.
+func (e *labelEntry) withObject(id ObjectID) *labelEntry {
+	i := sort.Search(len(e.ids), func(i int) bool { return e.ids[i] >= id })
+	if i < len(e.ids) && e.ids[i] == id {
+		return e
+	}
+	ids := make([]ObjectID, 0, len(e.ids)+1)
+	ids = append(ids, e.ids[:i]...)
+	ids = append(ids, id)
+	ids = append(ids, e.ids[i:]...)
+	return &labelEntry{label: e.label, nWords: e.nWords, ids: ids}
 }
 
-func (c *chain) addLength(n int) {
-	for _, l := range c.lengths {
-		if l == n {
-			return
-		}
+// withoutObject returns a copy of the entry with id removed, nil when the
+// removal leaves no defining objects, or the receiver when id was absent.
+func (e *labelEntry) withoutObject(id ObjectID) *labelEntry {
+	i := sort.Search(len(e.ids), func(i int) bool { return e.ids[i] >= id })
+	if i >= len(e.ids) || e.ids[i] != id {
+		return e
 	}
-	c.lengths = append(c.lengths, n)
-	sort.Sort(sort.Reverse(sort.IntSlice(c.lengths)))
+	if len(e.ids) == 1 {
+		return nil
+	}
+	ids := make([]ObjectID, 0, len(e.ids)-1)
+	ids = append(ids, e.ids[:i]...)
+	ids = append(ids, e.ids[i+1:]...)
+	return &labelEntry{label: e.label, nWords: e.nWords, ids: ids}
 }
 
-func (c *chain) dropLengthIfUnused(n int) {
-	for _, e := range c.byLabel {
-		if len(e.words) == n {
-			return
-		}
+// firstInfo is the per-first-word chain head: the distinct label lengths to
+// probe (descending, so scans try the longest phrase first) and a refcount
+// per length so removals retire a probe length in O(log n). The full labels
+// themselves live in the snapshot's flat label table — a chain of thousands
+// of labels costs a writer no more than a chain of one. firstInfo values
+// are immutable once published; writers clone before changing.
+type firstInfo struct {
+	lengths    []int       // distinct word counts, descending
+	lengthRefs map[int]int // labels per word count
+	count      int         // labels chained under this first word
+}
+
+// clone returns a mutable copy.
+func (f *firstInfo) clone() *firstInfo {
+	ff := &firstInfo{
+		lengths:    append([]int(nil), f.lengths...),
+		lengthRefs: make(map[int]int, len(f.lengthRefs)),
+		count:      f.count,
 	}
-	for i, l := range c.lengths {
-		if l == n {
-			c.lengths = append(c.lengths[:i], c.lengths[i+1:]...)
-			return
-		}
+	for k, v := range f.lengthRefs {
+		ff.lengthRefs[k] = v
 	}
+	return ff
+}
+
+// addLength registers one more label of n words: a refcount bump when the
+// length is already probed, otherwise a binary-search insertion into the
+// descending lengths slice (the old linear dup-scan plus full re-sort was
+// quadratic across a chain's lifetime).
+func (f *firstInfo) addLength(n int) {
+	if f.lengthRefs[n]++; f.lengthRefs[n] > 1 {
+		return
+	}
+	i := sort.Search(len(f.lengths), func(i int) bool { return f.lengths[i] <= n })
+	f.lengths = append(f.lengths, 0)
+	copy(f.lengths[i+1:], f.lengths[i:])
+	f.lengths[i] = n
+}
+
+// dropLength releases one label of n words, removing the length from the
+// probe list when its refcount reaches zero.
+func (f *firstInfo) dropLength(n int) {
+	if f.lengthRefs[n]--; f.lengthRefs[n] > 0 {
+		return
+	}
+	delete(f.lengthRefs, n)
+	i := sort.Search(len(f.lengths), func(i int) bool { return f.lengths[i] <= n })
+	if i < len(f.lengths) && f.lengths[i] == n {
+		f.lengths = append(f.lengths[:i], f.lengths[i+1:]...)
+	}
+}
+
+// numBuckets splits each snapshot table into fixed buckets so a write
+// clones O(table/numBuckets) entries instead of the whole table. Must be a
+// power of two.
+const (
+	numBuckets = 256
+	bucketMask = numBuckets - 1
+)
+
+// bucketOf routes a string key to its bucket (FNV-1a).
+func bucketOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h & bucketMask)
+}
+
+// bucketOfBytes is bucketOf for a byte-slice key (the scan's reusable
+// phrase buffer).
+func bucketOfBytes(key []byte) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h & bucketMask)
+}
+
+// bucketOfID routes an object to its byObject bucket. IDs are sequential in
+// practice, so the low bits alone spread uniformly.
+func bucketOfID(id ObjectID) int {
+	return int(uint64(id) & bucketMask)
+}
+
+// snapshot is one immutable generation of the concept map. Everything
+// reachable from a snapshot is read-only; writers build a new generation.
+type snapshot struct {
+	// byFirst holds the chain head of each normalized first word, bucketed
+	// by bucketOf(first). Buckets may be nil (reads of nil maps are fine).
+	byFirst [numBuckets]map[string]*firstInfo
+	// labels holds every indexed label, keyed by its full normalized text
+	// and bucketed by bucketOf(label). Keeping labels flat (rather than
+	// inside per-first-word chains) bounds a writer's copy-on-write cost by
+	// the bucket size even when one first word chains thousands of labels.
+	labels [numBuckets]map[string]*labelEntry
+	// byObject records which normalized labels each object contributed
+	// (bucketed by bucketOfID), so objects can be removed or updated.
+	byObject [numBuckets]map[ObjectID][]string
+	nLabels  int // number of distinct labels indexed
+	objects  int // number of objects indexed
 }
 
 // Map is the concept map. The zero value is not usable; call New.
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use; the read path is lock-free.
 type Map struct {
-	mu sync.RWMutex
-	// byFirst chains labels under their normalized first word.
-	byFirst map[string]*chain
-	// byObject records which normalized labels each object contributed,
-	// so objects can be removed or updated.
-	byObject map[ObjectID][]string
-	labels   int // number of distinct (label) entries across all chains
+	// snap is the current immutable generation, swapped atomically by
+	// writers and loaded (once per operation) by readers.
+	snap atomic.Pointer[snapshot]
+	// writeMu serializes snapshot construction; readers never take it.
+	writeMu sync.Mutex
 }
 
 // New returns an empty concept map.
 func New() *Map {
-	return &Map{
-		byFirst:  make(map[string]*chain),
-		byObject: make(map[ObjectID][]string),
+	m := &Map{}
+	m.snap.Store(&snapshot{})
+	return m
+}
+
+// write is the scratch state of one snapshot construction: the next
+// generation plus the set of buckets and chain heads already private to it.
+type write struct {
+	next          *snapshot
+	firstTouched  [numBuckets]bool
+	labelsTouched [numBuckets]bool
+	objTouched    [numBuckets]bool
+	fiTouched     map[string]bool
+}
+
+// beginWrite starts the next generation: the bucket arrays are copied (a
+// flat pointer copy), individual buckets lazily on first touch.
+func (m *Map) beginWrite() *write {
+	old := m.snap.Load()
+	next := &snapshot{
+		byFirst:  old.byFirst,
+		labels:   old.labels,
+		byObject: old.byObject,
+		nLabels:  old.nLabels,
+		objects:  old.objects,
 	}
+	return &write{next: next, fiTouched: make(map[string]bool)}
+}
+
+// firstBucket returns the mutable byFirst bucket for a first word.
+func (w *write) firstBucket(first string) map[string]*firstInfo {
+	i := bucketOf(first)
+	if !w.firstTouched[i] {
+		old := w.next.byFirst[i]
+		cloned := make(map[string]*firstInfo, len(old)+1)
+		for k, v := range old {
+			cloned[k] = v
+		}
+		w.next.byFirst[i] = cloned
+		w.firstTouched[i] = true
+	}
+	return w.next.byFirst[i]
+}
+
+// labelBucket returns the mutable labels bucket for a full label.
+func (w *write) labelBucket(norm string) map[string]*labelEntry {
+	i := bucketOf(norm)
+	if !w.labelsTouched[i] {
+		old := w.next.labels[i]
+		cloned := make(map[string]*labelEntry, len(old)+1)
+		for k, v := range old {
+			cloned[k] = v
+		}
+		w.next.labels[i] = cloned
+		w.labelsTouched[i] = true
+	}
+	return w.next.labels[i]
+}
+
+// objBucket returns the mutable byObject bucket for an id.
+func (w *write) objBucket(id ObjectID) map[ObjectID][]string {
+	i := bucketOfID(id)
+	if !w.objTouched[i] {
+		old := w.next.byObject[i]
+		cloned := make(map[ObjectID][]string, len(old)+1)
+		for k, v := range old {
+			cloned[k] = v
+		}
+		w.next.byObject[i] = cloned
+		w.objTouched[i] = true
+	}
+	return w.next.byObject[i]
+}
+
+// firstForWrite returns a mutable chain head for the first word, cloning
+// the published one on first touch.
+func (w *write) firstForWrite(first string) *firstInfo {
+	b := w.firstBucket(first)
+	f := b[first]
+	if f == nil {
+		f = &firstInfo{lengthRefs: make(map[int]int)}
+		b[first] = f
+		w.fiTouched[first] = true
+		return f
+	}
+	if !w.fiTouched[first] {
+		f = f.clone()
+		b[first] = f
+		w.fiTouched[first] = true
+	}
+	return f
 }
 
 // AddObject indexes an object under every one of its concept labels (its
@@ -107,10 +313,11 @@ func New() *Map {
 // Labels are normalized before indexing; duplicates collapse. Re-adding an
 // existing object replaces its previous labels.
 func (m *Map) AddObject(id ObjectID, labels []string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.byObject[id]; ok {
-		m.removeLocked(id)
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	w := m.beginWrite()
+	if _, ok := w.next.byObject[bucketOfID(id)][id]; ok {
+		w.remove(id)
 	}
 	seen := make(map[string]struct{}, len(labels))
 	var norms []string
@@ -124,102 +331,122 @@ func (m *Map) AddObject(id ObjectID, labels []string) {
 		}
 		seen[norm] = struct{}{}
 		norms = append(norms, norm)
-		m.indexLocked(id, norm)
+		w.index(id, norm)
 	}
-	m.byObject[id] = norms
+	w.objBucket(id)[id] = norms
+	w.next.objects++
+	m.snap.Store(w.next)
 }
 
 // RemoveObject removes every label contribution of the object. Removing an
 // unknown object is a no-op.
 func (m *Map) RemoveObject(id ObjectID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.removeLocked(id)
-}
-
-func (m *Map) removeLocked(id ObjectID) {
-	norms, ok := m.byObject[id]
-	if !ok {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	old := m.snap.Load()
+	if _, ok := old.byObject[bucketOfID(id)][id]; !ok {
 		return
 	}
-	delete(m.byObject, id)
+	w := m.beginWrite()
+	w.remove(id)
+	m.snap.Store(w.next)
+}
+
+// remove unindexes an object inside the generation under construction.
+func (w *write) remove(id ObjectID) {
+	norms := w.next.byObject[bucketOfID(id)][id]
+	delete(w.objBucket(id), id)
+	w.next.objects--
 	for _, norm := range norms {
-		first := firstWord(norm)
-		c := m.byFirst[first]
-		if c == nil {
-			continue
-		}
-		e, ok := c.byLabel[norm]
+		e, ok := w.next.labels[bucketOf(norm)][norm]
 		if !ok {
 			continue
 		}
-		delete(e.objects, id)
-		if len(e.objects) == 0 {
-			delete(c.byLabel, norm)
-			c.dropLengthIfUnused(len(e.words))
-			m.labels--
+		replacement := e.withoutObject(id)
+		if replacement == e {
+			continue
 		}
-		if len(c.byLabel) == 0 {
-			delete(m.byFirst, first)
+		if replacement != nil {
+			w.labelBucket(norm)[norm] = replacement
+			continue
+		}
+		delete(w.labelBucket(norm), norm)
+		w.next.nLabels--
+		first := firstWord(norm)
+		f := w.firstForWrite(first)
+		f.dropLength(e.nWords)
+		f.count--
+		if f.count == 0 {
+			delete(w.firstBucket(first), first)
+			delete(w.fiTouched, first)
 		}
 	}
 }
 
-func (m *Map) indexLocked(id ObjectID, norm string) {
-	words := strings.Fields(norm)
-	first := words[0]
-	c := m.byFirst[first]
-	if c == nil {
-		c = &chain{byLabel: make(map[string]*labelEntry)}
-		m.byFirst[first] = c
-	}
-	if e, ok := c.byLabel[norm]; ok {
-		e.objects[id] = struct{}{}
+// index adds one normalized label of an object to the generation under
+// construction.
+func (w *write) index(id ObjectID, norm string) {
+	if e, ok := w.next.labels[bucketOf(norm)][norm]; ok {
+		if replacement := e.withObject(id); replacement != e {
+			w.labelBucket(norm)[norm] = replacement
+		}
 		return
 	}
-	c.byLabel[norm] = &labelEntry{words: words, objects: map[ObjectID]struct{}{id: {}}}
-	c.addLength(len(words))
-	m.labels++
+	n := 1 + strings.Count(norm, " ")
+	w.labelBucket(norm)[norm] = &labelEntry{label: norm, nWords: n, ids: []ObjectID{id}}
+	w.next.nLabels++
+	f := w.firstForWrite(firstWord(norm))
+	f.addLength(n)
+	f.count++
 }
 
 // Scan walks the token stream and returns every longest-phrase concept
 // match together with all candidate target objects. Matches never overlap;
 // after a phrase match the scan resumes past the phrase (the paper's
-// "longer phrases semantically subsume their shorter atoms").
+// "longer phrases semantically subsume their shorter atoms"). Scan is
+// lock-free: it reads one immutable snapshot for its whole run.
 func (m *Map) Scan(tokens []tokenizer.Token) []Match {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	var matches []Match
-	var phrase strings.Builder
+	return m.ScanAppend(nil, tokens)
+}
+
+// ScanAppend is Scan appending into dst (which may be nil or a recycled
+// buffer with spare capacity), so steady-state callers can reuse one match
+// buffer across requests instead of allocating per scan.
+func (m *Map) ScanAppend(dst []Match, tokens []tokenizer.Token) []Match {
+	snap := m.snap.Load()
+	// phrase is a reusable byte buffer; probing the label table with
+	// b[string(phrase)] compiles to a no-allocation map lookup.
+	var phrase []byte
 	for i := 0; i < len(tokens); {
-		c, ok := m.byFirst[tokens[i].Norm]
-		if !ok {
+		first := tokens[i].Norm
+		f := snap.byFirst[bucketOf(first)][first]
+		if f == nil {
 			i++
 			continue
 		}
 		matched := false
-		for _, n := range c.lengths { // longest first
+		for _, n := range f.lengths { // longest first
 			if i+n > len(tokens) {
 				continue
 			}
-			phrase.Reset()
+			phrase = phrase[:0]
 			for j := 0; j < n; j++ {
 				if j > 0 {
-					phrase.WriteByte(' ')
+					phrase = append(phrase, ' ')
 				}
-				phrase.WriteString(tokens[i+j].Norm)
+				phrase = append(phrase, tokens[i+j].Norm...)
 			}
-			e, ok := c.byLabel[phrase.String()]
+			e, ok := snap.labels[bucketOfBytes(phrase)][string(phrase)]
 			if !ok {
 				continue
 			}
-			matches = append(matches, Match{
-				Label:      strings.Join(e.words, " "),
+			dst = append(dst, Match{
+				Label:      e.label,
 				TokenStart: i,
 				TokenEnd:   i + n,
 				ByteStart:  tokens[i].Start,
 				ByteEnd:    tokens[i+n-1].End,
-				Candidates: e.objectIDs(),
+				Candidates: e.ids,
 			})
 			i += n
 			matched = true
@@ -229,33 +456,26 @@ func (m *Map) Scan(tokens []tokenizer.Token) []Match {
 			i++
 		}
 	}
-	return matches
+	return dst
 }
 
 // Lookup returns the candidate objects defining exactly the given label
-// (normalized internally), or nil if the concept is unknown.
+// (normalized internally), or nil if the concept is unknown. The returned
+// slice is a copy and may be freely mutated by the caller.
 func (m *Map) Lookup(label string) []ObjectID {
 	norm := morph.NormalizeLabel(label)
 	if norm == "" {
 		return nil
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	c := m.byFirst[firstWord(norm)]
-	if c == nil {
-		return nil
-	}
-	if e, ok := c.byLabel[norm]; ok {
-		return e.objectIDs()
+	if e, ok := m.snap.Load().labels[bucketOf(norm)][norm]; ok {
+		return append([]ObjectID(nil), e.ids...)
 	}
 	return nil
 }
 
 // LabelsOf returns the normalized labels contributed by an object.
 func (m *Map) LabelsOf(id ObjectID) []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	norms := m.byObject[id]
+	norms := m.snap.Load().byObject[bucketOfID(id)][id]
 	out := make([]string, len(norms))
 	copy(out, norms)
 	return out
@@ -263,28 +483,22 @@ func (m *Map) LabelsOf(id ObjectID) []string {
 
 // Labels returns the number of distinct concept labels indexed.
 func (m *Map) Labels() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.labels
+	return m.snap.Load().nLabels
 }
 
 // Objects returns the number of objects currently indexed.
 func (m *Map) Objects() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.byObject)
+	return m.snap.Load().objects
 }
 
 // ChainLength returns the number of labels chained under the given first
 // word (after normalization); used by diagnostics and tests.
 func (m *Map) ChainLength(first string) int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	c := m.byFirst[morph.Normalize(first)]
-	if c == nil {
-		return 0
+	norm := morph.Normalize(first)
+	if f := m.snap.Load().byFirst[bucketOf(norm)][norm]; f != nil {
+		return f.count
 	}
-	return len(c.byLabel)
+	return 0
 }
 
 // Stats summarizes the map shape for diagnostics.
@@ -297,12 +511,14 @@ type Stats struct {
 
 // Stats returns a snapshot of the map's shape.
 func (m *Map) Stats() Stats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s := Stats{Objects: len(m.byObject), Labels: m.labels, FirstWords: len(m.byFirst)}
-	for _, c := range m.byFirst {
-		if len(c.byLabel) > s.LongestChain {
-			s.LongestChain = len(c.byLabel)
+	snap := m.snap.Load()
+	s := Stats{Objects: snap.objects, Labels: snap.nLabels}
+	for i := range snap.byFirst {
+		s.FirstWords += len(snap.byFirst[i])
+		for _, f := range snap.byFirst[i] {
+			if f.count > s.LongestChain {
+				s.LongestChain = f.count
+			}
 		}
 	}
 	return s
@@ -313,15 +529,6 @@ func (m *Map) String() string {
 	s := m.Stats()
 	return fmt.Sprintf("conceptmap{objects=%d labels=%d firstWords=%d longestChain=%d}",
 		s.Objects, s.Labels, s.FirstWords, s.LongestChain)
-}
-
-func (e *labelEntry) objectIDs() []ObjectID {
-	ids := make([]ObjectID, 0, len(e.objects))
-	for id := range e.objects {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }
 
 func firstWord(norm string) string {

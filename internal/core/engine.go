@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"nnexus/internal/cache"
 	"nnexus/internal/classification"
@@ -69,6 +70,13 @@ func (m Mode) resolve() Mode {
 // renderedCacheSize bounds the rendered-output cache.
 const renderedCacheSize = 4096
 
+// Distance-cache defaults: entries bound the steering pair cache, shards
+// spread its locks so parallel link requests rarely contend.
+const (
+	defaultDistanceCacheSize   = 1 << 16
+	defaultDistanceCacheShards = 64
+)
+
 // Storage table names.
 const (
 	tableEntries = "entries"
@@ -116,6 +124,11 @@ type Config struct {
 	// exists so the overhead of instrumentation can be benchmarked
 	// against the bare pipeline; deployments should leave it off.
 	DisableTelemetry bool
+	// DistanceCacheSize bounds the sharded (source class, target class)
+	// distance cache consulted by link steering. Zero selects the default
+	// (65536 pairs); a negative value disables the cache, which is useful
+	// for benchmarking the bare scheme and for the equivalence tests.
+	DistanceCacheSize int
 }
 
 // Engine is a fully assembled NNexus instance. All methods are safe for
@@ -131,6 +144,9 @@ type Engine struct {
 	// rendered caches default-pipeline LinkEntry results until the
 	// invalidation machinery marks them stale (the paper's cache table).
 	rendered *cache.LRU[int64, *Result]
+	// dist caches pairwise steering distances across requests (nil when
+	// Config.DistanceCacheSize < 0).
+	dist *cache.Sharded[classification.ClassPair, int64]
 
 	met metrics
 	// tel holds the operational telemetry instruments; nil when
@@ -138,9 +154,14 @@ type Engine struct {
 	// site into a cheap nil check.
 	tel *engineTelemetry
 
+	// domains is copy-on-write: the current immutable generation of the
+	// domain table is loaded lock-free by the link hot path, while writers
+	// (serialized by mu) publish a copied map. Domains are few and change
+	// rarely, the ideal COW shape.
+	domains atomic.Pointer[map[string]*corpus.Domain]
+
 	mu      sync.RWMutex
 	entries map[int64]*corpus.Entry
-	domains map[string]*corpus.Domain
 	invalid map[int64]bool
 	nextID  int64
 }
@@ -167,9 +188,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 		mappers:  ontomap.NewRegistry(),
 		rendered: cache.NewLRU[int64, *Result](renderedCacheSize),
 		entries:  make(map[int64]*corpus.Entry),
-		domains:  make(map[string]*corpus.Domain),
 		invalid:  make(map[int64]bool),
 		nextID:   1,
+	}
+	e.domains.Store(&map[string]*corpus.Domain{})
+	if cfg.DistanceCacheSize >= 0 {
+		size := cfg.DistanceCacheSize
+		if size == 0 {
+			size = defaultDistanceCacheSize
+		}
+		e.dist = cache.NewSharded[classification.ClassPair, int64](
+			defaultDistanceCacheShards, size,
+			func(p classification.ClassPair) uint64 {
+				return cache.HashStrings(p.Source, p.Target)
+			})
 	}
 	if !cfg.DisableTelemetry {
 		reg := cfg.Telemetry
@@ -195,7 +227,7 @@ func (e *Engine) load() error {
 			loadErr = fmt.Errorf("core: load domain %q: %w", key, err)
 			return false
 		}
-		e.domains[d.Name] = &d
+		e.putDomain(&d)
 		return true
 	})
 	if loadErr != nil {
@@ -238,6 +270,23 @@ func (e *Engine) load() error {
 	return nil
 }
 
+// domainMap returns the current immutable domain-table generation. The
+// returned map must not be mutated.
+func (e *Engine) domainMap() map[string]*corpus.Domain { return *e.domains.Load() }
+
+// putDomain publishes a new domain-table generation containing d. Callers
+// must hold e.mu (or run during single-threaded construction) so that
+// concurrent writers do not lose each other's generations.
+func (e *Engine) putDomain(d *corpus.Domain) {
+	old := e.domainMap()
+	next := make(map[string]*corpus.Domain, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[d.Name] = d
+	e.domains.Store(&next)
+}
+
 // AddDomain registers (or replaces) a corpus domain.
 func (e *Engine) AddDomain(d corpus.Domain) error {
 	if d.Name == "" {
@@ -246,7 +295,7 @@ func (e *Engine) AddDomain(d corpus.Domain) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	copied := d
-	e.domains[d.Name] = &copied
+	e.putDomain(&copied)
 	if e.store != nil {
 		data, err := encodeJSON(&copied)
 		if err != nil {
@@ -259,9 +308,7 @@ func (e *Engine) AddDomain(d corpus.Domain) error {
 
 // Domain returns a registered domain by name.
 func (e *Engine) Domain(name string) (*corpus.Domain, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	d, ok := e.domains[name]
+	d, ok := e.domainMap()[name]
 	if !ok {
 		return nil, false
 	}
@@ -271,10 +318,9 @@ func (e *Engine) Domain(name string) (*corpus.Domain, bool) {
 
 // Domains returns the names of all registered domains, sorted.
 func (e *Engine) Domains() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]string, 0, len(e.domains))
-	for name := range e.domains {
+	domains := e.domainMap()
+	out := make([]string, 0, len(domains))
+	for name := range domains {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -297,7 +343,7 @@ func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.domains[entry.Domain]; !ok {
+	if _, ok := e.domainMap()[entry.Domain]; !ok {
 		return 0, fmt.Errorf("core: unknown domain %q (AddDomain first)", entry.Domain)
 	}
 	if entry.Policy != "" {
@@ -335,7 +381,7 @@ func (e *Engine) UpdateEntry(entry *corpus.Entry) error {
 	if !ok {
 		return fmt.Errorf("core: update of unknown entry %d", entry.ID)
 	}
-	if _, ok := e.domains[entry.Domain]; !ok {
+	if _, ok := e.domainMap()[entry.Domain]; !ok {
 		return fmt.Errorf("core: unknown domain %q", entry.Domain)
 	}
 	if entry.Policy != "" {
@@ -429,14 +475,18 @@ func (e *Engine) SetPolicy(id int64, text string) error {
 	if err := e.pol.Set(id, text); err != nil {
 		return err
 	}
-	entry.Policy = text
+	// Replace rather than mutate in place: the old *Entry may be captured
+	// by an in-flight lock-free link view.
+	copied := *entry
+	copied.Policy = text
+	e.entries[id] = &copied
 	// Policy changes alter which links are permitted; everything that
 	// mentions this entry's labels may need re-linking.
-	e.invalidateForLabelsLocked(entry.Labels(), id)
+	e.invalidateForLabelsLocked(copied.Labels(), id)
 	if e.tel != nil {
 		e.tel.opSetPolicy.Inc()
 	}
-	return e.persistLocked(entry)
+	return e.persistLocked(&copied)
 }
 
 // Entry returns a copy of the entry with the given ID.
@@ -509,8 +559,16 @@ func (e *Engine) Invalidated() []int64 {
 	return out
 }
 
-// clearInvalid drops an entry's invalidation flag (after re-linking).
+// clearInvalid drops an entry's invalidation flag (after re-linking). The
+// steady state — entry not flagged — is checked under a read lock so hot
+// re-renders of valid entries never serialize on the write lock.
 func (e *Engine) clearInvalid(id int64) {
+	e.mu.RLock()
+	flagged := e.invalid[id]
+	e.mu.RUnlock()
+	if !flagged {
+		return
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.invalid[id] {

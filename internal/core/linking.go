@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nnexus/internal/classification"
@@ -82,9 +83,104 @@ type LinkOptions struct {
 	Format *render.Format
 }
 
+// linkBuffers holds the per-request scratch state of one LinkText run.
+// Instances are pooled: the token and match buffers, the candidate scratch
+// slices, and the bookkeeping maps are reused across requests, cutting the
+// steady-state allocation count of the hot path.
+type linkBuffers struct {
+	tokens  []tokenizer.Token
+	matches []conceptmap.Match
+	// linked tracks labels already linked in this run (first-occurrence
+	// rule).
+	linked map[string]bool
+	// cands/sc/ids are chooseTarget's per-match scratch.
+	cands []*corpus.Entry
+	sc    []classification.Candidate
+	ids   []int64
+	// entries is the per-call candidate snapshot (see captureView).
+	entries map[int64]*corpus.Entry
+}
+
+var linkBufPool = sync.Pool{
+	New: func() interface{} {
+		return &linkBuffers{
+			linked:  make(map[string]bool, 16),
+			entries: make(map[int64]*corpus.Entry, 32),
+		}
+	},
+}
+
+func getLinkBuffers() *linkBuffers {
+	b := linkBufPool.Get().(*linkBuffers)
+	b.tokens = b.tokens[:0]
+	b.matches = b.matches[:0]
+	clear(b.linked)
+	clear(b.entries)
+	return b
+}
+
+func putLinkBuffers(b *linkBuffers) {
+	// Drop pointers into engine state so the pool does not pin entries.
+	clear(b.entries)
+	for i := range b.cands {
+		b.cands[i] = nil
+	}
+	linkBufPool.Put(b)
+}
+
+// linkView is the read snapshot one LinkText call works from: the candidate
+// entries captured under a single RLock, and the current copy-on-write
+// domain-table generation. Once captured, the whole match loop — policy
+// filtering, steering, tie-breaking — runs without touching engine locks,
+// where the previous implementation re-acquired e.mu once per match (and
+// once more per domain lookup).
+type linkView struct {
+	entries map[int64]*corpus.Entry
+	domains map[string]*corpus.Domain
+}
+
+// captureView gathers every candidate entry referenced by the matches under
+// one read lock, and pairs it with the current domain generation. The
+// entries map is owned by buf and recycled.
+func (e *Engine) captureView(matches []conceptmap.Match, buf *linkBuffers) linkView {
+	v := linkView{entries: buf.entries, domains: e.domainMap()}
+	if len(matches) == 0 {
+		return v
+	}
+	e.mu.RLock()
+	for _, m := range matches {
+		for _, oid := range m.Candidates {
+			id := int64(oid)
+			if _, seen := v.entries[id]; seen {
+				continue
+			}
+			if entry, ok := e.entries[id]; ok {
+				v.entries[id] = entry
+			}
+		}
+	}
+	e.mu.RUnlock()
+	return v
+}
+
+// domainPriority returns the priority of a domain in this view; unknown
+// domains lose all ties.
+func (v linkView) domainPriority(domain string) int {
+	if d, ok := v.domains[domain]; ok {
+		return d.Priority
+	}
+	return int(^uint(0) >> 1)
+}
+
 // LinkText runs the full linking pipeline over free text: tokenize with
 // escaping, find candidate links in the concept map, filter by linking
 // policies, steer by classification, substitute the winners.
+//
+// The pipeline reads are lock-free or single-shot: the concept-map scan
+// reads an immutable snapshot, the candidate entries and domain table are
+// captured once per call, and steering distances come from lock-free
+// memoized rows (plus the sharded pair cache), so concurrent LinkText calls
+// scale with cores instead of convoying on the engine mutex.
 //
 // When telemetry is enabled, the run is timed per pipeline stage
 // (tokenize/match/policy/steer/render) into the engine's registry; the
@@ -113,26 +209,29 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 	if e.cfg.LaTeX {
 		text = latex.ToText(text)
 	}
-	tokens := tokenizer.Tokenize(text)
+	buf := getLinkBuffers()
+	defer putLinkBuffers(buf)
+	buf.tokens = tokenizer.TokenizeAppend(buf.tokens, text)
 	if st != nil {
 		now := time.Now()
 		st.tokenize = now.Sub(mark)
 		mark = now
 	}
-	matches := e.cmap.Scan(tokens)
+	buf.matches = e.cmap.ScanAppend(buf.matches, buf.tokens)
+	matches := buf.matches
 	if st != nil {
 		st.match = time.Since(mark)
 	}
+	view := e.captureView(matches, buf)
 
 	res := &Result{Output: text}
-	linkedLabels := make(map[string]bool)
 	var anchors []render.Anchor
 	for _, m := range matches {
-		if !e.cfg.LinkAllOccurrences && linkedLabels[m.Label] {
+		if !e.cfg.LinkAllOccurrences && buf.linked[m.Label] {
 			res.Skips = append(res.Skips, Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: SkipDuplicate})
 			continue
 		}
-		link, skip := e.chooseTarget(m, sourceClasses, opts.ExcludeObject, mode, st)
+		link, skip := e.chooseTarget(m, view, buf, sourceClasses, opts.ExcludeObject, mode, st)
 		if skip != nil {
 			res.Skips = append(res.Skips, *skip)
 			continue
@@ -142,7 +241,7 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 		anchors = append(anchors, render.Anchor{
 			Start: link.Start, End: link.End, URL: link.URL, Title: link.TargetTitle,
 		})
-		linkedLabels[m.Label] = true
+		buf.linked[m.Label] = true
 	}
 	if st != nil {
 		mark = time.Now()
@@ -280,6 +379,10 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 		firstErr error
 		nerrs    int
 		wg       sync.WaitGroup
+		// aborted flags the first error; the feeder polls it lock-free
+		// instead of bouncing the results mutex once per dispatched id,
+		// which serialized large batches against the workers.
+		aborted atomic.Bool
 	)
 	work := make(chan int64)
 	for w := 0; w < workers; w++ {
@@ -298,14 +401,14 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 					out[id] = res
 				}
 				mu.Unlock()
+				if err != nil {
+					aborted.Store(true)
+				}
 			}
 		}()
 	}
 	for _, id := range ids {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
+		if aborted.Load() {
 			break
 		}
 		work <- id
@@ -317,27 +420,27 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 }
 
 // chooseTarget runs policy filtering, steering, and tie-breaking for one
-// concept match. It returns either a link or a skip record. st, when
-// non-nil, accumulates the wall time spent in the policy and steering
-// stages.
-func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclude int64, mode Mode, st *stageTimes) (*Link, *Skip) {
+// concept match. It returns either a link or a skip record. All state it
+// reads comes from the per-call view and the scheme's lock-free distance
+// rows, so the match loop acquires no engine locks. st, when non-nil,
+// accumulates the wall time spent in the policy and steering stages.
+func (e *Engine) chooseTarget(m conceptmap.Match, view linkView, buf *linkBuffers, sourceClasses []string, exclude int64, mode Mode, st *stageTimes) (*Link, *Skip) {
 	mode = mode.resolve()
 	skip := func(reason string) *Skip {
 		return &Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: reason}
 	}
-	// Gather candidates, excluding the source entry.
-	var cands []*corpus.Entry
-	e.mu.RLock()
+	// Gather candidates from the view, excluding the source entry.
+	cands := buf.cands[:0]
 	for _, oid := range m.Candidates {
 		id := int64(oid)
 		if id == exclude && !e.cfg.AllowSelfLinks {
 			continue
 		}
-		if entry, ok := e.entries[id]; ok {
+		if entry, ok := view.entries[id]; ok {
 			cands = append(cands, entry)
 		}
 	}
-	e.mu.RUnlock()
+	buf.cands = cands[:0:cap(cands)]
 	if len(cands) == 0 {
 		return nil, skip(SkipSelf)
 	}
@@ -372,14 +475,15 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 
 	// Classification steering (§2.3, Algorithm 1).
 	if mode == ModeSteered || mode == ModeSteeredPolicies {
-		sc := make([]classification.Candidate, len(cands))
-		for i, c := range cands {
-			sc[i] = classification.Candidate{
+		sc := buf.sc[:0]
+		for _, c := range cands {
+			sc = append(sc, classification.Candidate{
 				Object:  c.ID,
-				Classes: e.canonicalClasses(c),
-			}
+				Classes: e.canonicalClassesView(view, c),
+			})
 		}
-		steered := classification.Steer(e.scheme, sourceClasses, sc)
+		buf.sc = sc[:0:cap(sc)]
+		steered := classification.SteerCached(e.scheme, e.distanceCache(), sourceClasses, sc)
 		if len(steered) > 0 {
 			distance = steered[0].Distance
 			byID := make(map[int64]bool, len(steered))
@@ -401,10 +505,11 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 
 	// Collaborative-filtering tie resolution (optional, §5 future work).
 	if len(cands) > 1 && e.cfg.TieRanker != nil {
-		ids := make([]int64, len(cands))
-		for i, c := range cands {
-			ids[i] = c.ID
+		ids := buf.ids[:0]
+		for _, c := range cands {
+			ids = append(ids, c.ID)
 		}
+		buf.ids = ids[:0:cap(ids)]
 		if choice, ok := e.cfg.TieRanker(exclude, ids); ok {
 			for _, c := range cands {
 				if c.ID == choice {
@@ -417,15 +522,15 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 
 	// Tie-break: domain priority (lower wins), then lowest object ID.
 	winner := cands[0]
-	winnerPrio := e.domainPriority(winner.Domain)
+	winnerPrio := view.domainPriority(winner.Domain)
 	for _, c := range cands[1:] {
-		p := e.domainPriority(c.Domain)
+		p := view.domainPriority(c.Domain)
 		if p < winnerPrio || (p == winnerPrio && c.ID < winner.ID) {
 			winner, winnerPrio = c, p
 		}
 	}
 
-	d, ok := e.Domain(winner.Domain)
+	d, ok := view.domains[winner.Domain]
 	if !ok {
 		return nil, skip(SkipNoDomain)
 	}
@@ -442,29 +547,31 @@ func (e *Engine) chooseTarget(m conceptmap.Match, sourceClasses []string, exclud
 	}, nil
 }
 
-// canonicalClasses translates an entry's classes (expressed in its domain's
-// scheme) into the engine's canonical scheme.
-func (e *Engine) canonicalClasses(entry *corpus.Entry) []string {
-	from := e.domainScheme(entry.Domain)
+// canonicalClassesView translates an entry's classes (expressed in its
+// domain's scheme) into the engine's canonical scheme, resolving the domain
+// through the per-call view instead of the engine lock.
+func (e *Engine) canonicalClassesView(view linkView, entry *corpus.Entry) []string {
+	from := ""
+	if d, ok := view.domains[entry.Domain]; ok {
+		from = d.Scheme
+	}
 	return e.mappers.Translate(schemeOr(from, e.scheme.Name()), entry.Classes, e.scheme.Name())
 }
 
+// distanceCache adapts the engine's sharded pair cache to the
+// classification.DistanceCache interface (nil when disabled).
+func (e *Engine) distanceCache() classification.DistanceCache {
+	if e.dist == nil {
+		return nil
+	}
+	return e.dist
+}
+
 func (e *Engine) domainScheme(domain string) string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if d, ok := e.domains[domain]; ok {
+	if d, ok := e.domainMap()[domain]; ok {
 		return d.Scheme
 	}
 	return ""
-}
-
-func (e *Engine) domainPriority(domain string) int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if d, ok := e.domains[domain]; ok {
-		return d.Priority
-	}
-	return int(^uint(0) >> 1) // unknown domains lose all ties
 }
 
 func schemeOr(name, fallback string) string {

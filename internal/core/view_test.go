@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nnexus/internal/classification"
+	"nnexus/internal/corpus"
+)
+
+// testScheme builds a small built scheme for view tests.
+func viewScheme(t *testing.T) *classification.Scheme {
+	t.Helper()
+	s := classification.NewScheme("msc", classification.DefaultBaseWeight)
+	for _, c := range [][3]string{
+		{"05-XX", "Combinatorics", ""},
+		{"05Cxx", "Graph theory", "05-XX"},
+		{"05C10", "Planar graphs", "05Cxx"},
+		{"20-XX", "Group theory", ""},
+		{"20Axx", "Foundations", "20-XX"},
+	} {
+		if err := s.AddClass(c[0], c[1], c[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func viewEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Scheme == nil {
+		cfg.Scheme = viewScheme(t)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddDomain(corpus.Domain{
+		Name: "d1", URLTemplate: "http://d1/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestLinkTextConcurrentWithDomainAndPolicyWrites drives the lock-free link
+// path while domains are re-registered (copy-on-write table) and policies
+// are rewritten (entry copy-replace); under -race this proves the view
+// capture never reads engine state that a writer is mutating.
+func TestLinkTextConcurrentWithDomainAndPolicyWrites(t *testing.T) {
+	e := viewEngine(t, Config{})
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		id, err := e.AddEntry(&corpus.Entry{
+			Domain:  "d1",
+			Title:   fmt.Sprintf("planar graph %d", i),
+			Classes: []string{"05C10"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			// Re-register the domain with shifting priority (exercises the
+			// COW domain table under live readers).
+			if err := e.AddDomain(corpus.Domain{
+				Name: "d1", URLTemplate: "http://d1/{id}", Scheme: "msc",
+				Priority: 1 + i%3,
+			}); err != nil {
+				t.Errorf("AddDomain: %v", err)
+				return
+			}
+			// Rewrite a policy (exercises entry copy-replace).
+			if err := e.SetPolicy(ids[i%len(ids)], "permit 05Cxx"); err != nil {
+				t.Errorf("SetPolicy: %v", err)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				res, err := e.LinkText("a planar graph 3 appears here",
+					LinkOptions{SourceClasses: []string{"05C10"}})
+				if err != nil {
+					t.Errorf("LinkText: %v", err)
+					return
+				}
+				for _, l := range res.Links {
+					if l.TargetDomain != "d1" || l.URL == "" {
+						t.Errorf("bad link %+v", l)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Let the linkers finish, then stop the writer.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; i < 5; i++ {
+		if _, _, err := e.LinkEntryCached(ids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	<-done
+}
+
+// TestDistanceCacheEquivalentLinks links the same corpus through an engine
+// with the sharded distance cache enabled and one with it disabled; every
+// produced result must be identical, and the cache must actually be hit.
+func TestDistanceCacheEquivalentLinks(t *testing.T) {
+	build := func(size int) *Engine {
+		e := viewEngine(t, Config{DistanceCacheSize: size})
+		for i := 0; i < 12; i++ {
+			class := "05C10"
+			if i%3 == 0 {
+				class = "20Axx"
+			}
+			if _, err := e.AddEntry(&corpus.Entry{
+				Domain:  "d1",
+				Title:   fmt.Sprintf("concept %d", i%4), // homonyms across classes
+				Classes: []string{class},
+				Body:    fmt.Sprintf("body %d mentions concept %d and concept %d", i, (i+1)%4, (i+2)%4),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	cached := build(0)    // default cache
+	uncached := build(-1) // disabled
+	if cached.dist == nil {
+		t.Fatal("cache unexpectedly disabled")
+	}
+	if uncached.dist != nil {
+		t.Fatal("cache unexpectedly enabled")
+	}
+	for pass := 0; pass < 2; pass++ {
+		for id := int64(1); id <= 12; id++ {
+			a, err := cached.LinkEntry(id, LinkOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := uncached.LinkEntry(id, LinkOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("pass %d entry %d: cached result diverges:\n%+v\nvs\n%+v", pass, id, a, b)
+			}
+		}
+	}
+	if hits, _ := cached.dist.Stats(); hits == 0 {
+		t.Fatal("distance cache never hit")
+	}
+}

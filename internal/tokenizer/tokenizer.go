@@ -35,8 +35,15 @@ type Span struct {
 // Tokenize scans text and returns its linkable word tokens in order of
 // appearance. Unlinkable regions (see EscapeSpans) yield no tokens.
 func Tokenize(text string) []Token {
+	return TokenizeAppend(nil, text)
+}
+
+// TokenizeAppend is Tokenize appending into dst (which may be nil or a
+// recycled buffer with spare capacity), so high-throughput callers can
+// reuse one token buffer across requests instead of allocating per call.
+func TokenizeAppend(dst []Token, text string) []Token {
 	spans := EscapeSpans(text)
-	var tokens []Token
+	tokens := dst
 	next := 0 // index into spans of the next escaped region
 	i := 0
 	for i < len(text) {
