@@ -18,20 +18,26 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Record the performance trajectory: the key linking benchmarks (sequential
-# modes, free text, maintenance, and the parallel path at 1/2/4/8 procs) as
-# JSON. The output is committed (BENCH_PR3.json) so later perf PRs have a
-# baseline to be judged against.
+# modes, free text, maintenance, the parallel path, batch linking, the
+# pipelined wire client, and WAL group commit, the scaling ones at 1/2/4/8
+# procs) as JSON. The output is committed (BENCH_PR4.json; BENCH_PR3.json is
+# the previous snapshot) so later perf PRs have a baseline to be judged
+# against.
 bench-json:
 	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth' -benchmem . ; \
-	  go test -run '^$$' -bench 'Link(Text)?Parallel' -benchmem -cpu 1,2,4,8 . ; } \
-	| go run ./cmd/benchjson -o BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	  go test -run '^$$' -bench 'Link(Text)?Parallel|LinkBatch' -benchmem -cpu 1,2,4,8 . ; \
+	  go test -run '^$$' -bench 'PipelinedClient' -benchmem -cpu 1,2,4,8 ./internal/client ; \
+	  go test -run '^$$' -bench 'GroupCommit' -benchmem -cpu 1,2,4,8 ./internal/storage ; } \
+	| go run ./cmd/benchjson -o BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
 
 # Benchstat-style old/new comparison against the committed baseline.
 bench-compare:
 	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth' -benchmem . ; \
-	  go test -run '^$$' -bench 'Link(Text)?Parallel' -benchmem -cpu 1,2,4,8 . ; } \
-	| go run ./cmd/benchjson -compare BENCH_PR3.json
+	  go test -run '^$$' -bench 'Link(Text)?Parallel|LinkBatch' -benchmem -cpu 1,2,4,8 . ; \
+	  go test -run '^$$' -bench 'PipelinedClient' -benchmem -cpu 1,2,4,8 ./internal/client ; \
+	  go test -run '^$$' -bench 'GroupCommit' -benchmem -cpu 1,2,4,8 ./internal/storage ; } \
+	| go run ./cmd/benchjson -compare BENCH_PR4.json
 
 # Fault-injection suite: connection kills, server restarts, torn WAL tails,
 # fsync failures, drains under live traffic — always under the race detector.

@@ -125,6 +125,45 @@ func BenchmarkLinkTextParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkLinkBatch compares linking a pile of free-text documents one
+// LinkText call at a time against a single LinkBatch call over the same
+// documents: the batch path captures one snapshot view and one domain table
+// for the whole batch and fans the documents across a worker pool. ns/op is
+// per document in both sub-benchmarks; run with -cpu 1,2,4,8 for the
+// scaling curve recorded in BENCH_PR4.json.
+func BenchmarkLinkBatch(b *testing.B) {
+	c := corpusFor(b, 1500)
+	e := engineFor(b, c)
+	const batch = 64
+	texts := make([]string, batch)
+	for i := range texts {
+		texts[i] = "These notes discuss " + c.Entries[(i*37)%1000].Entry.Title +
+			" and " + c.Entries[(i*53)%1000+200].Entry.Title +
+			" among other prose that does not invoke concepts, plus $x^2$."
+	}
+	opts := core.LinkOptions{SourceClasses: c.Entries[100].Entry.Classes}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.LinkText(texts[i%batch], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += batch {
+			n := batch
+			if rem := b.N - i; rem < n {
+				n = rem
+			}
+			if _, err := e.LinkBatch(texts[:n], opts, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTable1PolicyFix measures re-surveying the Table 1 sample after
 // installing the overlink-fixing policies.
 func BenchmarkTable1PolicyFix(b *testing.B) {

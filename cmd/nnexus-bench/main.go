@@ -11,6 +11,7 @@
 //	nnexus-bench -exp autopolicy     §5: automatic policy suggestion
 //	nnexus-bench -exp semiauto       §1.2: semiautomatic (wiki) vs automatic
 //	nnexus-bench -exp network        §1.3: the resulting semantic network
+//	nnexus-bench -exp throughput     closed-loop TCP QPS: stop-and-wait vs pipelined
 //	nnexus-bench -exp all            everything above
 //
 // -entries sets the full corpus size (default 7132, the paper's largest
@@ -35,6 +36,9 @@ func main() {
 		entries = flag.Int("entries", 7132, "full corpus size")
 		seed    = flag.Int64("seed", 20090601, "workload seed")
 		sample2 = flag.Int("sample", 50, "Table 2 sample size (paper: 50)")
+		conns   = flag.Int("conns", 4, "throughput experiment: concurrent TCP connections")
+		qpsDur  = flag.Duration("duration", 2*time.Second, "throughput experiment: measurement window per configuration")
+		rtt     = flag.Duration("rtt", time.Millisecond, "throughput experiment: simulated round-trip time for the proxied rows (0 = loopback only)")
 	)
 	flag.Parse()
 
@@ -68,6 +72,7 @@ func main() {
 	run("autopolicy", runAutoPolicy)
 	run("semiauto", runSemiAuto)
 	run("network", runNetwork)
+	run("throughput", func(c *workload.Corpus) error { return runThroughput(c, *conns, *qpsDur, *rtt) })
 }
 
 func fatal(err error) {

@@ -44,6 +44,8 @@ func main() {
 		maxConns       = flag.Int("max-conns", 0, "cap on concurrent TCP connections (0 = unlimited)")
 		maxActive      = flag.Int("max-active", 0, "cap on concurrently executing requests before load shedding, per serving layer (0 = unlimited)")
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request handler deadline (0 = unlimited)")
+		maxPipeline    = flag.Int("max-pipeline", 0, "cap on concurrently executing requests per TCP connection (0 = server default, 1 = sequential)")
+		commitWindow   = flag.Duration("group-commit-window", 0, "WAL group-commit gathering window under -sync: one fsync covers writers arriving within it (0 = commit eagerly)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
@@ -84,9 +86,10 @@ func main() {
 	}
 
 	engine, err := nnexus.New(nnexus.Config{
-		Scheme:     s,
-		DataDir:    *dataDir,
-		SyncWrites: *sync,
+		Scheme:            s,
+		DataDir:           *dataDir,
+		SyncWrites:        *sync,
+		GroupCommitWindow: *commitWindow,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -112,6 +115,9 @@ func main() {
 	}
 	if *requestTimeout > 0 {
 		srvOpts = append(srvOpts, nnexus.WithHandlerTimeout(*requestTimeout))
+	}
+	if *maxPipeline > 0 {
+		srvOpts = append(srvOpts, nnexus.WithMaxPipeline(*maxPipeline))
 	}
 	srv, bound, err := engine.Serve(*addr, logger, srvOpts...)
 	if err != nil {

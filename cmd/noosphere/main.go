@@ -30,6 +30,7 @@ import (
 	"nnexus/internal/httpapi"
 	"nnexus/internal/noosphere"
 	"nnexus/internal/storage"
+	"nnexus/internal/telemetry"
 )
 
 func main() {
@@ -39,23 +40,35 @@ func main() {
 		domain       = flag.String("domain", "planetmath.local", "wiki domain name")
 		base         = flag.Int("base", classification.DefaultBaseWeight, "classification weight base")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may wait for in-flight requests")
+		syncWrites   = flag.Bool("sync", false, "fsync every persisted mutation before acknowledging it")
+		commitWindow = flag.Duration("group-commit-window", 0, "WAL group-commit gathering window under -sync (0 = commit eagerly)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "noosphere: ", log.LstdFlags)
 
+	// One registry spans the storage WAL, the engine, and the HTTP layer.
+	reg := telemetry.NewRegistry()
 	var store *storage.Store
 	if *dataDir != "" {
+		opts := []storage.Option{storage.WithTelemetry(reg)}
+		if *syncWrites {
+			opts = append(opts, storage.WithSyncWrites())
+		}
+		if *commitWindow > 0 {
+			opts = append(opts, storage.WithGroupCommitWindow(*commitWindow))
+		}
 		var err error
-		store, err = storage.Open(*dataDir)
+		store, err = storage.Open(*dataDir, opts...)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		defer store.Close()
 	}
 	engine, err := core.NewEngine(core.Config{
-		Scheme: classification.MSC2000(*base),
-		Store:  store,
-		LaTeX:  true,
+		Scheme:    classification.MSC2000(*base),
+		Store:     store,
+		LaTeX:     true,
+		Telemetry: reg,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,16 +1,22 @@
 // Package client is the Go client for an NNexus server: it speaks the XML
 // socket protocol of the wire package, offering typed methods mirroring the
-// engine API. A Client serializes requests, so one instance may be shared
-// by concurrent goroutines.
+// engine API. The connection is pipelined: a writer goroutine streams
+// requests while a reader goroutine demultiplexes responses by their Seq,
+// so up to WithPipelineWindow(n) calls from concurrent goroutines share one
+// connection without waiting for each other's round trips. One instance may
+// be shared freely.
 //
 // The client is self-healing: a dropped, desynced, or timed-out connection
 // is torn down and transparently re-established on the next call
 // (exponential backoff with jitter between attempts), idempotent methods
-// (ping, getEntry, invalidated, stats, linkEntry, linkText) are retried
-// across connection failures, and "overloaded"/"unavailable" rejections —
-// which the server issues before executing anything — are retried for
-// every method. Per-call deadlines bound each exchange so a hung server
-// cannot block a caller forever.
+// (ping, getEntry, invalidated, stats, linkEntry, linkText, linkBatch) are
+// retried across connection failures, and "overloaded"/"unavailable"
+// rejections — which the server issues before executing anything — are
+// retried for every method. When a connection fails, every call already on
+// the wire is completed with the failure (fate unknown), while calls still
+// queued client-side fail as "not sent" and stay retryable for any method.
+// Per-call deadlines bound each exchange so a hung server cannot block a
+// caller forever.
 package client
 
 import (
@@ -38,9 +44,13 @@ const (
 	DefaultBackoffBase = 25 * time.Millisecond
 	// DefaultBackoffMax caps the exponential backoff.
 	DefaultBackoffMax = 2 * time.Second
+	// DefaultPipelineWindow is how many calls may be in flight on the
+	// connection at once (see WithPipelineWindow).
+	DefaultPipelineWindow = 16
 )
 
-// ErrClosed is returned by calls on a Close()d client.
+// ErrClosed is returned by calls on a Close()d client, including calls that
+// were in flight when Close was invoked.
 var ErrClosed = errors.New("client: closed")
 
 // ServerError is an error response from the server. Code carries the wire
@@ -66,7 +76,8 @@ func IsOverloaded(err error) bool {
 
 // idempotent lists the methods safe to retry after a connection failure
 // that leaves the request's fate unknown. Mutating methods are only
-// retried on typed pre-execution rejections (see IsOverloaded).
+// retried on typed pre-execution rejections (see IsOverloaded) or when the
+// request provably never reached the wire.
 var idempotent = map[string]bool{
 	wire.MethodPing:        true,
 	wire.MethodGetEntry:    true,
@@ -74,6 +85,7 @@ var idempotent = map[string]bool{
 	wire.MethodStats:       true,
 	wire.MethodLinkEntry:   true,
 	wire.MethodLinkText:    true,
+	wire.MethodLinkBatch:   true,
 }
 
 // Client is a connection to an NNexus server.
@@ -84,18 +96,17 @@ type Client struct {
 	maxRetries  int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	window      int
 
 	retries    atomic.Int64 // calls re-attempted after a failure
 	reconnects atomic.Int64 // connections re-established after the first
+	seq        atomic.Int64 // request sequence, monotonic across reconnects
 
 	telRetries    *telemetry.Counter
 	telReconnects *telemetry.Counter
 
 	mu     sync.Mutex
-	conn   net.Conn
-	enc    *wire.Encoder
-	dec    *wire.Decoder
-	seq    int64
+	cc     *clientConn
 	closed bool
 }
 
@@ -132,6 +143,25 @@ func WithBackoff(base, max time.Duration) Option {
 	}
 }
 
+// WithPipelineWindow bounds how many calls may be outstanding on the
+// connection at once. Calls beyond the window queue until a slot frees.
+// n = 1 disables pipelining: each call completes its round trip before the
+// next is written, reproducing the stop-and-wait exchange pattern on the
+// wire. The default is DefaultPipelineWindow.
+func WithPipelineWindow(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.window = n
+		}
+	}
+}
+
+// DisablePipelining is shorthand for WithPipelineWindow(1): strict
+// stop-and-wait request/response alternation on the wire.
+func DisablePipelining() Option {
+	return WithPipelineWindow(1)
+}
+
 // WithTelemetry mirrors the client's retry/reconnect counters into reg as
 // nnexus_client_retries_total and nnexus_client_reconnects_total.
 func WithTelemetry(reg *telemetry.Registry) Option {
@@ -155,6 +185,7 @@ func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
 		maxRetries:  DefaultMaxRetries,
 		backoffBase: DefaultBackoffBase,
 		backoffMax:  DefaultBackoffMax,
+		window:      DefaultPipelineWindow,
 	}
 	for _, o := range opts {
 		o(c)
@@ -163,14 +194,8 @@ func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	c.installConn(conn)
+	c.cc = newClientConn(c, conn)
 	return c, nil
-}
-
-func (c *Client) installConn(conn net.Conn) {
-	c.conn = conn
-	c.enc = wire.NewEncoder(conn)
-	c.dec = wire.NewDecoder(conn)
 }
 
 // Retries returns how many call re-attempts this client has made.
@@ -180,61 +205,209 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 // connection after the initial dial.
 func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
 
-// Close closes the connection. Subsequent calls fail with ErrClosed; the
-// client does not reconnect.
+// Close closes the connection. Calls in flight — including ones blocked on
+// a slow server — unblock promptly and fail with ErrClosed; subsequent
+// calls fail with ErrClosed too. The client does not reconnect.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
-}
-
-// teardownLocked discards a connection known (or suspected) to be broken
-// or desynced, so the next call dials fresh instead of mispairing
-// responses.
-func (c *Client) teardownLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-	c.enc = nil
-	c.dec = nil
-}
-
-// ensureConnLocked re-establishes the connection if a previous failure
-// tore it down.
-func (c *Client) ensureConnLocked() error {
-	if c.conn != nil {
-		return nil
-	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
-	if err != nil {
-		return fmt.Errorf("client: reconnect %s: %w", c.addr, err)
-	}
-	c.installConn(conn)
-	c.reconnects.Add(1)
-	if c.telReconnects != nil {
-		c.telReconnects.Inc()
+	cc := c.cc
+	c.cc = nil
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(ErrClosed, failPermanent)
 	}
 	return nil
 }
 
-// failClass classifies a doCall failure by what it implies about the
+// failClass classifies a call failure by what it implies about the
 // request's fate, which is what decides retryability.
 type failClass int
 
 const (
 	failNone      failClass = iota
-	failNotSent             // dial/reconnect failed: the request never reached the wire
+	failNotSent             // the request never reached the wire
 	failUnknown             // the connection broke mid-exchange: fate unknown
 	failRejected            // typed pre-execution rejection (overloaded / unavailable)
 	failPermanent           // application error, protocol violation, or closed client
 )
+
+// pcall is one in-flight pipelined call. done is closed exactly once, after
+// resp/err/class are set.
+type pcall struct {
+	req   *wire.Request
+	resp  *wire.Response
+	err   error
+	class failClass
+	sent  bool // the writer started putting the request on the wire
+	done  chan struct{}
+}
+
+// clientConn is one live connection: a writer goroutine streaming queued
+// requests and a reader goroutine demultiplexing responses onto the pending
+// calls by Seq. A connection fails as a unit — the first writer, reader, or
+// deadline error marks it broken, completes every pending call (sent calls
+// with the failure, unsent ones as retryable "not sent"), and detaches it
+// from the Client so the next call dials fresh.
+type clientConn struct {
+	c       *Client
+	conn    net.Conn
+	enc     *wire.Encoder
+	writeCh chan *pcall
+	slots   chan struct{} // pipeline window semaphore
+	failed  chan struct{} // closed when the connection breaks
+
+	mu      sync.Mutex
+	pending map[int64]*pcall
+	broken  bool
+	err     error
+}
+
+func newClientConn(c *Client, conn net.Conn) *clientConn {
+	window := c.window
+	if window <= 0 {
+		window = 1
+	}
+	cc := &clientConn{
+		c:       c,
+		conn:    conn,
+		enc:     wire.NewEncoder(conn),
+		writeCh: make(chan *pcall, window),
+		slots:   make(chan struct{}, window),
+		failed:  make(chan struct{}),
+		pending: make(map[int64]*pcall),
+	}
+	go cc.writeLoop()
+	go cc.readLoop()
+	return cc
+}
+
+// submit queues one request, blocking for a window slot if the connection
+// is saturated. The returned call completes when its response arrives or
+// the connection fails.
+func (cc *clientConn) submit(req *wire.Request) (*pcall, error) {
+	select {
+	case cc.slots <- struct{}{}:
+	case <-cc.failed:
+		return nil, cc.failure()
+	}
+	cc.mu.Lock()
+	if cc.broken {
+		err := cc.err
+		cc.mu.Unlock()
+		<-cc.slots
+		return nil, err
+	}
+	req.Seq = cc.c.seq.Add(1)
+	pc := &pcall{req: req, done: make(chan struct{})}
+	cc.pending[req.Seq] = pc
+	cc.mu.Unlock()
+	// Never blocks: at most `window` calls hold slots, and each occupies
+	// at most one writeCh cell until the writer drains it.
+	cc.writeCh <- pc
+	return pc, nil
+}
+
+func (cc *clientConn) failure() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err
+}
+
+// writeLoop streams queued requests onto the wire in submission order.
+func (cc *clientConn) writeLoop() {
+	for {
+		select {
+		case <-cc.failed:
+			return
+		case pc := <-cc.writeCh:
+			cc.mu.Lock()
+			if cc.broken {
+				cc.mu.Unlock()
+				return
+			}
+			pc.sent = true
+			cc.mu.Unlock()
+			if err := cc.enc.Encode(pc.req); err != nil {
+				cc.fail(fmt.Errorf("client: write request: %w", err), failUnknown)
+				return
+			}
+		}
+	}
+}
+
+// readLoop demultiplexes responses to their pending calls by Seq. Typed and
+// application error responses complete the one call they answer — the
+// connection stays healthy. A read failure or an unmatched Seq (the stream
+// is desynced: any pairing after it would be suspect) fails the whole
+// connection.
+func (cc *clientConn) readLoop() {
+	dec := wire.NewDecoder(cc.conn)
+	for {
+		var r wire.Response
+		if err := dec.Decode(&r); err != nil {
+			cc.fail(fmt.Errorf("client: read response: %w", err), failUnknown)
+			return
+		}
+		cc.mu.Lock()
+		pc, ok := cc.pending[r.Seq]
+		if ok {
+			delete(cc.pending, r.Seq)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			cc.fail(fmt.Errorf("client: response seq %d matches no outstanding request (connection desynced)", r.Seq), failPermanent)
+			return
+		}
+		if !r.IsOK() {
+			serr := &ServerError{Code: r.Code, Message: r.Error}
+			if IsOverloaded(serr) {
+				pc.err, pc.class = serr, failRejected
+			} else {
+				pc.err, pc.class = serr, failPermanent
+			}
+		} else {
+			resp := r
+			pc.resp = &resp
+		}
+		close(pc.done)
+		<-cc.slots
+	}
+}
+
+// fail breaks the connection once: it completes every pending call (sent
+// requests get the given error and class; unsent ones fail as retryable
+// "not sent"), closes the socket — unblocking the reader — and detaches
+// the connection so the next call dials fresh.
+func (cc *clientConn) fail(err error, class failClass) {
+	cc.mu.Lock()
+	if cc.broken {
+		cc.mu.Unlock()
+		return
+	}
+	cc.broken = true
+	cc.err = err
+	pending := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+
+	close(cc.failed)
+	cc.conn.Close()
+	for _, pc := range pending {
+		if pc.sent {
+			pc.err, pc.class = err, class
+		} else {
+			pc.err, pc.class = err, failNotSent
+		}
+		close(pc.done)
+		<-cc.slots
+	}
+	cc.c.mu.Lock()
+	if cc.c.cc == cc {
+		cc.c.cc = nil
+	}
+	cc.c.mu.Unlock()
+}
 
 // call performs one request/response exchange, transparently reconnecting
 // and retrying per the client's policy.
@@ -277,49 +450,48 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // doCall performs a single exchange attempt, classifying any failure by
-// what it implies about the request's fate.
-func (c *Client) doCall(req *wire.Request) (resp *wire.Response, class failClass, err error) {
+// what it implies about the request's fate. A per-call deadline overrun
+// fails the whole connection: on a pipelined stream one wedged exchange
+// means every later response is also stalled behind it.
+func (c *Client) doCall(req *wire.Request) (*wire.Response, failClass, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, failPermanent, ErrClosed
 	}
-	if err := c.ensureConnLocked(); err != nil {
+	cc := c.cc
+	if cc == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, failNotSent, fmt.Errorf("client: reconnect %s: %w", c.addr, err)
+		}
+		cc = newClientConn(c, conn)
+		c.cc = cc
+		c.reconnects.Add(1)
+		if c.telReconnects != nil {
+			c.telReconnects.Inc()
+		}
+	}
+	c.mu.Unlock()
+
+	pc, err := cc.submit(req)
+	if err != nil {
 		return nil, failNotSent, err
 	}
-	c.seq++
-	req.Seq = c.seq
 	if c.callTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.callTimeout))
-	}
-	if err := c.enc.Encode(req); err != nil {
-		c.teardownLocked()
-		return nil, failUnknown, err
-	}
-	var r wire.Response
-	if err := c.dec.Decode(&r); err != nil {
-		c.teardownLocked()
-		return nil, failUnknown, fmt.Errorf("client: read response: %w", err)
-	}
-	if c.callTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Time{})
-	}
-	if r.Seq != req.Seq {
-		// The stream is desynced: a stale or mispaired response would
-		// corrupt every later exchange, so the connection is unusable.
-		// Tear it down (the next call reconnects) but fail this call:
-		// mispairing is a protocol violation, not a transient fault.
-		c.teardownLocked()
-		return nil, failPermanent, fmt.Errorf("client: response seq %d for request %d (connection desynced)", r.Seq, req.Seq)
-	}
-	if !r.IsOK() {
-		serr := &ServerError{Code: r.Code, Message: r.Error}
-		if IsOverloaded(serr) {
-			return nil, failRejected, serr
+		timer := time.NewTimer(c.callTimeout)
+		defer timer.Stop()
+		select {
+		case <-pc.done:
+		case <-timer.C:
+			cc.fail(fmt.Errorf("client: %s: call timeout %v exceeded", req.Method, c.callTimeout), failUnknown)
+			<-pc.done
 		}
-		return nil, failPermanent, serr
+	} else {
+		<-pc.done
 	}
-	return &r, failNone, nil
+	return pc.resp, pc.class, pc.err
 }
 
 // Ping checks server liveness.
@@ -350,6 +522,32 @@ func (c *Client) AddEntry(e *corpus.Entry) (int64, error) {
 	}
 	e.ID = resp.Object
 	return resp.Object, nil
+}
+
+// AddEntries submits many entries as one atomic batch (one request, one
+// storage commit server-side). On success every entry's ID field is set and
+// the assigned IDs are returned in order; a bad entry rejects the whole
+// batch. Like addEntry, the batch is not retried when its connection breaks
+// mid-exchange.
+func (c *Client) AddEntries(entries []*corpus.Entry) ([]int64, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	req := &wire.Request{Method: wire.MethodAddEntries}
+	for _, e := range entries {
+		req.Entries = append(req.Entries, wire.FromCorpus(e))
+	}
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Objects) != len(entries) {
+		return nil, fmt.Errorf("client: addEntries returned %d ids for %d entries", len(resp.Objects), len(entries))
+	}
+	for i, e := range entries {
+		e.ID = resp.Objects[i]
+	}
+	return resp.Objects, nil
 }
 
 // UpdateEntry replaces an existing entry.
@@ -417,6 +615,37 @@ func (c *Client) LinkText(text string, classes []string, scheme, mode, format st
 	return fromLinked(resp)
 }
 
+// LinkBatch links many texts in one request against one server-side
+// snapshot; results are positional. classes/scheme apply to every text.
+// Linking is read-only, so the batch is retried like linkText.
+func (c *Client) LinkBatch(texts []string, classes []string, scheme, mode, format string) ([]*LinkedText, error) {
+	if len(texts) == 0 {
+		return nil, nil
+	}
+	resp, err := c.call(&wire.Request{
+		Method:  wire.MethodLinkBatch,
+		Texts:   texts,
+		Classes: classes,
+		Scheme:  scheme,
+		Mode:    mode,
+		Format:  format,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(texts) {
+		return nil, fmt.Errorf("client: linkBatch returned %d results for %d texts", len(resp.Batch), len(texts))
+	}
+	out := make([]*LinkedText, len(resp.Batch))
+	for i, l := range resp.Batch {
+		if l == nil {
+			return nil, errors.New("client: response missing linked document")
+		}
+		out[i] = &LinkedText{Output: l.Output, Links: l.Links, Skips: l.Skips}
+	}
+	return out, nil
+}
+
 // Invalidated returns the IDs of entries awaiting re-linking.
 func (c *Client) Invalidated() ([]int64, error) {
 	resp, err := c.call(&wire.Request{Method: wire.MethodInvalidated})
@@ -434,6 +663,18 @@ func (c *Client) Relink() (int, error) {
 		return 0, err
 	}
 	return int(resp.Object), nil
+}
+
+// RelinkBatch re-links the given entries server-side through the
+// shared-view batch path (ids == nil relinks everything invalidated) and
+// returns the IDs that were re-linked. Relinking mutates the invalidation
+// queue, so like relink it is not retried on a mid-exchange break.
+func (c *Client) RelinkBatch(ids []int64) ([]int64, error) {
+	resp, err := c.call(&wire.Request{Method: wire.MethodRelinkBatch, Objects: ids})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Objects, nil
 }
 
 // Stats fetches collection statistics.

@@ -1,0 +1,372 @@
+package core
+
+// Shared-view batch linking. A batch captures ONE candidate-entry snapshot
+// and ONE domain-table generation for all of its items (instead of one per
+// call), then links the items with a bounded worker pool that reuses the
+// pooled scratch buffers. This is the engine half of the wire batch methods
+// (linkBatch, relinkBatch, addEntries) and the backing path of
+// RelinkInvalidatedParallel.
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nnexus/internal/corpus"
+	"nnexus/internal/latex"
+	"nnexus/internal/policy"
+	"nnexus/internal/render"
+	"nnexus/internal/storage"
+	"nnexus/internal/tokenizer"
+)
+
+// relinkChunk bounds how many entries a relink batch captures into one
+// shared view. Chunking keeps the abort contract meaningful for large
+// queues (later chunks are never dispatched after an error) and bounds the
+// size of the union candidate snapshot.
+const relinkChunk = 128
+
+// batchItem carries one unit of a shared-view batch through its phases.
+type batchItem struct {
+	id      int64  // source entry ID; 0 for free text
+	text    string // input text (entry body for entry items)
+	classes []string
+	exclude int64
+	buf     *linkBuffers
+	res     *Result
+	err     error
+	scanned bool // phase 1 ran (the item was handed to a worker)
+}
+
+// forEachItem feeds items to a bounded worker pool. When aborted is
+// non-nil the feeder stops dispatching once it is set — items already
+// handed to a worker finish, later ones are never started.
+func forEachItem(items []*batchItem, workers int, aborted *atomic.Bool, fn func(*batchItem)) {
+	if workers <= 1 || len(items) <= 1 {
+		for _, it := range items {
+			if aborted != nil && aborted.Load() {
+				return
+			}
+			fn(it)
+		}
+		return
+	}
+	work := make(chan *batchItem)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				fn(it)
+			}
+		}()
+	}
+	for _, it := range items {
+		if aborted != nil && aborted.Load() {
+			break
+		}
+		work <- it
+	}
+	close(work)
+	wg.Wait()
+}
+
+// captureBatchView gathers the candidate entries of every scanned item
+// under a single read lock and pairs them with the current domain-table
+// generation: the whole batch links against this one immutable view.
+func (e *Engine) captureBatchView(items []*batchItem) linkView {
+	total := 0
+	for _, it := range items {
+		if it.scanned && it.err == nil {
+			total += len(it.buf.matches)
+		}
+	}
+	v := linkView{entries: make(map[int64]*corpus.Entry, total), domains: e.domainMap()}
+	if total == 0 {
+		return v
+	}
+	e.mu.RLock()
+	for _, it := range items {
+		if !it.scanned || it.err != nil {
+			continue
+		}
+		for _, m := range it.buf.matches {
+			for _, oid := range m.Candidates {
+				id := int64(oid)
+				if _, seen := v.entries[id]; seen {
+					continue
+				}
+				if entry, ok := e.entries[id]; ok {
+					v.entries[id] = entry
+				}
+			}
+		}
+	}
+	e.mu.RUnlock()
+	return v
+}
+
+// runBatch links items in three phases: (1) parallel per-item tokenize +
+// concept-map scan (and entry resolution for entry items), (2) one shared
+// view capture for the whole batch, (3) parallel per-item target choice
+// and rendering against the shared view. Any item error sets aborted, so
+// feeders (phase 1 here, later chunks in the caller) stop dispatching new
+// work; items that already entered phase 1 still finish phase 3, matching
+// the relink abort contract.
+func (e *Engine) runBatch(items []*batchItem, opts LinkOptions, workers int, aborted *atomic.Bool) {
+	mode := opts.Mode
+	if mode == ModeDefault {
+		mode = e.cfg.Mode.resolve()
+	}
+	format := e.cfg.Format
+	if opts.Format != nil {
+		format = *opts.Format
+	}
+	defer func() {
+		for _, it := range items {
+			if it.buf != nil {
+				putLinkBuffers(it.buf)
+				it.buf = nil
+			}
+		}
+	}()
+
+	forEachItem(items, workers, aborted, func(it *batchItem) {
+		it.scanned = true
+		if it.id != 0 {
+			entry, ok := e.Entry(it.id)
+			if !ok {
+				it.err = fmt.Errorf("core: link of unknown entry %d", it.id)
+				aborted.Store(true)
+				return
+			}
+			it.text = entry.Body
+			if len(it.classes) == 0 {
+				it.classes = e.mappers.Translate(
+					schemeOr(e.domainScheme(entry.Domain), e.scheme.Name()),
+					entry.Classes, e.scheme.Name())
+			}
+		}
+		if e.cfg.LaTeX {
+			it.text = latex.ToText(it.text)
+		}
+		it.buf = getLinkBuffers()
+		it.buf.tokens = tokenizer.TokenizeAppend(it.buf.tokens, it.text)
+		it.buf.matches = e.cmap.ScanAppend(it.buf.matches, it.buf.tokens)
+	})
+
+	view := e.captureBatchView(items)
+
+	// Phase 3 dispatches every scanned item even when the batch has been
+	// aborted: those items were already handed to workers.
+	forEachItem(items, workers, nil, func(it *batchItem) {
+		if !it.scanned || it.err != nil {
+			return
+		}
+		buf := it.buf
+		res := &Result{Source: it.id, Output: it.text}
+		var anchors []render.Anchor
+		for _, m := range buf.matches {
+			if !e.cfg.LinkAllOccurrences && buf.linked[m.Label] {
+				res.Skips = append(res.Skips, Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: SkipDuplicate})
+				continue
+			}
+			link, skip := e.chooseTarget(m, view, buf, it.classes, it.exclude, mode, nil)
+			if skip != nil {
+				res.Skips = append(res.Skips, *skip)
+				continue
+			}
+			link.Text = m.Text(it.text)
+			res.Links = append(res.Links, *link)
+			anchors = append(anchors, render.Anchor{
+				Start: link.Start, End: link.End, URL: link.URL, Title: link.TargetTitle,
+			})
+			buf.linked[m.Label] = true
+		}
+		out, err := render.Apply(it.text, anchors, format)
+		if err != nil {
+			it.err = fmt.Errorf("core: render: %w", err)
+			aborted.Store(true)
+			return
+		}
+		res.Output = out
+		e.met.countResult(res)
+		it.res = res
+	})
+}
+
+// LinkBatch links many free texts in one batch: one snapshot view and one
+// domain-table generation are captured for all of them, and the items are
+// processed by a worker pool (workers ≤ 0 selects GOMAXPROCS). Results are
+// positional. The first item error aborts the batch and is returned.
+func (e *Engine) LinkBatch(texts []string, opts LinkOptions, workers int) ([]*Result, error) {
+	if len(texts) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	sourceClasses := e.mappers.Translate(
+		schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
+	items := make([]*batchItem, len(texts))
+	for i, t := range texts {
+		items[i] = &batchItem{text: t, classes: sourceClasses, exclude: opts.ExcludeObject}
+	}
+	var aborted atomic.Bool
+	e.runBatch(items, opts, workers, &aborted)
+	out := make([]*Result, len(items))
+	links := int64(0)
+	for i, it := range items {
+		if it.err != nil {
+			return nil, it.err
+		}
+		if it.res == nil {
+			return nil, fmt.Errorf("core: link batch aborted before item %d", i)
+		}
+		out[i] = it.res
+		links += int64(len(it.res.Links))
+	}
+	if e.tel != nil {
+		e.tel.batchRuns.Inc()
+		e.tel.batchItems.Add(int64(len(items)))
+		e.tel.opLinkText.Add(int64(len(items)))
+		e.tel.linksCreated.Add(links)
+	}
+	return out, nil
+}
+
+// RelinkBatch re-links the given entries through the shared-view batch
+// path, clearing their invalidation flags on success. An empty ids slice
+// relinks everything currently invalidated. Error semantics match
+// RelinkInvalidatedParallel: the first error stops new work from being
+// dispatched, results completed around the abort are returned with it, and
+// the relink telemetry counters advance by exactly the returned results
+// and the observed errors.
+func (e *Engine) RelinkBatch(ids []int64, workers int) (map[int64]*Result, error) {
+	var start time.Time
+	if e.tel != nil {
+		e.tel.relinkRuns.Inc()
+		start = time.Now()
+	}
+	if len(ids) == 0 {
+		ids = e.Invalidated()
+	}
+	out, nerrs, err := e.relinkShared(ids, workers)
+	e.finishRelink(start, len(out), nerrs)
+	return out, err
+}
+
+// relinkShared runs the chunked shared-view relink over ids.
+func (e *Engine) relinkShared(ids []int64, workers int) (map[int64]*Result, int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(map[int64]*Result, len(ids))
+	var (
+		aborted  atomic.Bool
+		firstErr error
+		nerrs    int
+	)
+	for off := 0; off < len(ids) && !aborted.Load(); off += relinkChunk {
+		end := off + relinkChunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		items := make([]*batchItem, 0, end-off)
+		for _, id := range ids[off:end] {
+			items = append(items, &batchItem{id: id, exclude: id})
+		}
+		w := workers
+		if w > len(items) {
+			w = len(items)
+		}
+		e.runBatch(items, LinkOptions{}, w, &aborted)
+		for _, it := range items {
+			switch {
+			case it.err != nil:
+				nerrs++
+				if firstErr == nil {
+					firstErr = it.err
+				}
+			case it.res != nil:
+				out[it.id] = it.res
+				e.clearInvalid(it.id)
+				e.met.entriesLinked.Add(1)
+				if e.tel != nil {
+					e.tel.opLinkEntry.Inc()
+				}
+			}
+		}
+	}
+	return out, nerrs, firstErr
+}
+
+// AddEntries validates, stores, and indexes many entries as one batch. All
+// entries are validated (shape, domain, policy) before anything commits, so
+// a bad entry rejects the whole batch; on success every entry's ID field is
+// set and the assigned IDs are returned in order. Persistence uses a single
+// atomic storage batch (one WAL record, one fsync) instead of two puts per
+// entry.
+func (e *Engine) AddEntries(entries []*corpus.Entry) ([]int64, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, entry := range entries {
+		if err := entry.Validate(); err != nil {
+			return nil, fmt.Errorf("core: batch entry %d: %w", i, err)
+		}
+		if _, ok := e.domainMap()[entry.Domain]; !ok {
+			return nil, fmt.Errorf("core: batch entry %d: unknown domain %q (AddDomain first)", i, entry.Domain)
+		}
+		if entry.Policy != "" {
+			if _, err := policy.Parse(entry.Policy); err != nil {
+				return nil, fmt.Errorf("core: batch entry %d: %w", i, err)
+			}
+		}
+	}
+	ids := make([]int64, len(entries))
+	ops := make([]storage.BatchOp, 0, len(entries)+1)
+	for i, entry := range entries {
+		id := e.nextID
+		e.nextID++
+		entry.ID = id
+		ids[i] = id
+		if entry.ExternalID == "" {
+			entry.ExternalID = strconv.FormatInt(id, 10)
+		}
+		e.met.entriesAdded.Add(1)
+		if e.tel != nil {
+			e.tel.opAddEntry.Inc()
+		}
+		if err := e.indexLocked(entry); err != nil {
+			return nil, err
+		}
+		e.invalidateForLabelsLocked(entry.Labels(), id)
+		if e.store != nil {
+			data, err := entry.Encode()
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, storage.BatchOp{Table: tableEntries, Key: entryKey(id), Value: data})
+		}
+	}
+	if e.store != nil {
+		ops = append(ops, storage.BatchOp{
+			Table: tableMeta, Key: "nextID",
+			Value: []byte(strconv.FormatInt(e.nextID, 10)),
+		})
+		if err := e.store.PutBatch(ops); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}

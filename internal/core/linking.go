@@ -3,9 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"nnexus/internal/classification"
@@ -347,7 +345,11 @@ func (e *Engine) finishRelink(start time.Time, relinked, errors int) {
 }
 
 // RelinkInvalidatedParallel is RelinkInvalidated with a worker pool, for
-// batch re-linking after large imports. workers ≤ 0 selects GOMAXPROCS.
+// batch re-linking after large imports. workers ≤ 0 selects GOMAXPROCS. It
+// runs on the shared-view batch path (see runBatch): instead of each worker
+// re-capturing a per-call candidate view, each chunk of entries is scanned
+// in parallel, captured under ONE read lock, then resolved and rendered in
+// parallel against that one view.
 //
 // Error semantics: the first error stops the feeder, so no *new* work is
 // dispatched, but entries already handed to workers finish; the first error
@@ -357,66 +359,7 @@ func (e *Engine) finishRelink(start time.Time, relinked, errors int) {
 // advances by exactly len(results), nnexus_relink_errors_total by the
 // number of failed entries observed.
 func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, error) {
-	var start time.Time
-	if e.tel != nil {
-		e.tel.relinkRuns.Inc()
-		start = time.Now()
-	}
-	ids := e.Invalidated()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	out := make(map[int64]*Result, len(ids))
-	if len(ids) == 0 {
-		e.finishRelink(start, 0, 0)
-		return out, nil
-	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		nerrs    int
-		wg       sync.WaitGroup
-		// aborted flags the first error; the feeder polls it lock-free
-		// instead of bouncing the results mutex once per dispatched id,
-		// which serialized large batches against the workers.
-		aborted atomic.Bool
-	)
-	work := make(chan int64)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range work {
-				res, err := e.LinkEntry(id, LinkOptions{})
-				mu.Lock()
-				if err != nil {
-					nerrs++
-					if firstErr == nil {
-						firstErr = err
-					}
-				} else {
-					out[id] = res
-				}
-				mu.Unlock()
-				if err != nil {
-					aborted.Store(true)
-				}
-			}
-		}()
-	}
-	for _, id := range ids {
-		if aborted.Load() {
-			break
-		}
-		work <- id
-	}
-	close(work)
-	wg.Wait()
-	e.finishRelink(start, len(out), nerrs)
-	return out, firstErr
+	return e.RelinkBatch(nil, workers)
 }
 
 // chooseTarget runs policy filtering, steering, and tie-breaking for one

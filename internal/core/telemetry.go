@@ -51,6 +51,10 @@ type engineTelemetry struct {
 	relinkEntries  *telemetry.Counter
 	relinkErrors   *telemetry.Counter
 	relinkDuration *telemetry.Histogram
+
+	// Shared-view link batches (LinkBatch / the wire linkBatch method).
+	batchRuns  *telemetry.Counter
+	batchItems *telemetry.Counter
 }
 
 // newEngineTelemetry registers the engine's metric families on reg and
@@ -95,6 +99,11 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 		"Errors encountered by relink batches.")
 	t.relinkDuration = reg.Histogram("nnexus_relink_batch_duration_seconds",
 		"Wall time of one relink batch.")
+
+	t.batchRuns = reg.Counter("nnexus_link_batch_total",
+		"Shared-view link batches processed.")
+	t.batchItems = reg.Counter("nnexus_link_batch_items_total",
+		"Texts linked through shared-view link batches.")
 
 	// Live state, read at scrape time.
 	reg.GaugeFunc("nnexus_invalidation_queue_depth",

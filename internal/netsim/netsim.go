@@ -1,0 +1,119 @@
+// Package netsim provides a minimal in-process network simulator: a TCP
+// proxy adding one-way propagation delay to each direction of every
+// forwarded connection. Unlike a sleep-then-forward loop, chunks in flight
+// overlap their delays — pipelined traffic pays the propagation delay once
+// per window while stop-and-wait traffic pays it once per call — so the
+// proxy models a real wire rather than a store-and-forward hop. Benchmarks
+// and the throughput experiment use it to show what request pipelining buys
+// on links where the round trip, not the CPU, is the bottleneck.
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy listens on a fresh loopback port, forwards every accepted
+// connection to backend, and delays each direction by delay (half the
+// simulated round trip per direction). The returned stop function closes
+// the listener and every live proxied connection.
+func Proxy(backend string, delay time.Duration) (addr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+		done  bool
+	)
+	track := func(c net.Conn) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if done {
+			c.Close()
+			return false
+		}
+		conns = append(conns, c)
+		return true
+	}
+	go func() {
+		for {
+			cl, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if !track(cl) {
+				return
+			}
+			go func() {
+				srv, err := net.DialTimeout("tcp", backend, 5*time.Second)
+				if err != nil {
+					cl.Close()
+					return
+				}
+				if !track(srv) {
+					cl.Close()
+					return
+				}
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go pump(srv, cl, delay, &wg)
+				go pump(cl, srv, delay, &wg)
+				wg.Wait()
+			}()
+		}
+	}()
+	stop = func() {
+		mu.Lock()
+		done = true
+		cs := conns
+		conns = nil
+		mu.Unlock()
+		ln.Close()
+		for _, c := range cs {
+			c.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// pump forwards src→dst, releasing each chunk delay after it was read.
+// Reading continues while earlier chunks wait out their delay, so
+// concurrent chunks share the wire time instead of queuing behind each
+// other's sleeps.
+func pump(dst, src net.Conn, delay time.Duration, wg *sync.WaitGroup) {
+	defer wg.Done()
+	type chunk struct {
+		data []byte
+		due  time.Time
+	}
+	ch := make(chan chunk, 4096)
+	go func() {
+		defer close(ch)
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				data := make([]byte, n)
+				copy(data, buf[:n])
+				ch <- chunk{data, time.Now().Add(delay)}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for c := range ch {
+		time.Sleep(time.Until(c.due))
+		if _, err := dst.Write(c.data); err != nil {
+			break
+		}
+	}
+	// Propagate EOF (or a write failure) and unblock the reader.
+	dst.Close()
+	src.Close()
+	for range ch {
+	}
+}

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer answers each newline-terminated line with the same line.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					fmt.Fprintf(conn, "%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestProxyAddsRoundTripDelay: one request/response exchange through the
+// proxy takes at least a full simulated round trip.
+func TestProxyAddsRoundTripDelay(t *testing.T) {
+	const delay = 25 * time.Millisecond
+	addr, stop, err := Proxy(echoServer(t), delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	start := time.Now()
+	fmt.Fprintln(conn, "hello")
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != "hello\n" {
+		t.Fatalf("echo = %q", line)
+	}
+	if rtt := time.Since(start); rtt < 2*delay {
+		t.Errorf("round trip %v, want >= %v", rtt, 2*delay)
+	}
+}
+
+// TestProxyOverlapsDelays: chunks written back to back must not queue
+// behind each other's sleeps — ten pipelined exchanges should take roughly
+// one round trip, nowhere near ten.
+func TestProxyOverlapsDelays(t *testing.T) {
+	const (
+		delay = 25 * time.Millisecond
+		calls = 10
+	)
+	addr, stop, err := Proxy(echoServer(t), delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < calls; i++ {
+			fmt.Fprintf(conn, "msg-%d\n", i)
+			time.Sleep(time.Millisecond) // distinct chunks, still « delay apart
+		}
+	}()
+	r := bufio.NewReader(conn)
+	for i := 0; i < calls; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("msg-%d\n", i); line != want {
+			t.Fatalf("reply %d = %q, want %q", i, line, want)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed >= calls*delay { // half the serialized time, generous margin
+		t.Errorf("%d pipelined exchanges took %v; delays serialized (stop-and-wait would be %v)",
+			calls, elapsed, calls*2*delay)
+	}
+}
+
+// TestProxyStopClosesConns: stop unblocks clients waiting on proxied reads.
+func TestProxyStopClosesConns(t *testing.T) {
+	addr, stop, err := Proxy(echoServer(t), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1)
+		conn.Read(buf) // no request sent: blocks until the proxy dies
+	}()
+	stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked 2s after proxy stop")
+	}
+}

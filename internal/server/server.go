@@ -24,12 +24,14 @@ import (
 	"log"
 	"net"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nnexus/internal/core"
+	"nnexus/internal/corpus"
 	"nnexus/internal/render"
 	"nnexus/internal/telemetry"
 	"nnexus/internal/wire"
@@ -42,6 +44,10 @@ const DefaultMaxRequestBytes = 32 << 20
 // stalled longer than this loses the connection rather than pinning the
 // handler goroutine.
 const DefaultWriteTimeout = 30 * time.Second
+
+// DefaultMaxPipeline is how many requests one connection may have in
+// flight concurrently (see WithMaxPipeline).
+const DefaultMaxPipeline = 32
 
 // errOverloaded is the message body of a shed request.
 var errOverloaded = errors.New("server overloaded, retry later")
@@ -58,6 +64,7 @@ type Server struct {
 	handlerTimeout  time.Duration
 	maxConns        int
 	maxActive       int
+	maxPipeline     int
 
 	active atomic.Int64 // requests currently being handled
 
@@ -74,10 +81,19 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// connState tracks whether a connection is mid-request, so a drain can
-// close idle connections immediately while letting busy ones finish.
+// connState tracks how many of a connection's requests are in flight —
+// dispatched but with the response not yet written — so a drain can close
+// idle connections immediately while letting busy ones finish and flush.
 type connState struct {
-	inRequest bool
+	inFlight int
+}
+
+// connResp is one response queued for a connection's writer goroutine.
+// tracked marks responses of dispatched requests (their write retires an
+// in-flight slot); shed rejections are untracked.
+type connResp struct {
+	resp    *wire.Response
+	tracked bool
 }
 
 // serverTelemetry is the TCP layer's connection and request accounting,
@@ -94,6 +110,7 @@ type serverTelemetry struct {
 	panics        *telemetry.Counter
 	timeouts      *telemetry.Counter
 	drainDuration *telemetry.Histogram
+	pipelineDepth *telemetry.Histogram
 	byMethod      map[string]*telemetry.Counter
 	unknown       *telemetry.Counter
 }
@@ -123,6 +140,9 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 			"XML protocol requests answered with a timeout error because the handler deadline expired."),
 		drainDuration: reg.Histogram("nnexus_drain_duration_seconds",
 			"Time graceful shutdown spent draining in-flight work."),
+		pipelineDepth: reg.Histogram("nnexus_tcp_pipeline_depth",
+			"Requests in flight on a connection at dispatch time.",
+			1, 2, 4, 8, 16, 32, 64, 128),
 	}
 	t.byMethod = make(map[string]*telemetry.Counter)
 	for _, m := range []string{
@@ -130,6 +150,7 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 		wire.MethodUpdateEntry, wire.MethodRemoveEntry, wire.MethodGetEntry,
 		wire.MethodSetPolicy, wire.MethodLinkEntry, wire.MethodLinkText,
 		wire.MethodInvalidated, wire.MethodRelink, wire.MethodStats,
+		wire.MethodAddEntries, wire.MethodLinkBatch, wire.MethodRelinkBatch,
 	} {
 		t.byMethod[m] = t.requests.With(m)
 	}
@@ -201,6 +222,22 @@ func WithMaxActiveRequests(n int) Option {
 	return func(s *Server) { s.maxActive = n }
 }
 
+// WithMaxPipeline bounds how many requests one connection may have in
+// flight concurrently. The wire protocol correlates responses to requests
+// by Seq, so a pipelining client can keep up to n requests outstanding and
+// receive completions out of order; a connection's writer goroutine
+// serializes the responses. n = 1 reproduces the pre-pipelining
+// one-request-at-a-time behavior exactly; stop-and-wait clients are
+// unaffected either way, since they never have more than one request
+// outstanding. The default is DefaultMaxPipeline.
+func WithMaxPipeline(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxPipeline = n
+		}
+	}
+}
+
 // New creates a server around an engine. logger may be nil to disable
 // logging.
 func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
@@ -211,6 +248,7 @@ func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
 		conns:           make(map[net.Conn]*connState),
 		maxRequestBytes: DefaultMaxRequestBytes,
 		writeTimeout:    DefaultWriteTimeout,
+		maxPipeline:     DefaultMaxPipeline,
 	}
 	for _, o := range opts {
 		o(s)
@@ -320,7 +358,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ln := s.listener
 	s.listener = nil
 	for conn, st := range s.conns {
-		if !st.inRequest {
+		if st.inFlight == 0 {
 			conn.Close()
 		}
 	}
@@ -355,26 +393,49 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// beginRequest marks the connection as mid-request so a concurrent drain
-// will not close it underneath the handler.
-func (s *Server) beginRequest(conn net.Conn) {
+// beginRequest marks one more of the connection's requests as in flight,
+// so a concurrent drain will not close it underneath the handler, and
+// returns the resulting pipeline depth.
+func (s *Server) beginRequest(conn net.Conn) int {
 	s.mu.Lock()
+	depth := 1
 	if st, ok := s.conns[conn]; ok {
-		st.inRequest = true
+		st.inFlight++
+		depth = st.inFlight
 	}
 	s.mu.Unlock()
 	s.active.Add(1)
+	return depth
 }
 
-func (s *Server) endRequest(conn net.Conn) {
-	s.active.Add(-1)
+// finishWrite retires one in-flight request after its response has been
+// written (or discarded on a failed connection). During a drain, the
+// connection is closed as soon as its last in-flight response is out,
+// which unblocks the reader goroutine; Shutdown's idle sweep only closes
+// connections with nothing in flight, so this is the path that retires
+// busy connections.
+func (s *Server) finishWrite(conn net.Conn) {
 	s.mu.Lock()
+	closeNow := false
 	if st, ok := s.conns[conn]; ok {
-		st.inRequest = false
+		st.inFlight--
+		closeNow = s.draining && st.inFlight == 0
 	}
 	s.mu.Unlock()
+	if closeNow {
+		conn.Close()
+	}
 }
 
+// serveConn runs one connection: a reader loop decoding and dispatching up
+// to maxPipeline requests concurrently, and a writer goroutine serializing
+// their responses back onto the wire. Responses may complete out of order;
+// the Seq echoed in each response lets the client re-correlate them. The
+// per-request semantics of the sequential server are preserved per
+// in-flight request: shedding happens before dispatch, panics are recovered
+// per handler, the handler deadline bounds each request independently, and
+// a drain lets every dispatched request finish and flush before the
+// connection closes.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	if s.tel != nil {
@@ -392,7 +453,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	metered := &meteredReader{r: conn, limit: s.maxRequestBytes}
 	dec := wire.NewDecoder(metered)
-	enc := wire.NewEncoder(conn)
+
+	maxPipeline := s.maxPipeline
+	if maxPipeline <= 0 {
+		maxPipeline = 1
+	}
+	// Buffered so handlers never block behind each other's sends; the
+	// writer provides backpressure only through the sem window.
+	respCh := make(chan connResp, maxPipeline+1)
+	writerDone := make(chan struct{})
+	go s.connWriter(conn, respCh, writerDone)
+
+	sem := make(chan struct{}, maxPipeline)
+	var handlers sync.WaitGroup
 	for {
 		metered.reset()
 		if s.idleTimeout > 0 {
@@ -403,41 +476,69 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != io.EOF && s.logger != nil {
 				s.logger.Printf("server: %v", err)
 			}
-			return
+			break
 		}
-		var resp *wire.Response
+		if s.Draining() {
+			// The connection is retiring; in-flight requests finish and
+			// flush below, new ones are not admitted.
+			break
+		}
 		if s.maxActive > 0 && s.active.Load() >= int64(s.maxActive) {
 			// Shed before dispatch: the request never executes, so it
 			// is safe for the client to retry even mutating methods.
 			if s.tel != nil {
 				s.tel.shed.Inc()
 			}
-			resp = wire.ErrCoded(&req, wire.CodeOverloaded, errOverloaded)
-		} else {
-			s.beginRequest(conn)
-			resp = s.handleWithTimeout(&req)
-			s.endRequest(conn)
+			respCh <- connResp{resp: wire.ErrCoded(&req, wire.CodeOverloaded, errOverloaded)}
+			continue
 		}
-		if s.writeTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		sem <- struct{}{} // pipeline window slot
+		depth := s.beginRequest(conn)
+		if s.tel != nil {
+			s.tel.pipelineDepth.Observe(float64(depth))
 		}
-		err := enc.Encode(resp)
-		if s.writeTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Time{})
-		}
-		if err != nil {
-			if s.logger != nil {
-				s.logger.Printf("server: write: %v", err)
+		handlers.Add(1)
+		r := req
+		go func() {
+			defer handlers.Done()
+			resp := s.handleWithTimeout(&r)
+			s.active.Add(-1)
+			respCh <- connResp{resp: resp, tracked: true}
+			<-sem
+		}()
+	}
+	handlers.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// connWriter serializes one connection's responses onto the wire, applying
+// the per-response write deadline. After a write failure the connection is
+// closed and the remaining responses are discarded (their in-flight
+// accounting is still retired).
+func (s *Server) connWriter(conn net.Conn, ch <-chan connResp, done chan<- struct{}) {
+	defer close(done)
+	enc := wire.NewEncoder(conn)
+	failed := false
+	for cr := range ch {
+		if !failed {
+			if s.writeTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 			}
-			return
+			err := enc.Encode(cr.resp)
+			if s.writeTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Time{})
+			}
+			if err != nil {
+				if s.logger != nil {
+					s.logger.Printf("server: write: %v", err)
+				}
+				failed = true
+				conn.Close()
+			}
 		}
-		// A drain lets the in-flight request finish and flush, then
-		// retires the connection instead of waiting for more requests.
-		s.mu.Lock()
-		draining := s.draining
-		s.mu.Unlock()
-		if draining {
-			return
+		if cr.tracked {
+			s.finishWrite(conn)
 		}
 	}
 }
@@ -638,6 +739,57 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 			LinksCreated: met.LinksCreated,
 			TextsLinked:  met.TextsLinked,
 		}
+		return resp, nil
+
+	case wire.MethodAddEntries:
+		if len(req.Entries) == 0 {
+			return nil, errors.New("addEntries: missing entries")
+		}
+		entries := make([]*corpus.Entry, len(req.Entries))
+		for i, e := range req.Entries {
+			entries[i] = e.ToCorpus()
+		}
+		ids, err := s.engine.AddEntries(entries)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Objects = ids
+		return resp, nil
+
+	case wire.MethodLinkBatch:
+		if len(req.Texts) == 0 {
+			return nil, errors.New("linkBatch: missing texts")
+		}
+		opts, err := linkOptions(req)
+		if err != nil {
+			return nil, err
+		}
+		opts.SourceClasses = req.Classes
+		opts.SourceScheme = req.Scheme
+		results, err := s.engine.LinkBatch(req.Texts, opts, 0)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Batch = make([]*wire.Linked, len(results))
+		for i, res := range results {
+			resp.Batch[i] = toWireLinked(res)
+		}
+		return resp, nil
+
+	case wire.MethodRelinkBatch:
+		results, err := s.engine.RelinkBatch(req.Objects, 0)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Object = int64(len(results))
+		resp.Objects = make([]int64, 0, len(results))
+		for id := range results {
+			resp.Objects = append(resp.Objects, id)
+		}
+		sort.Slice(resp.Objects, func(i, j int) bool { return resp.Objects[i] < resp.Objects[j] })
 		return resp, nil
 
 	default:

@@ -20,6 +20,9 @@
 //	invalidated — (none)
 //	relink      — (none; relinks all invalidated entries)
 //	stats       — (none)
+//	addEntries  — Entries (engine assigns IDs, returned in Objects)
+//	linkBatch   — Texts, Classes, Scheme, Mode, Format (results in Batch)
+//	relinkBatch — Objects (empty = all invalidated; relinked IDs in Objects)
 package wire
 
 import (
@@ -44,6 +47,9 @@ const (
 	MethodInvalidated = "invalidated"
 	MethodRelink      = "relink"
 	MethodStats       = "stats"
+	MethodAddEntries  = "addEntries"
+	MethodLinkBatch   = "linkBatch"
+	MethodRelinkBatch = "relinkBatch"
 )
 
 // Request is one client→server message.
@@ -63,6 +69,12 @@ type Request struct {
 	Scheme  string   `xml:"scheme,omitempty"`
 	Mode    string   `xml:"mode,omitempty"`
 	Format  string   `xml:"format,omitempty"`
+
+	// Batch fields: Entries for addEntries, Texts for linkBatch, Objects
+	// for relinkBatch (empty Objects = relink everything invalidated).
+	Entries []*Entry `xml:"entries>entry,omitempty"`
+	Texts   []string `xml:"texts>text,omitempty"`
+	Objects []int64  `xml:"objects>object,omitempty"`
 }
 
 // Error codes carried in Response.Code. They classify error responses so
@@ -101,6 +113,12 @@ type Response struct {
 	Linked      *Linked `xml:"linked,omitempty"`
 	Stats       *Stats  `xml:"stats,omitempty"`
 	Invalidated []int64 `xml:"invalidated>object,omitempty"`
+
+	// Batch fields: Objects carries assigned IDs (addEntries) or relinked
+	// IDs (relinkBatch); Batch carries per-text results (linkBatch), in
+	// request order.
+	Objects []int64   `xml:"objects>object,omitempty"`
+	Batch   []*Linked `xml:"batch>linked,omitempty"`
 }
 
 // Domain mirrors corpus.Domain on the wire.

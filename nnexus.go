@@ -58,6 +58,7 @@ import (
 	"nnexus/internal/semnet"
 	"nnexus/internal/server"
 	"nnexus/internal/storage"
+	"nnexus/internal/telemetry"
 )
 
 // Core data types, re-exported from the implementation packages.
@@ -194,6 +195,12 @@ type Config struct {
 	DataDir string
 	// SyncWrites makes every persisted mutation fsync before returning.
 	SyncWrites bool
+	// GroupCommitWindow stretches the WAL group-commit gathering window:
+	// under SyncWrites, a committing writer waits up to this long for
+	// concurrent writers to stage their appends, then one fsync covers the
+	// whole group. Zero (the default) commits eagerly — concurrent writers
+	// still coalesce whenever an fsync is already in progress.
+	GroupCommitWindow time.Duration
 	// Mode is the default pipeline mode (ModeDefault = full pipeline).
 	Mode Mode
 	// Format is the default output format (HTML).
@@ -221,11 +228,17 @@ type Engine struct {
 // New assembles an engine from the configuration. When DataDir is set, any
 // previously persisted state is loaded and all indexes rebuilt.
 func New(cfg Config) (*Engine, error) {
+	// One registry spans every layer: the storage WAL, the engine, and the
+	// serving layers (which register onto the engine's registry later).
+	reg := telemetry.NewRegistry()
 	var store *storage.Store
 	if cfg.DataDir != "" {
-		var opts []storage.Option
+		opts := []storage.Option{storage.WithTelemetry(reg)}
 		if cfg.SyncWrites {
 			opts = append(opts, storage.WithSyncWrites())
+		}
+		if cfg.GroupCommitWindow > 0 {
+			opts = append(opts, storage.WithGroupCommitWindow(cfg.GroupCommitWindow))
 		}
 		var err error
 		store, err = storage.Open(cfg.DataDir, opts...)
@@ -236,6 +249,7 @@ func New(cfg Config) (*Engine, error) {
 	eng, err := core.NewEngine(core.Config{
 		Scheme:             cfg.Scheme,
 		Store:              store,
+		Telemetry:          reg,
 		Mode:               cfg.Mode,
 		Format:             cfg.Format,
 		AllowSelfLinks:     cfg.AllowSelfLinks,
@@ -285,6 +299,12 @@ func (e *Engine) RegisterMapper(m *Mapper) error { return e.core.RegisterMapper(
 // set on the passed entry), and invalidates affected entries.
 func (e *Engine) AddEntry(entry *Entry) (int64, error) { return e.core.AddEntry(entry) }
 
+// AddEntries validates, stores, and indexes many entries as one atomic
+// batch: a bad entry rejects the whole batch before anything commits, and
+// persistence uses a single WAL record (one fsync) instead of one per
+// entry. The assigned IDs are returned in order and set on the entries.
+func (e *Engine) AddEntries(entries []*Entry) ([]int64, error) { return e.core.AddEntries(entries) }
+
 // UpdateEntry replaces an existing entry and re-indexes it.
 func (e *Engine) UpdateEntry(entry *Entry) error { return e.core.UpdateEntry(entry) }
 
@@ -317,6 +337,14 @@ func (e *Engine) SetPolicy(id int64, policyText string) error {
 // substitute the winning links.
 func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 	return e.core.LinkText(text, opts)
+}
+
+// LinkBatch links many texts as one batch: a single snapshot of candidate
+// entries and one domain-table generation serve every item, and the items
+// run on a worker pool (workers ≤ 0 selects GOMAXPROCS). Results are
+// positional; the first item error aborts the batch.
+func (e *Engine) LinkBatch(texts []string, opts LinkOptions, workers int) ([]*Result, error) {
+	return e.core.LinkBatch(texts, opts, workers)
 }
 
 // LinkEntry links a stored entry's body against the whole collection and
@@ -377,6 +405,13 @@ func (e *Engine) RelinkInvalidated() (map[int64]*Result, error) {
 // pool (workers ≤ 0 selects GOMAXPROCS).
 func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, error) {
 	return e.core.RelinkInvalidatedParallel(workers)
+}
+
+// RelinkBatch re-links the given entries through the shared-view batch path
+// (ids == nil relinks everything invalidated), clearing their invalidation
+// flags on success.
+func (e *Engine) RelinkBatch(ids []int64, workers int) (map[int64]*Result, error) {
+	return e.core.RelinkBatch(ids, workers)
 }
 
 // ImportOAI ingests an OAI-style XML metadata dump (see the corpus format
@@ -479,6 +514,12 @@ func WithMaxConns(n int) ServerOption { return server.WithMaxConns(n) }
 // after backoff.
 func WithMaxActiveRequests(n int) ServerOption { return server.WithMaxActiveRequests(n) }
 
+// WithMaxPipeline bounds how many requests one connection may execute
+// concurrently; responses are serialized by a per-connection writer and
+// correlated by Seq. n = 1 reproduces sequential one-request-at-a-time
+// handling.
+func WithMaxPipeline(n int) ServerOption { return server.WithMaxPipeline(n) }
+
 // Client-side resilience options.
 
 // WithCallTimeout bounds each remote call, including its wire round trip.
@@ -489,6 +530,14 @@ func WithMaxRetries(n int) ClientOption { return client.WithMaxRetries(n) }
 
 // WithBackoff sets the client's exponential backoff range between retries.
 func WithBackoff(base, max time.Duration) ClientOption { return client.WithBackoff(base, max) }
+
+// WithPipelineWindow bounds how many calls the client may keep in flight on
+// its connection at once; concurrent callers beyond the window queue for a
+// slot. n = 1 is strict stop-and-wait.
+func WithPipelineWindow(n int) ClientOption { return client.WithPipelineWindow(n) }
+
+// DisablePipelining is shorthand for WithPipelineWindow(1).
+func DisablePipelining() ClientOption { return client.DisablePipelining() }
 
 // HTTP-side resilience options.
 
