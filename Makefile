@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench bench-json bench-compare chaos experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare chaos chaos-replication readscale experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -43,6 +43,18 @@ bench-compare:
 # fsync failures, drains under live traffic — always under the race detector.
 chaos:
 	go test -race -run '^TestChaos' ./...
+
+# The replication slice of the chaos suite: follower crash/recovery at every
+# WAL record boundary, partitioned and healed replication streams, drains
+# with blocked subscribers, and the full primary + 2-follower cluster
+# scenario — always under the race detector.
+chaos-replication:
+	go test -race -run '^TestChaosRepl' ./...
+
+# The read-scaling experiment (1 primary + 2 WAL-shipped replicas vs a
+# single node); regenerates the committed BENCH_PR5.json snapshot.
+readscale:
+	go run ./cmd/nnexus-bench -exp readscale -entries 800 -json BENCH_PR5.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

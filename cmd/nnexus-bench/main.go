@@ -12,6 +12,7 @@
 //	nnexus-bench -exp semiauto       §1.2: semiautomatic (wiki) vs automatic
 //	nnexus-bench -exp network        §1.3: the resulting semantic network
 //	nnexus-bench -exp throughput     closed-loop TCP QPS: stop-and-wait vs pipelined
+//	nnexus-bench -exp readscale      read QPS: single node vs 1 primary + 2 read replicas
 //	nnexus-bench -exp all            everything above
 //
 // -entries sets the full corpus size (default 7132, the paper's largest
@@ -37,8 +38,10 @@ func main() {
 		seed    = flag.Int64("seed", 20090601, "workload seed")
 		sample2 = flag.Int("sample", 50, "Table 2 sample size (paper: 50)")
 		conns   = flag.Int("conns", 4, "throughput experiment: concurrent TCP connections")
-		qpsDur  = flag.Duration("duration", 2*time.Second, "throughput experiment: measurement window per configuration")
+		qpsDur  = flag.Duration("duration", 2*time.Second, "throughput/readscale experiments: measurement window per configuration")
 		rtt     = flag.Duration("rtt", time.Millisecond, "throughput experiment: simulated round-trip time for the proxied rows (0 = loopback only)")
+		rsRTT   = flag.Duration("readscale-rtt", 10*time.Millisecond, "readscale experiment: simulated round-trip time per node")
+		rsJSON  = flag.String("json", "", "readscale experiment: also record results (benchjson schema) to this file")
 	)
 	flag.Parse()
 
@@ -73,6 +76,7 @@ func main() {
 	run("semiauto", runSemiAuto)
 	run("network", runNetwork)
 	run("throughput", func(c *workload.Corpus) error { return runThroughput(c, *conns, *qpsDur, *rtt) })
+	run("readscale", func(c *workload.Corpus) error { return runReadScale(c, *qpsDur, *rsRTT, *rsJSON) })
 }
 
 func fatal(err error) {

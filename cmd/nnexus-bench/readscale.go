@@ -1,0 +1,278 @@
+package main
+
+// The read-scaling experiment: one primary and two WAL-shipped read
+// replicas, every node behind a simulated-RTT link, driven by the
+// replica-aware client. The baseline is the same workload against the
+// primary alone. On a wire where the round trip (not the CPU) bounds a
+// single connection's throughput — the regime netsim models — routed reads
+// add the followers' connections to the aggregate window, so read QPS
+// scales with the number of caught-up replicas while writes still pin to
+// the one primary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"nnexus/internal/client"
+	"nnexus/internal/experiments"
+	"nnexus/internal/netsim"
+	"nnexus/internal/replication"
+	"nnexus/internal/server"
+	"nnexus/internal/storage"
+	"nnexus/internal/workload"
+
+	"nnexus/internal/core"
+)
+
+// benchmarkJSON mirrors cmd/benchjson's schema so readscale results land in
+// the same committed format as the `go test -bench` trajectories.
+type benchmarkJSON struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchmarkFile struct {
+	Benchmarks []benchmarkJSON `json:"benchmarks"`
+}
+
+func runReadScale(c *workload.Corpus, dur, rtt time.Duration, jsonOut string) error {
+	const (
+		window  = 4  // in-flight calls per connection: the per-node capacity
+		workers = 24 // closed-loop drivers, enough to keep every window full
+	)
+	fmt.Println("Read scaling: 1 primary vs 1 primary + 2 WAL-shipped read replicas")
+	fmt.Printf("(simulated RTT %v per node, pipeline window %d per connection,\n", rtt, window)
+	fmt.Printf(" %d closed-loop readers, %v per configuration)\n", workers, dur)
+	fmt.Println(strings.Repeat("-", 72))
+
+	sub := c
+	if len(c.Entries) > 400 {
+		sub = c.Subset(400)
+	}
+
+	// Primary: a store-backed engine with the replication log enabled,
+	// loaded with the corpus (every AddEntry becomes a WAL record the
+	// followers replay).
+	pdir, err := os.MkdirTemp("", "nnexus-readscale-p-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(pdir)
+	pstore, err := storage.Open(pdir, storage.WithReplication())
+	if err != nil {
+		return err
+	}
+	defer pstore.Close()
+	engine, err := experiments.BuildEngine(sub, pstore)
+	if err != nil {
+		return err
+	}
+	prim, err := replication.NewPrimary(pstore)
+	if err != nil {
+		return err
+	}
+	psrv := server.New(engine, nil, server.WithReplicationPrimary(prim))
+	paddr, err := psrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer psrv.Close()
+
+	// Two followers syncing over the real wire protocol.
+	followers := make([]*replication.Follower, 0, 2)
+	followerAddrs := make([]string, 0, 2)
+	for i := 0; i < 2; i++ {
+		fdir, err := os.MkdirTemp("", "nnexus-readscale-f-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(fdir)
+		fst, err := storage.Open(fdir)
+		if err != nil {
+			return err
+		}
+		defer fst.Close()
+		feng, err := core.NewEngine(core.Config{Scheme: sub.Scheme, LaTeX: sub.Params.LaTeX})
+		if err != nil {
+			return err
+		}
+		src := client.New(paddr, time.Second)
+		defer src.Close()
+		f, err := replication.NewFollower(fst, feng, src,
+			replication.WithFollowerName(fmt.Sprintf("f%d", i+1)),
+			replication.WithLeaderAddr(paddr),
+			replication.WithFollowerWait(500*time.Millisecond),
+			replication.WithFollowerBackoff(50*time.Millisecond))
+		if err != nil {
+			return err
+		}
+		if err := f.Start(); err != nil {
+			return err
+		}
+		defer f.Stop()
+		fsrv := server.New(feng, nil, server.WithReplicationFollower(f))
+		faddr, err := fsrv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer fsrv.Close()
+		followers = append(followers, f)
+		followerAddrs = append(followerAddrs, faddr)
+	}
+	head := pstore.ReplicationHead()
+	deadline := time.Now().Add(60 * time.Second)
+	for _, f := range followers {
+		for {
+			if st := f.Status(); st.Applied == head && st.Synced {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("follower never caught up to offset %d: %+v", head, f.Status())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fmt.Printf("corpus replicated: %d entries, %d WAL records on all 3 nodes\n\n",
+		len(sub.Entries), head)
+
+	// Every node sits behind its own simulated wire.
+	links := make([]*netsim.Link, 0, 3)
+	for _, backend := range append([]string{paddr}, followerAddrs...) {
+		l, err := netsim.NewLink(backend, rtt/2)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		links = append(links, l)
+	}
+	ids := engine.Entries()
+
+	configs := []struct {
+		name string
+		opts []client.Option
+	}{
+		{"single", nil},
+		{"replicated-2f", []client.Option{
+			client.WithReplicas(links[1].Addr(), links[2].Addr()),
+			client.WithReplicaProbeInterval(100 * time.Millisecond),
+		}},
+	}
+
+	fmt.Printf("%-16s %12s %12s %12s %9s\n", "config", "reads", "QPS", "avg lat", "speedup")
+	var results []benchmarkJSON
+	var baseline float64
+	for _, cfg := range configs {
+		opts := append([]client.Option{
+			client.WithPipelineWindow(window),
+			client.WithCallTimeout(30 * time.Second),
+		}, cfg.opts...)
+		cl, err := client.Dial(links[0].Addr(), time.Second, opts...)
+		if err != nil {
+			return err
+		}
+		if len(cfg.opts) > 0 {
+			// Let the lag probe mark both replicas routable before measuring.
+			time.Sleep(400 * time.Millisecond)
+		}
+		if _, err := cl.GetEntry(ids[0]); err != nil { // warm the path
+			cl.Close()
+			return err
+		}
+		calls, elapsed, err := driveReads(cl, ids, workers, dur)
+		cl.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		qps := float64(calls) / elapsed.Seconds()
+		if baseline == 0 {
+			baseline = qps
+		}
+		// Per-call latency as one closed-loop worker experiences it.
+		nsPerOp := elapsed.Seconds() / float64(calls) * 1e9 * float64(workers)
+		fmt.Printf("%-16s %12d %12.0f %12s %8.2fx\n", cfg.name, calls, qps,
+			time.Duration(nsPerOp).Round(time.Microsecond), qps/baseline)
+		metrics := map[string]float64{"qps": qps}
+		if cfg.name != "single" {
+			metrics["speedup_vs_single"] = qps / baseline
+		}
+		results = append(results, benchmarkJSON{
+			Name:       "ReadScale/" + cfg.name,
+			Procs:      runtime.GOMAXPROCS(0),
+			Iterations: calls,
+			NsPerOp:    nsPerOp,
+			BytesPerOp: -1, AllocsPerOp: -1,
+			Metrics: metrics,
+		})
+	}
+	fmt.Println("\n(QPS is aggregate getEntry throughput through the replica-aware client;")
+	fmt.Println(" the replicated rows route reads across both followers while writes")
+	fmt.Println(" would still pin to the primary)")
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(benchmarkFile{Benchmarks: results}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// driveReads issues closed-loop getEntry calls from `workers` goroutines
+// against cl until dur elapses, returning the number of completed calls and
+// the measured wall time.
+func driveReads(cl *client.Client, ids []int64, workers int, dur time.Duration) (int64, time.Duration, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int64
+		firstErr error
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var n int64
+			for time.Now().Before(deadline) {
+				if _, err := cl.GetEntry(ids[rng.Intn(len(ids))]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				n++
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("no reads completed")
+	}
+	return total, elapsed, nil
+}

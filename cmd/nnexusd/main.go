@@ -46,6 +46,10 @@ func main() {
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request handler deadline (0 = unlimited)")
 		maxPipeline    = flag.Int("max-pipeline", 0, "cap on concurrently executing requests per TCP connection (0 = server default, 1 = sequential)")
 		commitWindow   = flag.Duration("group-commit-window", 0, "WAL group-commit gathering window under -sync: one fsync covers writers arriving within it (0 = commit eagerly)")
+
+		replPrimary = flag.Bool("repl-primary", false, "serve as a replication primary: retain the WAL record log and answer follower subscriptions (requires -data)")
+		follow      = flag.String("follow", "", "run as a read replica of the primary at this XML-protocol address (requires -data; writes answer a notPrimary redirect)")
+		replicaName = flag.String("replica-name", "", "name this follower reports for lag accounting (default: hostname)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
@@ -86,10 +90,13 @@ func main() {
 	}
 
 	engine, err := nnexus.New(nnexus.Config{
-		Scheme:            s,
-		DataDir:           *dataDir,
-		SyncWrites:        *sync,
-		GroupCommitWindow: *commitWindow,
+		Scheme:             s,
+		DataDir:            *dataDir,
+		SyncWrites:         *sync,
+		GroupCommitWindow:  *commitWindow,
+		ReplicationPrimary: *replPrimary,
+		FollowPrimary:      *follow,
+		ReplicaName:        *replicaName,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -102,9 +109,13 @@ func main() {
 	}
 
 	// Health state backing GET /healthz and /readyz: readiness requires the
-	// storage layer to be open and the drain not to have started.
+	// storage layer to be open and the drain not to have started. The
+	// /readyz JSON body carries the per-component detail, including this
+	// node's replication role and lag.
 	healthState := nnexus.NewHealthState()
 	healthState.AddCheck("storage", engine.Ready)
+	healthState.AddCheck("engine", func() error { return nil })
+	healthState.AddInfo("replication", engine.ReplicationInfo)
 
 	var srvOpts []nnexus.ServerOption
 	if *maxConns > 0 {

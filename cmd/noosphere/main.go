@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -94,22 +95,33 @@ func main() {
 	if store != nil {
 		healthState.AddCheck("storage", store.Ready)
 	}
+	healthState.AddCheck("engine", func() error { return nil })
+	healthState.AddInfo("replication", func() map[string]interface{} {
+		return map[string]interface{}{"role": "single"}
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/api/", httpapi.New(engine, httpapi.WithHealth(healthState)))
 	mux.Handle("/", wiki)
 	// The API handler is mounted under /api/, so expose the probes at the
-	// conventional root paths here.
-	probe := func(check func() error) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			if err := check(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
-			}
-			fmt.Fprintln(w, "ok")
+	// conventional root paths here. Readiness answers with the structured
+	// per-component report; the status code is the contract.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := healthState.Live(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
 		}
-	}
-	mux.HandleFunc("GET /healthz", probe(healthState.Live))
-	mux.HandleFunc("GET /readyz", probe(healthState.Ready))
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		rep := healthState.Report()
+		status := http.StatusOK
+		if !rep.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(rep)
+	})
 
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {

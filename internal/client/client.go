@@ -54,10 +54,12 @@ const (
 var ErrClosed = errors.New("client: closed")
 
 // ServerError is an error response from the server. Code carries the wire
-// error code when the server sent one (see wire.Code*).
+// error code when the server sent one (see wire.Code*); Leader carries the
+// primary's address on notPrimary rejections from a read replica.
 type ServerError struct {
 	Code    string
 	Message string
+	Leader  string
 }
 
 func (e *ServerError) Error() string {
@@ -86,6 +88,12 @@ var idempotent = map[string]bool{
 	wire.MethodLinkEntry:   true,
 	wire.MethodLinkText:    true,
 	wire.MethodLinkBatch:   true,
+	// Replication exchanges are all safe to re-issue: subscribes and
+	// snapshots read, and an ack only ratchets the follower's offset up.
+	wire.MethodReplSubscribe: true,
+	wire.MethodReplSnapshot:  true,
+	wire.MethodReplAck:       true,
+	wire.MethodReplStatus:    true,
 }
 
 // Client is a connection to an NNexus server.
@@ -105,9 +113,14 @@ type Client struct {
 	telRetries    *telemetry.Counter
 	telReconnects *telemetry.Counter
 
-	mu     sync.Mutex
-	cc     *clientConn
-	closed bool
+	// replicas is the replica-aware routing layer (nil without
+	// WithReplicas); see replicas.go.
+	replicas *replicaSet
+
+	mu        sync.Mutex
+	cc        *clientConn
+	closed    bool
+	leaderCli *Client // cached redirect target after a notPrimary rejection
 }
 
 // Option configures a Client.
@@ -176,8 +189,12 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	}
 }
 
-// Dial connects to an NNexus server at addr with the given timeout.
-func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
+// New returns a client configured like Dial's but not yet connected: the
+// first call dials on demand, and failed connections redial on the next
+// call. It never fails, so a client for a node that is currently down can
+// be constructed up front — follower sync loops use this to ride out
+// primary restarts.
+func New(addr string, timeout time.Duration, opts ...Option) *Client {
 	c := &Client{
 		addr:        addr,
 		dialTimeout: timeout,
@@ -190,11 +207,23 @@ func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.replicas != nil {
+		c.replicas.start()
+	}
+	return c
+}
+
+// Dial connects to an NNexus server at addr with the given timeout.
+func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
+	c := New(addr, timeout, opts...)
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
+		c.Close()
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
+	c.mu.Lock()
 	c.cc = newClientConn(c, conn)
+	c.mu.Unlock()
 	return c, nil
 }
 
@@ -213,7 +242,15 @@ func (c *Client) Close() error {
 	c.closed = true
 	cc := c.cc
 	c.cc = nil
+	leader := c.leaderCli
+	c.leaderCli = nil
 	c.mu.Unlock()
+	if c.replicas != nil {
+		c.replicas.stopProbing()
+	}
+	if leader != nil {
+		leader.Close()
+	}
 	if cc != nil {
 		cc.fail(ErrClosed, failPermanent)
 	}
@@ -360,7 +397,7 @@ func (cc *clientConn) readLoop() {
 			return
 		}
 		if !r.IsOK() {
-			serr := &ServerError{Code: r.Code, Message: r.Error}
+			serr := &ServerError{Code: r.Code, Message: r.Error, Leader: r.Leader}
 			if IsOverloaded(serr) {
 				pc.err, pc.class = serr, failRejected
 			} else {
@@ -409,9 +446,17 @@ func (cc *clientConn) fail(err error, class failClass) {
 	cc.c.mu.Unlock()
 }
 
-// call performs one request/response exchange, transparently reconnecting
-// and retrying per the client's policy.
+// call routes one request: replica-aware clients load-balance eligible
+// reads and handle primary loss / notPrimary redirects (see replicas.go);
+// everything else goes straight to the configured server.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	return c.route(req)
+}
+
+// callLocal performs one request/response exchange against this client's
+// own server, transparently reconnecting and retrying per the client's
+// policy.
+func (c *Client) callLocal(req *wire.Request) (*wire.Response, error) {
 	for attempt := 0; ; attempt++ {
 		resp, class, err := c.doCall(req)
 		if err == nil {
@@ -687,6 +732,65 @@ func (c *Client) Stats() (*wire.Stats, error) {
 		return nil, errors.New("client: response missing stats")
 	}
 	return resp.Stats, nil
+}
+
+// ReplSubscribe asks the server for WAL records starting at offset from
+// under the given primary epoch, long-polling up to waitMillis when caught
+// up. follower identifies this subscriber for lag accounting. The client
+// makes a suitable replication.Source for a Follower.
+func (c *Client) ReplSubscribe(from, epoch uint64, max, waitMillis int, follower string) (*wire.ReplPayload, error) {
+	resp, err := c.callLocal(&wire.Request{
+		Method:     wire.MethodReplSubscribe,
+		Offset:     from,
+		Epoch:      epoch,
+		MaxRecords: max,
+		WaitMillis: waitMillis,
+		Follower:   follower,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Repl == nil {
+		return nil, errors.New("client: response missing replication payload")
+	}
+	return resp.Repl, nil
+}
+
+// ReplSnapshot fetches a full state export for follower bootstrap.
+func (c *Client) ReplSnapshot() (*wire.ReplPayload, error) {
+	resp, err := c.callLocal(&wire.Request{Method: wire.MethodReplSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Repl == nil {
+		return nil, errors.New("client: response missing replication payload")
+	}
+	return resp.Repl, nil
+}
+
+// ReplAck reports the follower's applied offset to the primary.
+func (c *Client) ReplAck(follower string, offset, epoch uint64) error {
+	_, err := c.callLocal(&wire.Request{
+		Method:   wire.MethodReplAck,
+		Follower: follower,
+		Offset:   offset,
+		Epoch:    epoch,
+	})
+	return err
+}
+
+// ReplStatus fetches the server's replication role and position. The
+// second return is the primary's address when the server is a follower
+// that knows its leader.
+func (c *Client) ReplStatus() (*wire.ReplPayload, string, error) {
+	resp, err := c.callLocal(&wire.Request{Method: wire.MethodReplStatus})
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.Repl == nil {
+		return nil, "", errors.New("client: response missing replication payload")
+	}
+	return resp.Repl, resp.Leader, nil
 }
 
 func fromLinked(resp *wire.Response) (*LinkedText, error) {

@@ -1,0 +1,169 @@
+// Replica maintenance: a follower node runs an Engine with Config.Store nil
+// (so nothing it does appends to the local WAL — the replication layer owns
+// that) and feeds it decoded WAL records from the primary. ApplyReplicated
+// interprets the primary's table mutations and performs the same in-memory
+// index maintenance the primary's write path performed, so the follower
+// publishes the same concept-map/classification snapshots and serves the
+// full read surface.
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"nnexus/internal/conceptmap"
+	"nnexus/internal/corpus"
+	"nnexus/internal/storage"
+)
+
+// ApplyReplicated applies the mutations of one replicated WAL record (as
+// decoded by storage.DecodeRecord) to the engine's in-memory state. Ops
+// must be applied in record order; within a record they apply in batch
+// order, mirroring the primary's own apply.
+func (e *Engine) ApplyReplicated(ops []storage.BatchOp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.applyReplicatedLocked(ops)
+}
+
+func (e *Engine) applyReplicatedLocked(ops []storage.BatchOp) error {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Table {
+		case tableEntries:
+			if op.Delete {
+				id, err := strconv.ParseInt(op.Key, 10, 64)
+				if err != nil {
+					return fmt.Errorf("core: replicated entry delete key %q: %w", op.Key, err)
+				}
+				e.removeReplicatedLocked(id)
+				continue
+			}
+			entry, err := corpus.DecodeEntry(op.Value)
+			if err != nil {
+				return fmt.Errorf("core: replicated entry %q: %w", op.Key, err)
+			}
+			if err := e.applyReplicatedEntryLocked(entry); err != nil {
+				return err
+			}
+		case tableDomains:
+			if op.Delete {
+				e.dropDomainLocked(op.Key)
+				continue
+			}
+			var d corpus.Domain
+			if err := decodeJSON(op.Value, &d); err != nil {
+				return fmt.Errorf("core: replicated domain %q: %w", op.Key, err)
+			}
+			e.putDomain(&d)
+		case tableMeta:
+			if op.Key == "nextID" && !op.Delete {
+				if n, err := strconv.ParseInt(string(op.Value), 10, 64); err == nil && n > e.nextID {
+					e.nextID = n
+				}
+			}
+		case tableInvalid:
+			id, err := strconv.ParseInt(op.Key, 10, 64)
+			if err != nil {
+				return fmt.Errorf("core: replicated invalidation key %q: %w", op.Key, err)
+			}
+			if op.Delete {
+				delete(e.invalid, id)
+			} else {
+				e.invalid[id] = true
+				e.rendered.Invalidate(id)
+			}
+		default:
+			// Unknown tables from a newer primary: state the engine does not
+			// index. The storage layer still persists them; skip here.
+		}
+	}
+	return nil
+}
+
+// applyReplicatedEntryLocked mirrors the index maintenance of AddEntry /
+// UpdateEntry: the entry is (re)indexed and the rendered cache of every
+// entry that mentions its old or new labels is dropped. Invalidation FLAGS
+// are not set here — the primary logs its flag transitions as tableInvalid
+// records, which replicate separately — but cache drops must happen locally
+// because the primary performs them even for entries it already flagged.
+func (e *Engine) applyReplicatedEntryLocked(entry *corpus.Entry) error {
+	old := e.entries[entry.ID]
+	if err := e.indexLocked(entry); err != nil {
+		return fmt.Errorf("core: index replicated entry %d: %w", entry.ID, err)
+	}
+	if old != nil {
+		e.invalidateRenderedLocked(old.Labels(), entry.ID)
+	}
+	e.invalidateRenderedLocked(entry.Labels(), entry.ID)
+	if entry.ID >= e.nextID {
+		e.nextID = entry.ID + 1
+	}
+	return nil
+}
+
+// removeReplicatedLocked mirrors RemoveEntry's index maintenance. Removing
+// an entry the follower never saw is a no-op (idempotent resume).
+func (e *Engine) removeReplicatedLocked(id int64) {
+	entry, ok := e.entries[id]
+	if !ok {
+		return
+	}
+	e.invalidateRenderedLocked(entry.Labels(), id)
+	delete(e.entries, id)
+	delete(e.invalid, id)
+	e.rendered.Invalidate(id)
+	e.cmap.RemoveObject(conceptmap.ObjectID(id))
+	e.inv.Remove(id)
+	e.pol.Remove(id)
+}
+
+// invalidateRenderedLocked drops the cached rendered output of every entry
+// whose text may invoke one of the labels. Unlike
+// invalidateForLabelsLocked it touches no invalidation flags and no store.
+func (e *Engine) invalidateRenderedLocked(labels []string, except int64) {
+	for _, label := range labels {
+		for _, id := range e.inv.Lookup(label) {
+			if id == except {
+				continue
+			}
+			e.rendered.Invalidate(id)
+		}
+	}
+}
+
+// dropDomainLocked publishes a domain-table generation without name.
+func (e *Engine) dropDomainLocked(name string) {
+	old := e.domainMap()
+	if _, ok := old[name]; !ok {
+		return
+	}
+	next := make(map[string]*corpus.Domain, len(old))
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	e.domains.Store(&next)
+}
+
+// ResetReplicated replaces the engine's whole state with a snapshot export
+// (as produced by storage.Store.ExportState), the engine side of a follower
+// snapshot bootstrap. Existing entries are retired through the normal index
+// paths — the concept map is RCU-published, so in-flight lock-free link
+// scans keep observing a consistent snapshot throughout.
+func (e *Engine) ResetReplicated(ops []storage.BatchOp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id := range e.entries {
+		e.rendered.Invalidate(id)
+		e.cmap.RemoveObject(conceptmap.ObjectID(id))
+		e.inv.Remove(id)
+		e.pol.Remove(id)
+	}
+	e.entries = make(map[int64]*corpus.Entry)
+	e.invalid = make(map[int64]bool)
+	e.nextID = 1
+	e.domains.Store(&map[string]*corpus.Domain{})
+	return e.applyReplicatedLocked(ops)
+}

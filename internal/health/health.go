@@ -24,11 +24,36 @@ type State struct {
 
 	mu     sync.Mutex
 	checks []check
+	infos  []info
 }
 
 type check struct {
 	name string
 	fn   func() error
+}
+
+type info struct {
+	name string
+	fn   func() map[string]interface{}
+}
+
+// Component is one named component's readiness detail inside a Report.
+type Component struct {
+	OK    bool                   `json:"ok"`
+	Error string                 `json:"error,omitempty"`
+	Info  map[string]interface{} `json:"info,omitempty"`
+}
+
+// Report is the structured readiness report behind GET /readyz: the overall
+// verdict plus per-component detail (each registered check's pass/fail and
+// each info provider's attachment, e.g. replication role and lag). The
+// status-code contract is the verdict; the body is for operators.
+type Report struct {
+	Status     string               `json:"status"` // "ready" | "not ready" | "draining"
+	Ready      bool                 `json:"ready"`
+	Draining   bool                 `json:"draining"`
+	Reason     string               `json:"reason,omitempty"`
+	Components map[string]Component `json:"components,omitempty"`
 }
 
 // NewState returns an empty state (not ready until SetReady(true)).
@@ -66,6 +91,18 @@ func (s *State) AddCheck(name string, fn func() error) {
 	s.checks = append(s.checks, check{name: name, fn: fn})
 }
 
+// AddInfo registers a named detail provider whose result is attached to the
+// component of that name in every Report — purely informational (it cannot
+// fail readiness), e.g. replication role, epoch, and lag.
+func (s *State) AddInfo(name string, fn func() map[string]interface{}) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.infos = append(s.infos, info{name: name, fn: fn})
+}
+
 // Live reports liveness. A running process is always live; the probe
 // exists so orchestrators distinguish "restart me" (no answer at all) from
 // "stop routing to me" (Ready failing).
@@ -92,4 +129,48 @@ func (s *State) Ready() error {
 		}
 	}
 	return nil
+}
+
+// Report evaluates every check and info provider and returns the structured
+// readiness report. Unlike Ready it does not stop at the first failing
+// check: every component's state is reported, so an operator reading
+// /readyz sees the whole picture at once.
+func (s *State) Report() Report {
+	rep := Report{Status: "ready", Ready: true, Components: map[string]Component{}}
+	if s == nil {
+		return rep
+	}
+	if s.draining.Load() {
+		rep.Ready, rep.Draining = false, true
+		rep.Status, rep.Reason = "draining", "draining"
+	} else if !s.ready.Load() {
+		rep.Ready = false
+		rep.Status, rep.Reason = "not ready", "not ready"
+	}
+	s.mu.Lock()
+	checks := append([]check(nil), s.checks...)
+	infos := append([]info(nil), s.infos...)
+	s.mu.Unlock()
+	for _, c := range checks {
+		comp := Component{OK: true}
+		if err := c.fn(); err != nil {
+			comp.OK = false
+			comp.Error = err.Error()
+			if rep.Ready {
+				rep.Ready = false
+				rep.Status = "not ready"
+				rep.Reason = fmt.Sprintf("%s: %v", c.name, err)
+			}
+		}
+		rep.Components[c.name] = comp
+	}
+	for _, in := range infos {
+		comp, ok := rep.Components[in.name]
+		if !ok {
+			comp = Component{OK: true}
+		}
+		comp.Info = in.fn()
+		rep.Components[in.name] = comp
+	}
+	return rep
 }

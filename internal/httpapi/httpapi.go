@@ -20,7 +20,7 @@
 //	POST /api/import         OAI-style corpus dump (XML body; streamed)
 //	GET  /metrics            Prometheus text-format telemetry (not JSON)
 //	GET  /healthz            liveness probe (plain text; always 200 while up)
-//	GET  /readyz             readiness probe (503 while loading or draining)
+//	GET  /readyz             readiness probe (JSON per-component report; 503 while loading or draining)
 //
 // Every route is instrumented into the engine's telemetry registry:
 // request counts by endpoint and status class, latency histograms per
@@ -58,6 +58,7 @@ type Handler struct {
 	reg         *telemetry.Registry
 	health      *health.State
 	maxInFlight int64
+	leader      func() string
 	res         *resilience
 }
 
@@ -75,6 +76,17 @@ func WithHealth(st *health.State) Option {
 // n <= 0 (the default) disables shedding.
 func WithMaxInFlight(n int) Option {
 	return func(h *Handler) { h.maxInFlight = int64(n) }
+}
+
+// WithNotPrimary marks the node a read replica: mutating routes answer
+// 403 with a JSON body naming the current leader (leader() may return ""
+// when unknown) instead of writing into the local engine. Without this
+// gate a follower's HTTP API would accept writes directly and silently
+// diverge from the replication stream — only the primary may mutate.
+// leader is called per rejected request, so a leadership change observed
+// by the replication layer is reflected immediately.
+func WithNotPrimary(leader func() string) Option {
+	return func(h *Handler) { h.leader = leader }
 }
 
 // New builds the HTTP handler around an engine. Routes share the engine's
@@ -95,24 +107,29 @@ func New(engine *core.Engine, opts ...Option) *Handler {
 	routes := []struct {
 		pattern string // method + route, for mux registration
 		label   string // endpoint label (route only, metrics-friendly)
+		mutates bool   // writes engine state; rejected on a read replica
 		handler http.HandlerFunc
 	}{
-		{"GET /{$}", "/", h.form},
-		{"POST /api/link", "/api/link", h.link},
-		{"POST /api/entries", "/api/entries", h.createEntry},
-		{"GET /api/entries/{id}", "/api/entries/{id}", h.getEntry},
-		{"PUT /api/entries/{id}", "/api/entries/{id}", h.updateEntry},
-		{"DELETE /api/entries/{id}", "/api/entries/{id}", h.removeEntry},
-		{"GET /api/entries/{id}/linked", "/api/entries/{id}/linked", h.linkedEntry},
-		{"PUT /api/entries/{id}/policy", "/api/entries/{id}/policy", h.setPolicy},
-		{"GET /api/invalidated", "/api/invalidated", h.invalidated},
-		{"POST /api/relink", "/api/relink", h.relink},
-		{"GET /api/stats", "/api/stats", h.stats},
-		{"POST /api/import", "/api/import", h.importOAI},
-		{"GET /metrics", "/metrics", h.metrics},
+		{"GET /{$}", "/", false, h.form},
+		{"POST /api/link", "/api/link", false, h.link},
+		{"POST /api/entries", "/api/entries", true, h.createEntry},
+		{"GET /api/entries/{id}", "/api/entries/{id}", false, h.getEntry},
+		{"PUT /api/entries/{id}", "/api/entries/{id}", true, h.updateEntry},
+		{"DELETE /api/entries/{id}", "/api/entries/{id}", true, h.removeEntry},
+		{"GET /api/entries/{id}/linked", "/api/entries/{id}/linked", false, h.linkedEntry},
+		{"PUT /api/entries/{id}/policy", "/api/entries/{id}/policy", true, h.setPolicy},
+		{"GET /api/invalidated", "/api/invalidated", false, h.invalidated},
+		{"POST /api/relink", "/api/relink", true, h.relink},
+		{"GET /api/stats", "/api/stats", false, h.stats},
+		{"POST /api/import", "/api/import", true, h.importOAI},
+		{"GET /metrics", "/metrics", false, h.metrics},
 	}
 	for _, rt := range routes {
-		h.mux.HandleFunc(rt.pattern, h.res.protect(m.instrument(rt.label, rt.handler)))
+		handler := rt.handler
+		if rt.mutates && h.leader != nil {
+			handler = h.notPrimary
+		}
+		h.mux.HandleFunc(rt.pattern, h.res.protect(m.instrument(rt.label, handler)))
 	}
 	// Probes bypass shedding (but keep panic recovery): liveness and
 	// readiness must answer even when the API is saturated or draining.
@@ -130,18 +147,32 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readyz answers the readiness probe with a JSON report carrying
+// per-component detail (store, engine, replication role + lag). The status
+// code is the contract — 200 ready, 503 otherwise — and is unchanged from
+// the plain-text era; the body is for operators and dashboards.
 func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
-	if err := h.health.Ready(); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
+	rep := h.health.Report()
+	status := http.StatusOK
+	if !rep.Ready {
+		status = http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, status, rep)
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
+}
+
+// notPrimary answers every mutating route on a read replica. The body
+// mirrors the wire protocol's notPrimary error: clients should retry the
+// write against the named leader.
+func (h *Handler) notPrimary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusForbidden, map[string]string{
+		"error":  "not primary: this node is a read replica",
+		"leader": h.leader(),
+	})
 }
 
 // linkRequest is the /api/link request body.

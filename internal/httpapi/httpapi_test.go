@@ -412,3 +412,79 @@ func TestMoreErrorPaths(t *testing.T) {
 		t.Errorf("bad form = %d", resp.StatusCode)
 	}
 }
+
+// A handler built with WithNotPrimary is a read replica's HTTP surface:
+// every mutating route must be rejected with 403 and a body naming the
+// leader, while the read routes keep serving. Without the gate a follower
+// would accept writes straight into its engine and silently diverge from
+// the replication stream.
+func TestNotPrimaryGatesMutatingRoutes(t *testing.T) {
+	engine, err := core.NewEngine(core.Config{Scheme: classification.SampleMSC(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.AddDomain(corpus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := corpus.Entry{Domain: "planetmath.org", Title: "graph", Classes: []string{"05C99"}}
+	id, err := engine.AddEntry(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(engine, WithNotPrimary(func() string { return "10.0.0.1:7070" })))
+	t.Cleanup(srv.Close)
+
+	mutating := []struct{ method, path, body string }{
+		{http.MethodPost, "/api/entries", `{"domain":"planetmath.org","title":"rogue"}`},
+		{http.MethodPut, "/api/entries/" + strconv.FormatInt(id, 10), `{"title":"rogue"}`},
+		{http.MethodDelete, "/api/entries/" + strconv.FormatInt(id, 10), ""},
+		{http.MethodPut, "/api/entries/" + strconv.FormatInt(id, 10) + "/policy", "forbid x"},
+		{http.MethodPost, "/api/relink", ""},
+		{http.MethodPost, "/api/import", "<records/>"},
+	}
+	for _, m := range mutating {
+		req, _ := http.NewRequest(m.method, srv.URL+m.path, strings.NewReader(m.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s %s = %d, want 403", m.method, m.path, resp.StatusCode)
+		}
+		var body map[string]string
+		decode(t, resp, &body)
+		if body["leader"] != "10.0.0.1:7070" {
+			t.Errorf("%s %s leader = %q", m.method, m.path, body["leader"])
+		}
+	}
+	if n := engine.NumEntries(); n != 1 {
+		t.Fatalf("entries after rejected writes = %d, want 1", n)
+	}
+
+	// The read surface stays open: entry fetch, cached linking, stats, and
+	// on-demand free-text linking (read-only despite being a POST).
+	for _, path := range []string{
+		"/api/entries/" + strconv.FormatInt(id, 10),
+		"/api/entries/" + strconv.FormatInt(id, 10) + "/linked",
+		"/api/invalidated",
+		"/api/stats",
+		"/metrics",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s on replica = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, srv.URL+"/api/link", map[string]interface{}{"text": "a graph"})
+	var res core.Result
+	decode(t, resp, &res)
+	if resp.StatusCode != http.StatusOK || len(res.Links) == 0 {
+		t.Errorf("POST /api/link on replica = %d links %v", resp.StatusCode, res.Links)
+	}
+}

@@ -47,8 +47,8 @@ func TestHealthProbes(t *testing.T) {
 	}
 
 	st.SetReady(true)
-	if code, body := probe("/readyz"); code != http.StatusOK || body != "ok" {
-		t.Errorf("readyz when ready = %d %q, want 200 ok", code, body)
+	if code, body := probe("/readyz"); code != http.StatusOK || !strings.Contains(body, `"status":"ready"`) {
+		t.Errorf("readyz when ready = %d %q, want 200 with ready JSON report", code, body)
 	}
 
 	// Draining: still live, no longer ready.

@@ -6,6 +6,14 @@
 // proxy models a real wire rather than a store-and-forward hop. Benchmarks
 // and the throughput experiment use it to show what request pipelining buys
 // on links where the round trip, not the CPU, is the bottleneck.
+//
+// Beyond delay, a Link supports fault injection for chaos tests: one-way
+// partitions (traffic in the blocked direction stalls — like a TCP wire
+// that stopped delivering — and flows again after heal, preserving stream
+// integrity) and connection drops (every live proxied connection is closed
+// at once, as if a middlebox reset them). Replication chaos tests use these
+// to cut followers off from their primary and verify convergence after
+// heal.
 package netsim
 
 import (
@@ -14,76 +22,215 @@ import (
 	"time"
 )
 
-// Proxy listens on a fresh loopback port, forwards every accepted
-// connection to backend, and delays each direction by delay (half the
-// simulated round trip per direction). The returned stop function closes
-// the listener and every live proxied connection.
-func Proxy(backend string, delay time.Duration) (addr string, stop func(), err error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", nil, err
-	}
-	var (
-		mu    sync.Mutex
-		conns []net.Conn
-		done  bool
-	)
-	track := func(c net.Conn) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		if done {
-			c.Close()
-			return false
-		}
-		conns = append(conns, c)
-		return true
-	}
-	go func() {
-		for {
-			cl, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			if !track(cl) {
-				return
-			}
-			go func() {
-				srv, err := net.DialTimeout("tcp", backend, 5*time.Second)
-				if err != nil {
-					cl.Close()
-					return
-				}
-				if !track(srv) {
-					cl.Close()
-					return
-				}
-				var wg sync.WaitGroup
-				wg.Add(2)
-				go pump(srv, cl, delay, &wg)
-				go pump(cl, srv, delay, &wg)
-				wg.Wait()
-			}()
-		}
-	}()
-	stop = func() {
-		mu.Lock()
-		done = true
-		cs := conns
-		conns = nil
-		mu.Unlock()
-		ln.Close()
-		for _, c := range cs {
-			c.Close()
-		}
-	}
-	return ln.Addr().String(), stop, nil
+// gate is a direction's flow control: open lets chunks through, blocked
+// stalls them until reopened (or the link closes).
+type gate struct {
+	mu   sync.Mutex
+	open chan struct{} // closed-over channel: closed = traffic may flow
 }
 
-// pump forwards src→dst, releasing each chunk delay after it was read.
-// Reading continues while earlier chunks wait out their delay, so
-// concurrent chunks share the wire time instead of queuing behind each
-// other's sleeps.
-func pump(dst, src net.Conn, delay time.Duration, wg *sync.WaitGroup) {
+func newGate() *gate {
+	g := &gate{open: make(chan struct{})}
+	close(g.open)
+	return g
+}
+
+func (g *gate) set(blocked bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open: // currently open
+		if blocked {
+			g.open = make(chan struct{})
+		}
+	default: // currently blocked
+		if !blocked {
+			close(g.open)
+		}
+	}
+}
+
+// wait blocks until the gate opens or cancel fires; it reports whether the
+// gate opened.
+func (g *gate) wait(cancel <-chan struct{}) bool {
+	g.mu.Lock()
+	ch := g.open
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// Link is a controllable simulated network segment in front of one backend:
+// a listening proxy whose two directions can be independently partitioned,
+// and whose live connections can be dropped on demand.
+type Link struct {
+	ln        net.Listener
+	backend   string
+	delay     time.Duration
+	toBackend *gate // client→backend direction
+	toClient  *gate // backend→client direction
+	closedCh  chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewLink starts a proxy on a fresh loopback port forwarding to backend,
+// delaying each direction by delay. Fault injection starts disabled: both
+// directions flow.
+func NewLink(backend string, delay time.Duration) (*Link, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{
+		ln:        ln,
+		backend:   backend,
+		delay:     delay,
+		toBackend: newGate(),
+		toClient:  newGate(),
+		closedCh:  make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the proxy's listen address; dial this instead of the
+// backend.
+func (l *Link) Addr() string { return l.ln.Addr().String() }
+
+// PartitionToBackend blocks (or with false, unblocks) the client→backend
+// direction: requests stall in flight while responses still flow — a
+// one-way partition.
+func (l *Link) PartitionToBackend(blocked bool) { l.toBackend.set(blocked) }
+
+// PartitionToClient blocks (or unblocks) the backend→client direction:
+// responses stall while requests still arrive.
+func (l *Link) PartitionToClient(blocked bool) { l.toClient.set(blocked) }
+
+// Partition blocks (or unblocks) both directions at once — a full
+// partition of this link.
+func (l *Link) Partition(blocked bool) {
+	l.toBackend.set(blocked)
+	l.toClient.set(blocked)
+}
+
+// Heal reopens both directions; stalled traffic resumes where it stopped.
+func (l *Link) Heal() { l.Partition(false) }
+
+// DropConnections closes every live proxied connection — both sides see an
+// abrupt connection failure — and returns how many were dropped. The
+// listener keeps accepting, so clients may reconnect immediately.
+func (l *Link) DropConnections() int {
+	l.mu.Lock()
+	cs := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		cs = append(cs, c)
+	}
+	l.conns = make(map[net.Conn]struct{})
+	l.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+	return len(cs)
+}
+
+// ActiveConns returns how many proxied sockets are currently tracked (two
+// per proxied connection: the client side and the backend side).
+func (l *Link) ActiveConns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+// Close stops the listener, releases stalled traffic, and closes every
+// live proxied connection.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.done {
+		l.mu.Unlock()
+		return
+	}
+	l.done = true
+	cs := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		cs = append(cs, c)
+	}
+	l.conns = nil
+	l.mu.Unlock()
+	close(l.closedCh)
+	l.ln.Close()
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// track registers a proxied socket for DropConnections/Close; it refuses
+// (closing c) when the link is already closed.
+func (l *Link) track(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		c.Close()
+		return false
+	}
+	l.conns[c] = struct{}{}
+	return true
+}
+
+func (l *Link) untrack(c net.Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conns != nil {
+		delete(l.conns, c)
+	}
+}
+
+func (l *Link) acceptLoop() {
+	for {
+		cl, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !l.track(cl) {
+			continue
+		}
+		go func() {
+			srv, err := net.DialTimeout("tcp", l.backend, 5*time.Second)
+			if err != nil {
+				l.untrack(cl)
+				cl.Close()
+				return
+			}
+			if !l.track(srv) {
+				l.untrack(cl)
+				cl.Close()
+				return
+			}
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go l.pump(srv, cl, l.toBackend, &wg)
+			go l.pump(cl, srv, l.toClient, &wg)
+			wg.Wait()
+			l.untrack(cl)
+			l.untrack(srv)
+		}()
+	}
+}
+
+// pump forwards src→dst, releasing each chunk delay after it was read and
+// only while the direction's gate is open. Reading continues while earlier
+// chunks wait out their delay, so concurrent chunks share the wire time
+// instead of queuing behind each other's sleeps; a blocked gate stalls
+// delivery without discarding bytes, so the stream stays intact across a
+// partition-and-heal cycle.
+func (l *Link) pump(dst, src net.Conn, g *gate, wg *sync.WaitGroup) {
 	defer wg.Done()
 	type chunk struct {
 		data []byte
@@ -98,7 +245,7 @@ func pump(dst, src net.Conn, delay time.Duration, wg *sync.WaitGroup) {
 			if n > 0 {
 				data := make([]byte, n)
 				copy(data, buf[:n])
-				ch <- chunk{data, time.Now().Add(delay)}
+				ch <- chunk{data, time.Now().Add(l.delay)}
 			}
 			if err != nil {
 				return
@@ -107,6 +254,9 @@ func pump(dst, src net.Conn, delay time.Duration, wg *sync.WaitGroup) {
 	}()
 	for c := range ch {
 		time.Sleep(time.Until(c.due))
+		if !g.wait(l.closedCh) {
+			break
+		}
 		if _, err := dst.Write(c.data); err != nil {
 			break
 		}
@@ -116,4 +266,17 @@ func pump(dst, src net.Conn, delay time.Duration, wg *sync.WaitGroup) {
 	src.Close()
 	for range ch {
 	}
+}
+
+// Proxy listens on a fresh loopback port, forwards every accepted
+// connection to backend, and delays each direction by delay (half the
+// simulated round trip per direction). The returned stop function closes
+// the listener and every live proxied connection. It is the fault-free
+// subset of NewLink, kept for benchmarks that only need the wire model.
+func Proxy(backend string, delay time.Duration) (addr string, stop func(), err error) {
+	l, err := NewLink(backend, delay)
+	if err != nil {
+		return "", nil, err
+	}
+	return l.Addr(), l.Close, nil
 }

@@ -134,3 +134,148 @@ func TestProxyStopClosesConns(t *testing.T) {
 		t.Fatal("read still blocked 2s after proxy stop")
 	}
 }
+
+// TestLinkOneWayPartitionStallsAndHeals: blocking client→backend stalls the
+// request (no response, no connection error) while the reverse direction
+// stays usable; healing delivers the stalled bytes and the stream resumes
+// exactly where it stopped — no loss, no corruption.
+func TestLinkOneWayPartitionStallsAndHeals(t *testing.T) {
+	l, err := NewLink(echoServer(t), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	// Healthy exchange first.
+	fmt.Fprintln(conn, "before")
+	if line, err := r.ReadString('\n'); err != nil || line != "before\n" {
+		t.Fatalf("pre-partition echo = %q, %v", line, err)
+	}
+
+	// Partition the request direction, then send: the echo must not arrive.
+	l.PartitionToBackend(true)
+	fmt.Fprintln(conn, "stalled")
+	conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if line, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("echo %q crossed a partitioned direction", line)
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	// Heal: the stalled request is delivered, not lost, and the stream is
+	// intact for further traffic.
+	l.Heal()
+	if line, err := r.ReadString('\n'); err != nil || line != "stalled\n" {
+		t.Fatalf("post-heal echo = %q, %v (stalled bytes lost?)", line, err)
+	}
+	fmt.Fprintln(conn, "after")
+	if line, err := r.ReadString('\n'); err != nil || line != "after\n" {
+		t.Fatalf("post-heal stream broken: %q, %v", line, err)
+	}
+}
+
+// TestLinkPartitionToClientHoldsResponses: the backend receives and answers,
+// but the response stalls until heal — the asymmetric half of a one-way
+// partition.
+func TestLinkPartitionToClientHoldsResponses(t *testing.T) {
+	l, err := NewLink(echoServer(t), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	l.PartitionToClient(true)
+	fmt.Fprintln(conn, "held")
+	conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if line, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("response %q crossed a partitioned direction", line)
+	}
+	conn.SetReadDeadline(time.Time{})
+	l.Heal()
+	if line, err := r.ReadString('\n'); err != nil || line != "held\n" {
+		t.Fatalf("held response after heal = %q, %v", line, err)
+	}
+}
+
+// TestLinkDropConnections: every live proxied connection dies abruptly, the
+// listener keeps accepting, and a reconnect works immediately.
+func TestLinkDropConnections(t *testing.T) {
+	l, err := NewLink(echoServer(t), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprintln(conn, "alive")
+	if line, err := r.ReadString('\n'); err != nil || line != "alive\n" {
+		t.Fatalf("echo = %q, %v", line, err)
+	}
+
+	if n := l.DropConnections(); n == 0 {
+		t.Fatal("DropConnections dropped nothing with a live connection")
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("dropped connection still delivered data")
+	}
+
+	// The link itself survives: new connections proxy normally.
+	conn2, err := net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("reconnect after drop: %v", err)
+	}
+	defer conn2.Close()
+	r2 := bufio.NewReader(conn2)
+	fmt.Fprintln(conn2, "reborn")
+	if line, err := r2.ReadString('\n'); err != nil || line != "reborn\n" {
+		t.Fatalf("post-drop echo = %q, %v", line, err)
+	}
+	if l.ActiveConns() == 0 {
+		t.Error("reconnected sockets not tracked")
+	}
+}
+
+// TestLinkCloseReleasesPartitionedTraffic: closing a link with a blocked
+// gate must not leak the pump goroutines or hang — stalled writers are
+// released by the close.
+func TestLinkCloseReleasesPartitionedTraffic(t *testing.T) {
+	l, err := NewLink(echoServer(t), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	l.Partition(true)
+	fmt.Fprintln(conn, "doomed")
+	time.Sleep(20 * time.Millisecond) // let the chunk reach the blocked gate
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on a partitioned link")
+	}
+}

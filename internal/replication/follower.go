@@ -1,0 +1,419 @@
+// Follower-side replication: a background sync loop long-polls the primary
+// for WAL records, applies each one into the local store (which writes it
+// byte-for-byte to the follower's own WAL, so crash recovery resumes from
+// the last durable offset) and feeds the decoded mutations to the engine's
+// replica maintenance path. A follower that cannot resume from its offset —
+// first contact, an epoch change, or falling behind the primary's retained
+// log — bootstraps from a snapshot export instead.
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"nnexus/internal/storage"
+	"nnexus/internal/wire"
+)
+
+// primaryEpochName is the file (inside the follower's state dir) that
+// persists which primary epoch the local state was synced under.
+const primaryEpochName = "primary.epoch"
+
+// Source is the follower's view of its primary — the three replication
+// exchanges of the wire protocol. *client.Client implements it.
+type Source interface {
+	ReplSubscribe(from, epoch uint64, max, waitMillis int, follower string) (*wire.ReplPayload, error)
+	ReplSnapshot() (*wire.ReplPayload, error)
+	ReplAck(follower string, offset, epoch uint64) error
+}
+
+// Applier is the engine side of a follower: it receives every replicated
+// record's decoded mutations and full-state resets. *core.Engine implements
+// it (see core.Engine.ApplyReplicated); nil disables the engine feed (the
+// store still replicates, useful in storage-level tests).
+type Applier interface {
+	ApplyReplicated(ops []storage.BatchOp) error
+	ResetReplicated(ops []storage.BatchOp) error
+}
+
+// Status is a snapshot of a follower's replication position.
+type Status struct {
+	Role    string // RoleFollower
+	Epoch   uint64 // primary epoch the local state is synced under
+	Applied uint64 // newest locally applied record offset
+	Head    uint64 // primary head offset last observed
+	Synced  bool   // the last exchange with the primary succeeded
+	Leader  string // the primary's address
+	Err     string // last sync error, when !Synced
+}
+
+// Lag returns how many records the follower is behind the primary head it
+// last observed.
+func (s Status) Lag() uint64 {
+	if s.Head > s.Applied {
+		return s.Head - s.Applied
+	}
+	return 0
+}
+
+// Follower replicates a primary's WAL into a local store and engine.
+type Follower struct {
+	store    *storage.Store
+	applier  Applier
+	src      Source
+	name     string
+	leader   string
+	stateDir string
+	maxBatch int
+	wait     time.Duration
+	backoff  time.Duration
+
+	mu       sync.Mutex
+	epoch    uint64
+	head     uint64 // primary head last observed
+	synced   bool
+	lastErr  error
+	applied  func(offset uint64) // test hook: called after each record applies
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// FollowerOption configures NewFollower.
+type FollowerOption func(*Follower)
+
+// WithFollowerName sets the name the follower identifies itself with in
+// replAck (defaults to the local hostname, falling back to "follower").
+func WithFollowerName(name string) FollowerOption {
+	return func(f *Follower) {
+		if name != "" {
+			f.name = name
+		}
+	}
+}
+
+// WithLeaderAddr records the primary's address, surfaced in notPrimary
+// redirects and replStatus responses.
+func WithLeaderAddr(addr string) FollowerOption {
+	return func(f *Follower) { f.leader = addr }
+}
+
+// WithStateDir persists the primary epoch under dir, so a restarted
+// follower can tell whether its replayed WAL still belongs to the primary's
+// current history (empty = re-bootstrap on every restart).
+func WithStateDir(dir string) FollowerOption {
+	return func(f *Follower) { f.stateDir = dir }
+}
+
+// WithFollowerMaxBatch caps records requested per subscribe (default
+// DefaultMaxBatch).
+func WithFollowerMaxBatch(n int) FollowerOption {
+	return func(f *Follower) {
+		if n > 0 {
+			f.maxBatch = n
+		}
+	}
+}
+
+// WithFollowerWait sets the long-poll duration requested from the primary
+// (default 5s).
+func WithFollowerWait(d time.Duration) FollowerOption {
+	return func(f *Follower) {
+		if d > 0 {
+			f.wait = d
+		}
+	}
+}
+
+// WithFollowerBackoff sets the pause after a failed exchange with the
+// primary (default 250ms).
+func WithFollowerBackoff(d time.Duration) FollowerOption {
+	return func(f *Follower) {
+		if d > 0 {
+			f.backoff = d
+		}
+	}
+}
+
+// withApplyHook installs a test hook invoked after every applied record.
+func withApplyHook(fn func(offset uint64)) FollowerOption {
+	return func(f *Follower) { f.applied = fn }
+}
+
+// NewFollower assembles a follower over a local store (its durable replica
+// state), an optional engine applier, and a source connected to the
+// primary. Call Start to begin syncing.
+func NewFollower(store *storage.Store, applier Applier, src Source, opts ...FollowerOption) (*Follower, error) {
+	if store == nil {
+		return nil, errors.New("replication: follower needs a store")
+	}
+	if src == nil {
+		return nil, errors.New("replication: follower needs a source")
+	}
+	f := &Follower{
+		store:    store,
+		applier:  applier,
+		src:      src,
+		name:     "follower",
+		maxBatch: DefaultMaxBatch,
+		wait:     5 * time.Second,
+		backoff:  250 * time.Millisecond,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if host, err := os.Hostname(); err == nil && host != "" {
+		f.name = host
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.epoch = f.loadPrimaryEpoch()
+	return f, nil
+}
+
+// Start seeds the engine from the local store's replayed state and launches
+// the background sync loop. It returns once the seed is done; catching up
+// with the primary happens asynchronously (watch Status).
+func (f *Follower) Start() error {
+	var seedErr error
+	f.startOnce.Do(func() {
+		if f.applier != nil {
+			ops, _, _, err := f.store.ExportState()
+			if err == nil {
+				err = f.applier.ResetReplicated(ops)
+			}
+			if err != nil {
+				seedErr = fmt.Errorf("replication: seed engine from local store: %w", err)
+				close(f.done)
+				return
+			}
+		}
+		go f.syncLoop()
+	})
+	return seedErr
+}
+
+// Stop terminates the sync loop and waits for it to exit. The follower
+// keeps serving reads from its last applied state after Stop.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+// Status returns the follower's current replication position.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		Role:    RoleFollower,
+		Epoch:   f.epoch,
+		Applied: f.store.ReplicationHead(),
+		Head:    f.head,
+		Synced:  f.synced,
+		Leader:  f.leader,
+	}
+	if st.Head < st.Applied {
+		st.Head = st.Applied
+	}
+	if f.lastErr != nil {
+		st.Err = f.lastErr.Error()
+	}
+	return st
+}
+
+// Leader returns the primary's address as configured.
+func (f *Follower) Leader() string { return f.leader }
+
+// WireStatus answers replStatus for a follower node.
+func (f *Follower) WireStatus() *wire.ReplPayload {
+	st := f.Status()
+	return &wire.ReplPayload{
+		Role:    RoleFollower,
+		Epoch:   st.Epoch,
+		Head:    st.Head,
+		Applied: st.Applied,
+		Stale:   !st.Synced,
+	}
+}
+
+// syncLoop is the follower's heartbeat: subscribe, apply, ack, repeat, with
+// a bounded backoff after failures. It exits when Stop is called.
+func (f *Follower) syncLoop() {
+	defer close(f.done)
+	needReset := false
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		var err error
+		if needReset {
+			err = f.bootstrap()
+			if err == nil {
+				needReset = false
+			}
+		} else {
+			var reset bool
+			reset, err = f.syncOnce()
+			if reset {
+				needReset = true
+				continue
+			}
+		}
+		f.mu.Lock()
+		f.synced = err == nil
+		f.lastErr = err
+		f.mu.Unlock()
+		if err != nil {
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(f.backoff):
+			}
+		}
+	}
+}
+
+// syncOnce performs one subscribe exchange and applies its records. It
+// returns reset=true when the primary tells the follower to re-bootstrap.
+func (f *Follower) syncOnce() (reset bool, err error) {
+	from := f.store.ReplicationHead() + 1
+	f.mu.Lock()
+	epoch := f.epoch
+	f.mu.Unlock()
+	payload, err := f.src.ReplSubscribe(from, epoch, f.maxBatch, int(f.wait/time.Millisecond), f.name)
+	if err != nil {
+		return false, err
+	}
+	if payload == nil {
+		return false, errors.New("replication: empty subscribe response")
+	}
+	if payload.Reset || payload.Epoch != epoch {
+		return true, nil
+	}
+	for i := range payload.Records {
+		rec := &payload.Records[i]
+		body, err := rec.DecodeBody()
+		if err != nil {
+			return false, err
+		}
+		if err := f.applyRecord(body, rec.Offset); err != nil {
+			if errors.Is(err, storage.ErrOffsetGap) {
+				return true, nil
+			}
+			return false, err
+		}
+	}
+	f.mu.Lock()
+	if payload.Head > f.head {
+		f.head = payload.Head
+	}
+	f.mu.Unlock()
+	// Ack best-effort: lag accounting must not stall replication.
+	_ = f.src.ReplAck(f.name, f.store.ReplicationHead(), epoch)
+	return false, nil
+}
+
+// applyRecord makes one record durable locally, then feeds the engine.
+// Records the store skips as already applied (offset <= local head) are not
+// re-fed to the engine: engine state was built from those records already.
+func (f *Follower) applyRecord(body []byte, offset uint64) error {
+	if offset <= f.store.ReplicationHead() {
+		return nil
+	}
+	if err := f.store.ApplyReplicatedRecord(body, offset); err != nil {
+		return err
+	}
+	if f.applier != nil {
+		ops, err := storage.DecodeRecord(body)
+		if err != nil {
+			return err
+		}
+		if err := f.applier.ApplyReplicated(ops); err != nil {
+			return err
+		}
+	}
+	if f.applied != nil {
+		f.applied(offset)
+	}
+	return nil
+}
+
+// bootstrap replaces the local state with a snapshot export from the
+// primary: the store resets (durably) to the snapshot positioned at its
+// head, the engine rebuilds, and the primary epoch is adopted and
+// persisted.
+func (f *Follower) bootstrap() error {
+	payload, err := f.src.ReplSnapshot()
+	if err != nil {
+		return err
+	}
+	if payload == nil {
+		return errors.New("replication: empty snapshot response")
+	}
+	ops, err := SnapFromWire(payload.Snap)
+	if err != nil {
+		return err
+	}
+	if err := f.store.ResetFromExport(ops, payload.Head); err != nil {
+		return err
+	}
+	if f.applier != nil {
+		if err := f.applier.ResetReplicated(ops); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.epoch = payload.Epoch
+	f.head = payload.Head
+	f.mu.Unlock()
+	if err := f.savePrimaryEpoch(payload.Epoch); err != nil {
+		return err
+	}
+	_ = f.src.ReplAck(f.name, payload.Head, payload.Epoch)
+	return nil
+}
+
+// loadPrimaryEpoch reads the persisted primary epoch (0 when absent, which
+// mismatches any live primary epoch and forces a bootstrap — the safe
+// default for unknown local state).
+func (f *Follower) loadPrimaryEpoch() uint64 {
+	if f.stateDir == "" {
+		return 0
+	}
+	data, err := os.ReadFile(filepath.Join(f.stateDir, primaryEpochName))
+	if err != nil {
+		return 0
+	}
+	s := string(data)
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (f *Follower) savePrimaryEpoch(epoch uint64) error {
+	if f.stateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(f.stateDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(f.stateDir, primaryEpochName)
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("replication: persist primary epoch: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+// Package replication implements WAL-shipping replication for the linking
+// tier: a primary node streams its write-ahead log — the same CRC-checked,
+// group-committed records internal/storage appends — to any number of
+// followers, which apply the records into their own store and feed the
+// engine's maintenance path, so every follower publishes the same immutable
+// concept-map snapshots and serves the full read surface.
+//
+// The transport is the wire package's XML protocol: a follower long-polls
+// replSubscribe for batches of records, bootstraps (and re-bootstraps after
+// epoch changes or falling behind the primary's retained log) from a
+// replSnapshot state export, and reports its applied offset with replAck so
+// the primary can account per-follower lag. Offsets are the storage layer's
+// 1-based record numbers; an epoch identifies one continuous streamed
+// history, and any discontinuity (primary crash with unsynced tail, WAL
+// rollback failure, snapshot reset) bumps it, forcing followers through a
+// snapshot re-bootstrap instead of silently diverging.
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nnexus/internal/storage"
+	"nnexus/internal/telemetry"
+	"nnexus/internal/wire"
+)
+
+// DefaultMaxBatch caps how many records one replSubscribe response carries.
+const DefaultMaxBatch = 512
+
+// DefaultMaxWait caps how long a caught-up replSubscribe long-poll blocks
+// before returning an empty batch.
+const DefaultMaxWait = 10 * time.Second
+
+// RolePrimary, RoleFollower and RoleSingle name a node's replication role
+// on the wire and in readiness reports (aliases of the wire constants).
+const (
+	RolePrimary  = wire.RolePrimary
+	RoleFollower = wire.RoleFollower
+	RoleSingle   = wire.RoleSingle
+)
+
+// followerState is the primary's accounting for one subscriber.
+type followerState struct {
+	acked    uint64
+	lastSeen time.Time
+	gauge    *telemetry.Gauge
+}
+
+// Primary serves a store's replication log to subscribing followers.
+type Primary struct {
+	store    *storage.Store
+	maxBatch int
+	maxWait  time.Duration
+	lagVec   *telemetry.GaugeVec
+
+	mu        sync.Mutex
+	followers map[string]*followerState
+	draining  bool
+	drainCh   chan struct{}
+}
+
+// PrimaryOption configures NewPrimary.
+type PrimaryOption func(*Primary)
+
+// WithMaxBatch caps the records per subscribe response (default
+// DefaultMaxBatch).
+func WithMaxBatch(n int) PrimaryOption {
+	return func(p *Primary) {
+		if n > 0 {
+			p.maxBatch = n
+		}
+	}
+}
+
+// WithMaxWait caps the long-poll duration of a caught-up subscribe (default
+// DefaultMaxWait). Serving layers additionally clamp it under their handler
+// deadline.
+func WithMaxWait(d time.Duration) PrimaryOption {
+	return func(p *Primary) {
+		if d > 0 {
+			p.maxWait = d
+		}
+	}
+}
+
+// WithPrimaryTelemetry registers the per-follower replication lag gauge
+// nnexus_replication_lag_records on reg.
+func WithPrimaryTelemetry(reg *telemetry.Registry) PrimaryOption {
+	return func(p *Primary) {
+		if reg != nil {
+			p.lagVec = reg.GaugeVec("nnexus_replication_lag_records",
+				"Records the primary has applied but the follower has not acknowledged.",
+				"follower")
+		}
+	}
+}
+
+// NewPrimary wraps a store opened with storage.WithReplication.
+func NewPrimary(store *storage.Store, opts ...PrimaryOption) (*Primary, error) {
+	if !store.ReplicationEnabled() {
+		return nil, errors.New("replication: store opened without WithReplication")
+	}
+	p := &Primary{
+		store:     store,
+		maxBatch:  DefaultMaxBatch,
+		maxWait:   DefaultMaxWait,
+		followers: make(map[string]*followerState),
+		drainCh:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// Subscribe answers one replSubscribe exchange: records from offset `from`
+// under `epoch`, at most max records, long-polling up to wait when caught
+// up. The returned payload carries Reset=true when the follower cannot
+// resume from its offset (epoch change, offset below the retained log's
+// base, or offset ahead of the primary's head — a divergent follower) and
+// must fetch a Snapshot. A caught-up subscribe during a drain returns
+// immediately, so subscriber connections retire promptly on shutdown.
+func (p *Primary) Subscribe(from, epoch uint64, max int, wait time.Duration) (*wire.ReplPayload, error) {
+	if max <= 0 || max > p.maxBatch {
+		max = p.maxBatch
+	}
+	if wait < 0 || wait > p.maxWait {
+		wait = p.maxWait
+	}
+	deadline := time.Now().Add(wait)
+
+	// Register for append wakeups before the first read, so a record applied
+	// between the read and the wait cannot be missed.
+	ch := make(chan struct{}, 1)
+	cancel := p.store.WatchAppends(ch)
+	defer cancel()
+
+	for {
+		curEpoch := p.store.ReplicationEpoch()
+		recs, head, err := p.store.ReadRecords(from, max)
+		switch {
+		case epoch != curEpoch || errors.Is(err, storage.ErrCompacted):
+			return &wire.ReplPayload{Role: RolePrimary, Epoch: curEpoch, Head: head, Reset: true}, nil
+		case err != nil:
+			return nil, err
+		case from > head+1:
+			// The follower claims records the primary never applied: its
+			// history diverged (e.g. it outlived a primary rollback that
+			// failed to bump the epoch). Re-bootstrap.
+			return &wire.ReplPayload{Role: RolePrimary, Epoch: curEpoch, Head: head, Reset: true}, nil
+		}
+		if len(recs) > 0 {
+			payload := &wire.ReplPayload{Role: RolePrimary, Epoch: curEpoch, Head: head}
+			payload.Records = make([]wire.ReplRecord, len(recs))
+			for i, body := range recs {
+				payload.Records[i] = wire.NewReplRecord(from+uint64(i), body)
+			}
+			return payload, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 || p.Draining() {
+			return &wire.ReplPayload{Role: RolePrimary, Epoch: curEpoch, Head: head}, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+		case <-p.drainCh:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// Snapshot answers one replSnapshot exchange: a full state export
+// positioned at the current head, for follower bootstrap.
+func (p *Primary) Snapshot() (*wire.ReplPayload, error) {
+	ops, head, epoch, err := p.store.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	return &wire.ReplPayload{
+		Role:  RolePrimary,
+		Epoch: epoch,
+		Head:  head,
+		Snap:  SnapToWire(ops),
+	}, nil
+}
+
+// Ack records a follower's applied offset for lag accounting and updates
+// its nnexus_replication_lag_records gauge.
+func (p *Primary) Ack(follower string, offset uint64) {
+	if follower == "" {
+		return
+	}
+	head := p.store.ReplicationHead()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.followers[follower]
+	if !ok {
+		st = &followerState{}
+		if p.lagVec != nil {
+			st.gauge = p.lagVec.With(follower)
+		}
+		p.followers[follower] = st
+	}
+	if offset > st.acked {
+		st.acked = offset
+	}
+	st.lastSeen = time.Now()
+	if st.gauge != nil {
+		lag := int64(0)
+		if head > st.acked {
+			lag = int64(head - st.acked)
+		}
+		st.gauge.Set(lag)
+	}
+}
+
+// Status answers replStatus for a primary node.
+func (p *Primary) Status() *wire.ReplPayload {
+	return &wire.ReplPayload{
+		Role:    RolePrimary,
+		Epoch:   p.store.ReplicationEpoch(),
+		Head:    p.store.ReplicationHead(),
+		Applied: p.store.ReplicationHead(),
+	}
+}
+
+// FollowerLags returns each acked follower's lag in records behind the
+// primary's head. Readiness reporting consumes it.
+func (p *Primary) FollowerLags() map[string]uint64 {
+	head := p.store.ReplicationHead()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.followers))
+	for name, st := range p.followers {
+		lag := uint64(0)
+		if head > st.acked {
+			lag = head - st.acked
+		}
+		out[name] = lag
+	}
+	return out
+}
+
+// Drain wakes every blocked subscribe long-poll so subscriber connections
+// can flush a final (possibly empty) batch and close cleanly; subsequent
+// subscribes return immediately. Server.Shutdown calls this before waiting
+// for in-flight requests.
+func (p *Primary) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.draining {
+		p.draining = true
+		close(p.drainCh)
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (p *Primary) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// SnapToWire converts a state export to its wire form.
+func SnapToWire(ops []storage.BatchOp) []wire.SnapOp {
+	out := make([]wire.SnapOp, len(ops))
+	for i, o := range ops {
+		out[i] = wire.NewSnapOp(o.Table, o.Key, o.Value)
+	}
+	return out
+}
+
+// SnapFromWire converts a wire snapshot back to storage ops.
+func SnapFromWire(snap []wire.SnapOp) ([]storage.BatchOp, error) {
+	out := make([]storage.BatchOp, len(snap))
+	for i := range snap {
+		o := &snap[i]
+		value, err := o.DecodeValue()
+		if err != nil {
+			return nil, fmt.Errorf("replication: snapshot op %d: %w", i, err)
+		}
+		out[i] = storage.BatchOp{Table: o.Table, Key: o.Key, Value: value, Delete: o.Delete}
+	}
+	return out, nil
+}

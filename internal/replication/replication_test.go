@@ -1,0 +1,278 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nnexus/internal/storage"
+	"nnexus/internal/wire"
+)
+
+// localSource adapts a Primary into the follower's Source interface without
+// a network: the in-process equivalent of the wire exchanges.
+type localSource struct{ p *Primary }
+
+func (l localSource) ReplSubscribe(from, epoch uint64, max, waitMillis int, follower string) (*wire.ReplPayload, error) {
+	return l.p.Subscribe(from, epoch, max, time.Duration(waitMillis)*time.Millisecond)
+}
+func (l localSource) ReplSnapshot() (*wire.ReplPayload, error) { return l.p.Snapshot() }
+func (l localSource) ReplAck(follower string, offset, epoch uint64) error {
+	l.p.Ack(follower, offset)
+	return nil
+}
+
+func newPrimary(t *testing.T, opts ...storage.Option) (*storage.Store, *Primary) {
+	t.Helper()
+	opts = append([]storage.Option{storage.WithReplication()}, opts...)
+	st, err := storage.Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	p, err := NewPrimary(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, p
+}
+
+func newTestFollower(t *testing.T, p *Primary, opts ...FollowerOption) (*storage.Store, *Follower) {
+	t.Helper()
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opts = append([]FollowerOption{
+		WithFollowerName("f1"),
+		WithFollowerWait(50 * time.Millisecond),
+		WithFollowerBackoff(10 * time.Millisecond),
+	}, opts...)
+	f, err := NewFollower(st, nil, localSource{p}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	return st, f
+}
+
+func waitCaughtUp(t *testing.T, f *Follower, head uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := f.Status()
+		if st.Applied == head && st.Synced {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up to %d: %+v", head, f.Status())
+}
+
+func sameState(t *testing.T, a, b *storage.Store, label string) {
+	t.Helper()
+	aOps, aHead, _, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOps, bHead, _, err := b.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aHead != bHead {
+		t.Errorf("%s: heads differ: %d vs %d", label, aHead, bHead)
+	}
+	if len(aOps) != len(bOps) {
+		t.Fatalf("%s: %d ops vs %d ops", label, len(aOps), len(bOps))
+	}
+	for i := range aOps {
+		x, y := aOps[i], bOps[i]
+		if x.Table != y.Table || x.Key != y.Key || string(x.Value) != string(y.Value) {
+			t.Errorf("%s: op %d differs: %v vs %v", label, i, x, y)
+		}
+	}
+}
+
+func TestFollowerCatchesUpAndTails(t *testing.T) {
+	pst, p := newPrimary(t)
+	// History before the follower exists.
+	for i := 0; i < 5; i++ {
+		if err := pst.Put("t", fmt.Sprintf("pre%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fst, f := newTestFollower(t, p)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, 5)
+	sameState(t, fst, pst, "after catch-up")
+
+	// Live tail: writes stream through the long-poll as they happen.
+	for i := 0; i < 5; i++ {
+		if err := pst.Put("t", fmt.Sprintf("live%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, f, 10)
+	sameState(t, fst, pst, "after live tail")
+
+	// The primary saw the follower's acks.
+	lags := p.FollowerLags()
+	if lag, ok := lags["f1"]; !ok || lag != 0 {
+		t.Errorf("follower lag = %v (present %v), want 0", lag, ok)
+	}
+}
+
+func TestFollowerBootstrapsPastCompaction(t *testing.T) {
+	pst, p := newPrimary(t, storage.WithReplicationRetain(2))
+	for i := 0; i < 20; i++ {
+		if err := pst.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A brand-new follower asks from offset 1, which is far below the
+	// retained base: it must take the snapshot path, not an error loop.
+	fst, f := newTestFollower(t, p)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, 20)
+	sameState(t, fst, pst, "after snapshot bootstrap")
+}
+
+func TestFollowerRebootstrapsOnEpochChange(t *testing.T) {
+	pst, p := newPrimary(t)
+	for i := 0; i < 3; i++ {
+		if err := pst.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fst, f := newTestFollower(t, p)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, 3)
+
+	// The primary's history restarts (as after an unclean restart): the
+	// epoch bumps and the follower must discard its offsets and re-bootstrap.
+	ops, _, _, err := pst.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pst.ResetFromExport(ops, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pst.Put("t", "post-reset", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, 4)
+	sameState(t, fst, pst, "after epoch change")
+	if got, want := f.Status().Epoch, pst.ReplicationEpoch(); got != want {
+		t.Errorf("follower epoch = %d, want %d", got, want)
+	}
+}
+
+func TestSubscribeLongPollWakesOnAppend(t *testing.T) {
+	pst, p := newPrimary(t)
+	done := make(chan *wire.ReplPayload, 1)
+	go func() {
+		payload, err := p.Subscribe(1, pst.ReplicationEpoch(), 10, 5*time.Second)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- payload
+	}()
+	time.Sleep(20 * time.Millisecond) // let the subscribe block
+	if err := pst.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case payload := <-done:
+		if payload == nil || len(payload.Records) != 1 || payload.Records[0].Offset != 1 {
+			t.Fatalf("woken subscribe = %+v, want 1 record at offset 1", payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscribe did not wake on append")
+	}
+}
+
+func TestSubscribeReturnsResetOnEpochMismatch(t *testing.T) {
+	pst, p := newPrimary(t)
+	if err := pst.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := p.Subscribe(2, pst.ReplicationEpoch()+7, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Reset {
+		t.Error("epoch-mismatched subscribe did not demand a reset")
+	}
+	// A follower claiming offsets beyond the head diverged: reset too.
+	payload, err = p.Subscribe(100, pst.ReplicationEpoch(), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Reset {
+		t.Error("beyond-head subscribe did not demand a reset")
+	}
+}
+
+func TestDrainUnblocksSubscribers(t *testing.T) {
+	pst, p := newPrimary(t)
+	done := make(chan error, 1)
+	go func() {
+		payload, err := p.Subscribe(1, pst.ReplicationEpoch(), 10, time.Minute)
+		if err == nil && payload != nil && len(payload.Records) == 0 {
+			done <- nil
+		} else {
+			done <- fmt.Errorf("payload %+v err %v", payload, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Drain()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained subscribe: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain left the subscriber blocked")
+	}
+	// Post-drain subscribes return immediately instead of long-polling.
+	start := time.Now()
+	if _, err := p.Subscribe(1, pst.ReplicationEpoch(), 10, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("post-drain subscribe blocked %v", elapsed)
+	}
+}
+
+func TestFollowerStatusStaleWhenPrimaryGone(t *testing.T) {
+	pst, p := newPrimary(t)
+	if err := pst.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	_, f := newTestFollower(t, p)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, 1)
+	if f.WireStatus().Stale {
+		t.Error("synced follower reports stale")
+	}
+	// Kill the primary store: exchanges start failing and the follower must
+	// advertise that its lag figure can no longer be trusted.
+	pst.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.WireStatus().Stale {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never marked itself stale after losing the primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
 	"nnexus/internal/render"
+	"nnexus/internal/replication"
 	"nnexus/internal/telemetry"
 	"nnexus/internal/wire"
 )
@@ -57,6 +58,12 @@ type Server struct {
 	engine *core.Engine
 	logger *log.Logger
 	tel    *serverTelemetry
+
+	// Replication role: at most one of primary/follower is set. A primary
+	// serves the repl* streaming methods; a follower rejects mutating
+	// methods with a typed notPrimary redirect.
+	primary  *replication.Primary
+	follower *replication.Follower
 
 	maxRequestBytes int64
 	idleTimeout     time.Duration
@@ -151,6 +158,8 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 		wire.MethodSetPolicy, wire.MethodLinkEntry, wire.MethodLinkText,
 		wire.MethodInvalidated, wire.MethodRelink, wire.MethodStats,
 		wire.MethodAddEntries, wire.MethodLinkBatch, wire.MethodRelinkBatch,
+		wire.MethodReplSubscribe, wire.MethodReplSnapshot,
+		wire.MethodReplAck, wire.MethodReplStatus,
 	} {
 		t.byMethod[m] = t.requests.With(m)
 	}
@@ -220,6 +229,22 @@ func WithMaxConns(n int) Option {
 // is unlimited.
 func WithMaxActiveRequests(n int) Option {
 	return func(s *Server) { s.maxActive = n }
+}
+
+// WithReplicationPrimary makes the server answer the repl* streaming
+// methods from p, so followers can subscribe to this node's WAL. Shutdown
+// and Close drain p, waking blocked subscribe long-polls so follower
+// connections flush a final batch and close cleanly.
+func WithReplicationPrimary(p *replication.Primary) Option {
+	return func(s *Server) { s.primary = p }
+}
+
+// WithReplicationFollower marks the server as a read replica fed by f:
+// mutating methods are rejected before execution with a typed notPrimary
+// error carrying the primary's address, while the full read surface
+// (linkText, linkEntry, batch reads) serves from the replicated state.
+func WithReplicationFollower(f *replication.Follower) Option {
+	return func(s *Server) { s.follower = f }
 }
 
 // WithMaxPipeline bounds how many requests one connection may have in
@@ -333,6 +358,11 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	if s.primary != nil {
+		// Wake blocked subscribe long-polls so their handler goroutines
+		// (and with them the connection goroutines) unwind promptly.
+		s.primary.Drain()
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -365,6 +395,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if s.primary != nil {
+		// Replication subscribers drain like request connections: waking
+		// their long-polls lets each flush a final (possibly empty) batch —
+		// a whole response, never a mid-record cut — and close on a clean
+		// EOF, from which the follower resumes at its applied offset.
+		s.primary.Drain()
 	}
 	start := time.Now()
 	done := make(chan struct{})
@@ -623,13 +660,88 @@ func (s *Server) Handle(req *wire.Request) (resp *wire.Response) {
 	return r
 }
 
+// mutating lists the methods a follower must reject: anything that changes
+// the collection (or the invalidation queue) may only execute on the
+// primary, whose WAL is the replicated history.
+var mutating = map[string]bool{
+	wire.MethodAddDomain:   true,
+	wire.MethodAddEntry:    true,
+	wire.MethodUpdateEntry: true,
+	wire.MethodRemoveEntry: true,
+	wire.MethodSetPolicy:   true,
+	wire.MethodRelink:      true,
+	wire.MethodAddEntries:  true,
+	wire.MethodRelinkBatch: true,
+}
+
 func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 	if s.testHook != nil {
 		s.testHook(req)
 	}
+	if s.follower != nil && mutating[req.Method] {
+		// Rejected before execution: the client may safely redirect the
+		// very same request to the leader.
+		resp := wire.ErrCoded(req, wire.CodeNotPrimary,
+			fmt.Errorf("%s: node is a read replica, not the primary", req.Method))
+		resp.Leader = s.follower.Leader()
+		return resp, nil
+	}
 	switch req.Method {
 	case wire.MethodPing:
 		return wire.OK(req), nil
+
+	case wire.MethodReplSubscribe:
+		if s.primary == nil {
+			return nil, errors.New("replSubscribe: node is not a replication primary")
+		}
+		wait := time.Duration(req.WaitMillis) * time.Millisecond
+		if s.handlerTimeout > 0 {
+			// Keep the long-poll comfortably under the handler deadline so
+			// a caught-up subscriber gets an empty batch, not a timeout
+			// error.
+			if bound := s.handlerTimeout * 3 / 4; wait > bound {
+				wait = bound
+			}
+		}
+		payload, err := s.primary.Subscribe(req.Offset, req.Epoch, req.MaxRecords, wait)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Repl = payload
+		return resp, nil
+
+	case wire.MethodReplSnapshot:
+		if s.primary == nil {
+			return nil, errors.New("replSnapshot: node is not a replication primary")
+		}
+		payload, err := s.primary.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		resp.Repl = payload
+		return resp, nil
+
+	case wire.MethodReplAck:
+		if s.primary == nil {
+			return nil, errors.New("replAck: node is not a replication primary")
+		}
+		s.primary.Ack(req.Follower, req.Offset)
+		return wire.OK(req), nil
+
+	case wire.MethodReplStatus:
+		resp := wire.OK(req)
+		switch {
+		case s.primary != nil:
+			resp.Repl = s.primary.Status()
+		case s.follower != nil:
+			resp.Repl = s.follower.WireStatus()
+			resp.Leader = s.follower.Leader()
+		default:
+			resp.Repl = &wire.ReplPayload{Role: replication.RoleSingle}
+		}
+		return resp, nil
 
 	case wire.MethodAddDomain:
 		if req.Domain == nil {

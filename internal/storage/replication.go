@@ -1,0 +1,503 @@
+// Replication support: the store numbers every applied WAL record with a
+// monotonically increasing offset and, when WithReplication is enabled,
+// retains the encoded record bodies in an in-memory replication log so a
+// primary can stream them to followers (see internal/replication).
+//
+// Offsets are 1-based counts of records ever applied. Records at offsets
+// <= the replication base are only reachable through a snapshot export:
+// Compact moves the base to the current head and drops the retained log.
+//
+// The log is fed strictly at apply time — after the record is durable in
+// sync mode — so a follower can never observe a record whose writer was
+// told it failed. Because divergence between the on-disk WAL and the
+// streamed history is still possible (a failed fsync round whose rollback
+// also fails, or a crash that loses buffered-but-streamed records in
+// non-sync mode), the store maintains a replication epoch: any open that
+// cannot prove the WAL matches what was last streamed bumps the epoch,
+// which forces followers to re-bootstrap from a snapshot export.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+const (
+	epochName  = "repl.epoch"
+	markerName = "repl.clean"
+
+	// defaultReplRetain bounds the in-memory replication log. Followers
+	// lagging more than this many records re-bootstrap from a snapshot
+	// export instead of streaming the backlog.
+	defaultReplRetain = 1 << 16
+)
+
+// ErrCompacted reports that the requested replication offsets are no longer
+// retained in the log; the follower must re-bootstrap from a snapshot
+// export (ExportState).
+var ErrCompacted = errors.New("storage: replication log compacted")
+
+// ErrNoReplication reports that the store was opened without
+// WithReplication.
+var ErrNoReplication = errors.New("storage: replication not enabled")
+
+// ErrOffsetGap reports that a replicated record would skip offsets: the
+// follower is missing records between its head and the record's offset and
+// must re-fetch from head+1 (or re-bootstrap).
+var ErrOffsetGap = errors.New("storage: replicated record skips offsets")
+
+// replState is the primary-side replication log. All fields are protected
+// by Store.mu.
+type replState struct {
+	base     uint64   // offset of the newest record NOT retained in log
+	log      [][]byte // encoded bodies of records base+1 .. head
+	retain   int      // max records kept in log (0 = unbounded)
+	epoch    uint64
+	poisoned bool // on-disk WAL may diverge from the streamed history
+	watchers map[chan struct{}]struct{}
+}
+
+// WithReplication retains applied WAL record bodies in memory so the store
+// can serve them to replication subscribers via ReadRecords. The log keeps
+// at most a bounded number of recent records (see WithReplicationRetain);
+// Compact additionally drops the whole retained log, since the compacted
+// snapshot supersedes it.
+func WithReplication() Option {
+	return func(s *Store) {
+		s.repl = &replState{
+			retain:   defaultReplRetain,
+			watchers: make(map[chan struct{}]struct{}),
+		}
+	}
+}
+
+// WithReplicationRetain overrides how many recent record bodies the
+// replication log keeps in memory (n <= 0 means unbounded). Followers whose
+// offset falls behind the retained window re-bootstrap from a snapshot
+// export. Must appear after WithReplication in the option list.
+func WithReplicationRetain(n int) Option {
+	return func(s *Store) {
+		if s.repl != nil {
+			if n < 0 {
+				n = 0
+			}
+			s.repl.retain = n
+		}
+	}
+}
+
+// ReplicationEnabled reports whether the store retains a replication log.
+func (s *Store) ReplicationEnabled() bool { return s.repl != nil }
+
+// ReplicationHead returns the offset of the newest applied record. It is
+// tracked (and persisted through snapshots) even without WithReplication,
+// so replication can be enabled later without renumbering history.
+func (s *Store) ReplicationHead() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+// ReplicationBase returns the newest offset that is NOT retained in the
+// replication log: followers at or below it must bootstrap from a snapshot.
+func (s *Store) ReplicationBase() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.repl == nil {
+		return s.head
+	}
+	return s.repl.base
+}
+
+// ReplicationEpoch identifies one continuous streamed history. A follower
+// synced under one epoch must discard its offsets and re-bootstrap when the
+// primary's epoch changes.
+func (s *Store) ReplicationEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.repl == nil {
+		return 0
+	}
+	return s.repl.epoch
+}
+
+// ReadRecords returns the encoded bodies of up to max records starting at
+// offset from (1-based), plus the current head offset. A from beyond the
+// head returns an empty slice; a from at or below the replication base
+// returns ErrCompacted, meaning the caller needs a snapshot bootstrap.
+// The returned bodies are shared and must not be mutated.
+func (s *Store) ReadRecords(from uint64, max int) ([][]byte, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.repl == nil {
+		return nil, 0, ErrNoReplication
+	}
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if from == 0 || from <= s.repl.base {
+		return nil, s.head, ErrCompacted
+	}
+	if from > s.head {
+		return nil, s.head, nil
+	}
+	idx := int(from - s.repl.base - 1)
+	n := len(s.repl.log) - idx
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([][]byte, n)
+	copy(out, s.repl.log[idx:idx+n])
+	return out, s.head, nil
+}
+
+// WatchAppends registers ch to receive a (non-blocking, coalesced)
+// notification whenever a record is applied. The returned cancel function
+// unregisters it. ch should be buffered with capacity 1.
+func (s *Store) WatchAppends(ch chan struct{}) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repl == nil {
+		return func() {}
+	}
+	s.repl.watchers[ch] = struct{}{}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.repl != nil {
+			delete(s.repl.watchers, ch)
+		}
+	}
+}
+
+// ExportState returns a consistent dump of every table as put ops, together
+// with the head offset and epoch the dump corresponds to. It is the
+// snapshot-bootstrap source for followers whose offset fell behind the
+// replication base.
+func (s *Store) ExportState() (ops []BatchOp, head, epoch uint64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, 0, 0, ErrClosed
+	}
+	tableNames := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, table := range tableNames {
+		t := s.tables[table]
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ops = append(ops, BatchOp{
+				Table: table,
+				Key:   key,
+				Value: append([]byte(nil), t[key]...),
+			})
+		}
+	}
+	if s.repl != nil {
+		epoch = s.repl.epoch
+	}
+	return ops, s.head, epoch, nil
+}
+
+// decodeRecordLogOps decodes an encoded WAL record body into logOps,
+// validating every op code.
+func decodeRecordLogOps(body []byte) ([]logOp, error) {
+	if len(body) == 0 {
+		return nil, errors.New("storage: empty record body")
+	}
+	if body[0] == opBatch {
+		decoded, err := decodeBatchBody(body)
+		if err != nil {
+			return nil, fmt.Errorf("storage: decode batch record: %w", err)
+		}
+		return decoded, nil
+	}
+	o, _, err := decodeOne(body)
+	if err != nil {
+		return nil, fmt.Errorf("storage: decode record: %w", err)
+	}
+	if o.op != opPut && o.op != opDelete {
+		return nil, fmt.Errorf("storage: record op %d unknown", o.op)
+	}
+	return []logOp{o}, nil
+}
+
+// DecodeRecord decodes an encoded WAL record body (as returned by
+// ReadRecords) into its constituent mutations. Batch records decode into
+// all their sub-ops; plain records into a single op.
+func DecodeRecord(body []byte) ([]BatchOp, error) {
+	lops, err := decodeRecordLogOps(body)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]BatchOp, len(lops))
+	for i, o := range lops {
+		switch o.op {
+		case opPut:
+			ops[i] = BatchOp{Table: o.table, Key: o.key, Value: append([]byte(nil), o.value...)}
+		case opDelete:
+			ops[i] = BatchOp{Table: o.table, Key: o.key, Delete: true}
+		default:
+			return nil, fmt.Errorf("storage: record op %d unknown", o.op)
+		}
+	}
+	return ops, nil
+}
+
+// EncodeRecordOps encodes mutations the way the WAL does (one batch record
+// for several ops, a plain record for one), yielding a body DecodeRecord
+// round-trips. Used by tests and the replication wire conversion.
+func EncodeRecordOps(ops []BatchOp) []byte {
+	lops := make([]logOp, len(ops))
+	for i, o := range ops {
+		if o.Delete {
+			lops[i] = logOp{op: opDelete, table: o.Table, key: o.Key}
+		} else {
+			lops[i] = logOp{op: opPut, table: o.Table, key: o.Key, value: o.Value}
+		}
+	}
+	if len(lops) == 1 {
+		return encodeBody(lops[0].op, lops[0].table, lops[0].key, lops[0].value)
+	}
+	return encodeBatchBody(lops)
+}
+
+// ApplyReplicatedRecord applies one record streamed from a primary. The
+// body is written to the follower's own WAL byte-for-byte, so a crashed
+// follower replays to exactly the primary's record numbering and resumes
+// from its last durable offset. offset is the record's 1-based offset on
+// the primary:
+//
+//   - offset <= head: the record was already applied (a resume re-sent an
+//     acknowledged record); it is skipped idempotently.
+//   - offset == head+1: the record is applied.
+//   - offset >  head+1: ErrOffsetGap; applying would hide lost records.
+func (s *Store) ApplyReplicatedRecord(body []byte, offset uint64) error {
+	ops, err := decodeRecordLogOps(body)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if offset <= s.head {
+		return nil
+	}
+	if offset != s.head+1 {
+		return fmt.Errorf("%w: have head %d, record offset %d", ErrOffsetGap, s.head, offset)
+	}
+	if s.wal != nil {
+		if err := s.writeRecordLocked(body); err != nil {
+			return err
+		}
+		if s.sync {
+			if err := s.syncLocked(); err != nil {
+				s.rollbackWALLocked()
+				return err
+			}
+		}
+	}
+	s.applyRecordLocked(ops, body)
+	return nil
+}
+
+// ResetFromExport replaces the whole store state with a snapshot export
+// (as produced by ExportState) positioned at head. It is the follower side
+// of a snapshot bootstrap: used on first contact, after falling behind the
+// primary's replication base, and after an epoch change. The WAL is
+// truncated before the new snapshot is persisted, so a crash mid-reset
+// recovers to the consistent pre-reset state rather than a hybrid.
+func (s *Store) ResetFromExport(ops []BatchOp, head uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.commitStagedLocked(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		s.walBuf.Reset(s.wal)
+		s.walLen = 0
+		s.walAck = 0
+	}
+	s.tables = make(map[string]map[string][]byte)
+	lops := make([]logOp, len(ops))
+	for i, o := range ops {
+		if o.Delete {
+			lops[i] = logOp{op: opDelete, table: o.Table, key: o.Key}
+		} else {
+			lops[i] = logOp{op: opPut, table: o.Table, key: o.Key, value: o.Value}
+		}
+	}
+	s.applyLocked(lops)
+	s.head = head
+	if s.repl != nil {
+		// This store's own streamed history restarts at head: bump the epoch
+		// so any downstream subscriber of this store re-bootstraps too.
+		s.repl.epoch++
+		s.repl.base = head
+		s.repl.log = nil
+		if s.dir != "" {
+			if err := writeEpochFile(s.dir, s.repl.epoch); err != nil {
+				return err
+			}
+		}
+		s.notifyWatchersLocked()
+	}
+	if s.dir == "" {
+		return nil
+	}
+	return s.writeSnapshotLocked()
+}
+
+// applyRecordLocked applies one WAL record's mutations and publishes the
+// record to the replication machinery: the head offset advances, the
+// acknowledged WAL length grows, and with WithReplication the encoded body
+// is appended to the log and watchers are notified. body may be nil for
+// memory-only stores without replication. Callers must hold s.mu.
+func (s *Store) applyRecordLocked(ops []logOp, body []byte) {
+	s.applyLocked(ops)
+	s.head++
+	if s.wal != nil {
+		s.walAck += int64(8 + len(body))
+	}
+	if s.repl == nil {
+		return
+	}
+	s.repl.log = append(s.repl.log, body)
+	if s.repl.retain > 0 && len(s.repl.log) > s.repl.retain {
+		drop := len(s.repl.log) - s.repl.retain
+		for i := 0; i < drop; i++ {
+			s.repl.log[i] = nil // release the body for GC
+		}
+		s.repl.base += uint64(drop)
+		s.repl.log = s.repl.log[drop:]
+	}
+	s.notifyWatchersLocked()
+}
+
+// notifyWatchersLocked wakes every registered append watcher without
+// blocking (notifications coalesce in the channel buffer).
+func (s *Store) notifyWatchersLocked() {
+	for ch := range s.repl.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// rollbackWALLocked restores the WAL to exactly the acknowledged prefix
+// after a failed commit round, so the on-disk history keeps matching what
+// has been streamed to followers. If the disk is too unhealthy even for
+// that, the store is poisoned: the epoch bumps and the retained log is
+// dropped, forcing every follower through a snapshot re-bootstrap.
+func (s *Store) rollbackWALLocked() {
+	if s.wal == nil {
+		return
+	}
+	// The WAL is opened O_APPEND, so after truncation the next write lands
+	// at the new end without repositioning.
+	if s.walBuf.Flush() == nil && s.wal.Truncate(s.walAck) == nil {
+		s.walBuf.Reset(s.wal)
+		s.walLen = s.walAck
+		return
+	}
+	s.poisonLocked()
+}
+
+// poisonLocked records that the on-disk WAL no longer matches the streamed
+// history: the epoch bumps (persisted best-effort) and the retained log is
+// dropped so every subscriber hits ErrCompacted and re-bootstraps from a
+// snapshot export, which always reflects acknowledged state.
+func (s *Store) poisonLocked() {
+	if s.repl == nil || s.repl.poisoned {
+		return
+	}
+	s.repl.poisoned = true
+	s.repl.epoch++
+	s.repl.base = s.head
+	s.repl.log = nil
+	if s.dir != "" {
+		_ = writeEpochFile(s.dir, s.repl.epoch)
+	}
+	s.notifyWatchersLocked()
+}
+
+// loadEpochLocked establishes the replication epoch during Open. A clean
+// marker left by the previous Close proves the WAL matches the streamed
+// history, so the epoch is kept; otherwise (crash, poison, or first open)
+// it bumps, invalidating any follower offsets from the previous run.
+func (s *Store) loadEpochLocked() error {
+	epoch := readEpochFile(s.dir)
+	marker := filepath.Join(s.dir, markerName)
+	if _, err := os.Stat(marker); err == nil {
+		if err := os.Remove(marker); err != nil {
+			return fmt.Errorf("storage: remove clean marker: %w", err)
+		}
+	} else {
+		epoch++
+		if err := writeEpochFile(s.dir, epoch); err != nil {
+			return err
+		}
+	}
+	s.repl.epoch = epoch
+	return nil
+}
+
+// writeCleanMarkerLocked records on Close that the WAL exactly matches the
+// streamed history, letting the next Open keep the epoch.
+func (s *Store) writeCleanMarkerLocked() {
+	if s.repl == nil || s.dir == "" || s.repl.poisoned {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(s.dir, markerName), []byte("1\n"), 0o644)
+}
+
+func readEpochFile(dir string) uint64 {
+	data, err := os.ReadFile(filepath.Join(dir, epochName))
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(trimNL(data)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func writeEpochFile(dir string, epoch uint64) error {
+	path := filepath.Join(dir, epochName)
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("storage: write epoch: %w", err)
+	}
+	return nil
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

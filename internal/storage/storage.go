@@ -42,7 +42,11 @@ const (
 	opBatch  byte = 3
 
 	snapshotMagic uint32 = 0x4e4e5853 // "NNXS"
-	snapshotVer   uint32 = 1
+	// snapshotVer 2 appends the replication head offset to the header so
+	// record numbering survives compaction; version-1 snapshots still load
+	// (their head restarts at the replayed record count).
+	snapshotVer   uint32 = 2
+	snapshotVerV1 uint32 = 1
 
 	// maxEntrySize guards recovery from absurd length prefixes caused by
 	// corruption that happens to pass the CRC of a truncated record.
@@ -88,8 +92,9 @@ type logOp struct {
 // (group commit). seq orders staged appends so that concurrent writes to
 // the same key apply in log order.
 type stagedAppend struct {
-	seq uint64
-	ops []logOp
+	seq  uint64
+	ops  []logOp
+	body []byte // the encoded record, published to replication on commit
 }
 
 // BatchOp is one mutation of a PutBatch. Delete=false stores Value under
@@ -110,6 +115,9 @@ type Store struct {
 	wal      File
 	walBuf   *bufio.Writer
 	walLen   int64 // bytes appended since last compaction
+	walAck   int64 // prefix of walLen covered by applied (acknowledged) records
+	head     uint64 // offset of the newest applied record (see replication.go)
+	repl     *replState
 	closed   bool
 	sync     bool          // fsync before acknowledging an append
 	window   time.Duration // extra group-commit gathering delay (0 = leader-paced)
@@ -204,18 +212,34 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	if err := s.replayWAL(); err != nil {
+	valid, err := s.replayWAL()
+	if err != nil {
 		return nil, err
 	}
 	wal, err := s.openFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	if st, err := wal.Stat(); err == nil {
-		s.walLen = st.Size()
+	// Drop any torn tail left by a crash mid-append: replay stopped at the
+	// last whole record, and appending after garbage would strand every
+	// later record (replay would stop at the same torn spot again).
+	if st, err := wal.Stat(); err == nil && st.Size() > valid {
+		if err := wal.Truncate(valid); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
 	}
+	s.walLen = valid
+	s.walAck = valid
 	s.wal = wal
 	s.walBuf = bufio.NewWriter(wal)
+	if s.repl != nil {
+		if err := s.loadEpochLocked(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+		s.repl.base = s.head
+	}
 	return s, nil
 }
 
@@ -261,26 +285,30 @@ func (s *Store) mutate(ops []logOp, batch bool) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if s.wal != nil {
-		var body []byte
+	// The encoded record body doubles as the replication payload, so it is
+	// built whenever there is a WAL or a replication log to feed.
+	var body []byte
+	if s.wal != nil || s.repl != nil {
 		if batch {
 			body = encodeBatchBody(ops)
 		} else {
 			body = encodeBody(ops[0].op, ops[0].table, ops[0].key, ops[0].value)
 		}
+	}
+	if s.wal != nil {
 		if err := s.writeRecordLocked(body); err != nil {
 			s.mu.Unlock()
 			return err
 		}
 	}
 	if s.wal == nil || !s.sync {
-		s.applyLocked(ops)
+		s.applyRecordLocked(ops, body)
 		s.mu.Unlock()
 		return nil
 	}
 	s.appendSeq++
 	seq := s.appendSeq
-	s.staged = append(s.staged, stagedAppend{seq: seq, ops: ops})
+	s.staged = append(s.staged, stagedAppend{seq: seq, ops: ops, body: body})
 	s.mu.Unlock()
 	return s.waitDurable(seq)
 }
@@ -344,11 +372,16 @@ func (s *Store) commitOnce() (uint64, error) {
 	err := s.syncLocked()
 	if err == nil {
 		for _, st := range s.staged {
-			s.applyLocked(st.ops)
+			s.applyRecordLocked(st.ops, st.body)
 		}
 		if s.telBatch != nil {
 			s.telBatch.Observe(float64(len(s.staged)))
 		}
+	} else {
+		// The covered records are on disk but unacknowledged; restore the
+		// WAL to the acknowledged prefix so the on-disk history keeps
+		// matching what replication has streamed.
+		s.rollbackWALLocked()
 	}
 	s.staged = s.staged[:0]
 	return upto, err
@@ -363,11 +396,13 @@ func (s *Store) commitStagedLocked() error {
 	upto := s.appendSeq
 	if err == nil {
 		for _, st := range s.staged {
-			s.applyLocked(st.ops)
+			s.applyRecordLocked(st.ops, st.body)
 		}
 		if s.telBatch != nil && len(s.staged) > 0 {
 			s.telBatch.Observe(float64(len(s.staged)))
 		}
+	} else {
+		s.rollbackWALLocked()
 	}
 	s.staged = s.staged[:0]
 	c := &s.commit
@@ -537,6 +572,14 @@ func (s *Store) Compact() error {
 	}
 	s.walBuf.Reset(s.wal)
 	s.walLen = 0
+	s.walAck = 0
+	// Records below the snapshot are now only reachable through a snapshot
+	// export; advance the replication base and drop the retained log so
+	// lagging subscribers observe ErrCompacted and re-bootstrap.
+	if s.repl != nil {
+		s.repl.base = s.head
+		s.repl.log = nil
+	}
 	return nil
 }
 
@@ -553,6 +596,9 @@ func (s *Store) Close() error {
 		if cerr := s.wal.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if err == nil {
+		s.writeCleanMarkerLocked()
 	}
 	s.closed = true
 	return err
@@ -690,51 +736,55 @@ func decodeBatchBody(body []byte) ([]logOp, error) {
 	return ops, nil
 }
 
-// replayWAL applies surviving WAL records over the snapshot state. A torn
-// or corrupt tail terminates replay silently (it is the expected result of
-// a crash mid-append); corruption in the middle is indistinguishable from a
-// tail and is handled the same way.
-func (s *Store) replayWAL() error {
+// replayWAL applies surviving WAL records over the snapshot state and
+// returns how many bytes of whole, valid records it consumed. A torn or
+// corrupt tail terminates replay silently (it is the expected result of a
+// crash mid-append); corruption in the middle is indistinguishable from a
+// tail and is handled the same way. Every replayed record advances the
+// replication head, reconstructing the offset numbering exactly.
+func (s *Store) replayWAL() (valid int64, err error) {
 	f, err := os.Open(filepath.Join(s.dir, walName))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("storage: open wal for replay: %w", err)
+		return 0, fmt.Errorf("storage: open wal for replay: %w", err)
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // clean EOF or torn header
+			return valid, nil // clean EOF or torn header
 		}
 		want := binary.LittleEndian.Uint32(hdr[0:4])
 		n := binary.LittleEndian.Uint32(hdr[4:8])
 		if n > maxEntrySize {
-			return nil
+			return valid, nil
 		}
 		body := make([]byte, n)
 		if _, err := io.ReadFull(r, body); err != nil {
-			return nil // torn body
+			return valid, nil // torn body
 		}
 		if crc32.ChecksumIEEE(body) != want {
-			return nil // corrupt record: stop replay
+			return valid, nil // corrupt record: stop replay
 		}
 		if len(body) > 0 && body[0] == opBatch {
 			ops, err := decodeBatchBody(body)
 			if err != nil {
-				return nil
+				return valid, nil
 			}
 			// The batch's CRC already matched, so it applies atomically.
 			s.applyLocked(ops)
-			continue
+		} else {
+			op, table, key, value, err := decodeBody(body)
+			if err != nil {
+				return valid, nil
+			}
+			s.applyLocked([]logOp{{op: op, table: table, key: key, value: value}})
 		}
-		op, table, key, value, err := decodeBody(body)
-		if err != nil {
-			return nil
-		}
-		s.applyLocked([]logOp{{op: op, table: table, key: key, value: value}})
+		s.head++
+		valid += int64(8 + n)
 	}
 }
 
@@ -747,7 +797,7 @@ func (s *Store) writeSnapshotLocked() error {
 		return fmt.Errorf("storage: snapshot: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	var hdr [12]byte
+	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], snapshotVer)
 	count := 0
@@ -755,6 +805,9 @@ func (s *Store) writeSnapshotLocked() error {
 		count += len(t)
 	}
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(count))
+	// v2: the replication head offset, so record numbering survives the WAL
+	// truncation that follows a compaction.
+	binary.LittleEndian.PutUint64(hdr[12:20], s.head)
 	if _, err := w.Write(hdr[:]); err != nil {
 		f.Close()
 		return err
@@ -817,10 +870,18 @@ func (s *Store) loadSnapshot() error {
 	if binary.LittleEndian.Uint32(hdr[0:4]) != snapshotMagic {
 		return errors.New("storage: snapshot: bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapshotVer {
-		return fmt.Errorf("storage: snapshot: unsupported version %d", v)
+	ver := binary.LittleEndian.Uint32(hdr[4:8])
+	if ver != snapshotVer && ver != snapshotVerV1 {
+		return fmt.Errorf("storage: snapshot: unsupported version %d", ver)
 	}
 	count := binary.LittleEndian.Uint32(hdr[8:12])
+	if ver >= snapshotVer {
+		var headBuf [8]byte
+		if _, err := io.ReadFull(r, headBuf[:]); err != nil {
+			return fmt.Errorf("storage: snapshot head offset: %w", err)
+		}
+		s.head = binary.LittleEndian.Uint64(headBuf[:])
+	}
 	for i := uint32(0); i < count; i++ {
 		var rec [8]byte
 		if _, err := io.ReadFull(r, rec[:]); err != nil {

@@ -269,6 +269,22 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.child(nil).fn = fn
 }
 
+// GaugeVec is a family of gauges sharing a name and label names (e.g. a
+// replication lag gauge labeled by follower).
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns the existing) labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookupOrCreate(name, help, KindGauge, labelNames, nil)}
+}
+
+// With returns the child gauge for the given label values, creating it on
+// first use. Resolve children once at setup; the child itself is hot-path
+// safe and allocation-free.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{s: v.f.child(labelValues)}
+}
+
 // --- Histograms ---
 
 // DefBuckets are the default latency buckets in seconds, tuned for an

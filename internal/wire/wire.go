@@ -23,9 +23,22 @@
 //	addEntries  — Entries (engine assigns IDs, returned in Objects)
 //	linkBatch   — Texts, Classes, Scheme, Mode, Format (results in Batch)
 //	relinkBatch — Objects (empty = all invalidated; relinked IDs in Objects)
+//
+// Replication methods (see internal/replication):
+//
+//	replSubscribe — Offset, Epoch, MaxRecords, WaitMillis, Follower; the
+//	                primary returns WAL records from Offset on (long-polling
+//	                up to WaitMillis when caught up), or Reset=true when the
+//	                follower must snapshot-bootstrap
+//	replSnapshot  — (none); full state export for follower bootstrap
+//	replAck       — Follower, Offset, Epoch; reports the follower's applied
+//	                offset for lag accounting
+//	replStatus    — (none); the node's replication role, epoch, head and
+//	                applied offset (serves lag probes and routing)
 package wire
 
 import (
+	"encoding/base64"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -50,6 +63,18 @@ const (
 	MethodAddEntries  = "addEntries"
 	MethodLinkBatch   = "linkBatch"
 	MethodRelinkBatch = "relinkBatch"
+
+	MethodReplSubscribe = "replSubscribe"
+	MethodReplSnapshot  = "replSnapshot"
+	MethodReplAck       = "replAck"
+	MethodReplStatus    = "replStatus"
+)
+
+// Replication roles carried in ReplPayload.Role.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+	RoleSingle   = "single"
 )
 
 // Request is one client→server message.
@@ -75,6 +100,18 @@ type Request struct {
 	Entries []*Entry `xml:"entries>entry,omitempty"`
 	Texts   []string `xml:"texts>text,omitempty"`
 	Objects []int64  `xml:"objects>object,omitempty"`
+
+	// Replication fields (repl* methods). Offset is the first record offset
+	// the follower wants (replSubscribe) or its newest applied offset
+	// (replAck); Epoch is the primary epoch the follower last synced under;
+	// MaxRecords caps a subscribe batch; WaitMillis makes a caught-up
+	// subscribe long-poll for new records; Follower names the subscriber
+	// for lag accounting.
+	Offset     uint64 `xml:"offset,attr,omitempty"`
+	Epoch      uint64 `xml:"epoch,attr,omitempty"`
+	MaxRecords int    `xml:"maxrecords,attr,omitempty"`
+	WaitMillis int    `xml:"waitmillis,attr,omitempty"`
+	Follower   string `xml:"follower,attr,omitempty"`
 }
 
 // Error codes carried in Response.Code. They classify error responses so
@@ -95,6 +132,10 @@ const (
 	// CodeInternal: the handler failed unexpectedly (e.g. a recovered
 	// panic).
 	CodeInternal = "internal"
+	// CodeNotPrimary: a mutating method reached a follower. The request was
+	// rejected before execution; Response.Leader carries the primary's
+	// address when the follower knows it.
+	CodeNotPrimary = "notPrimary"
 )
 
 // Response is one server→client message.
@@ -119,6 +160,83 @@ type Response struct {
 	// request order.
 	Objects []int64   `xml:"objects>object,omitempty"`
 	Batch   []*Linked `xml:"batch>linked,omitempty"`
+
+	// Replication fields: Repl carries repl* method payloads; Leader names
+	// the primary's address on notPrimary errors (and in replStatus from a
+	// follower), when known.
+	Repl   *ReplPayload `xml:"repl,omitempty"`
+	Leader string       `xml:"leader,omitempty"`
+}
+
+// ReplPayload is the payload of the repl* methods.
+type ReplPayload struct {
+	// Role is the node's replication role: "primary", "follower" or
+	// "single" (replication not configured).
+	Role string `xml:"role,attr,omitempty"`
+	// Epoch identifies one continuous streamed history; a follower synced
+	// under an older epoch must discard its offsets and re-bootstrap.
+	Epoch uint64 `xml:"epoch,attr"`
+	// Head is the newest applied record offset on the answering node's
+	// upstream history (on a primary: its own; on a follower replStatus:
+	// the primary head it last observed).
+	Head uint64 `xml:"head,attr"`
+	// Applied is the follower's own applied offset (replStatus only).
+	Applied uint64 `xml:"applied,attr,omitempty"`
+	// Stale marks a follower whose last exchange with its primary failed:
+	// Head (and so any lag computed from it) may be out of date. Routing
+	// layers treat a stale follower as ineligible while the primary lives.
+	Stale bool `xml:"stale,attr,omitempty"`
+	// Reset tells a subscribing follower its offset or epoch is unusable:
+	// fetch a replSnapshot and restart from the snapshot's head.
+	Reset bool `xml:"reset,attr,omitempty"`
+	// Records are WAL records at consecutive offsets (replSubscribe).
+	Records []ReplRecord `xml:"record,omitempty"`
+	// Snap is a full state export (replSnapshot), positioned at Head.
+	Snap []SnapOp `xml:"snap>op,omitempty"`
+}
+
+// ReplRecord is one encoded WAL record body in transit, base64-wrapped so
+// arbitrary bytes survive the XML layer.
+type ReplRecord struct {
+	Offset uint64 `xml:"offset,attr"`
+	Body   string `xml:",chardata"`
+}
+
+// NewReplRecord wraps a raw WAL record body for the wire.
+func NewReplRecord(offset uint64, body []byte) ReplRecord {
+	return ReplRecord{Offset: offset, Body: base64.StdEncoding.EncodeToString(body)}
+}
+
+// DecodeBody unwraps the raw WAL record body.
+func (r *ReplRecord) DecodeBody() ([]byte, error) {
+	b, err := base64.StdEncoding.DecodeString(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: repl record body: %w", err)
+	}
+	return b, nil
+}
+
+// SnapOp is one key of a snapshot export: a put of Value under (Table, Key)
+// (Delete is carried for completeness; exports only contain puts).
+type SnapOp struct {
+	Table  string `xml:"table,attr"`
+	Key    string `xml:"key,attr"`
+	Delete bool   `xml:"delete,attr,omitempty"`
+	Value  string `xml:",chardata"`
+}
+
+// NewSnapOp wraps a raw table value for the wire.
+func NewSnapOp(table, key string, value []byte) SnapOp {
+	return SnapOp{Table: table, Key: key, Value: base64.StdEncoding.EncodeToString(value)}
+}
+
+// DecodeValue unwraps the raw table value.
+func (o *SnapOp) DecodeValue() ([]byte, error) {
+	b, err := base64.StdEncoding.DecodeString(o.Value)
+	if err != nil {
+		return nil, fmt.Errorf("wire: snapshot value: %w", err)
+	}
+	return b, nil
 }
 
 // Domain mirrors corpus.Domain on the wire.

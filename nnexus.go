@@ -55,6 +55,7 @@ import (
 	"nnexus/internal/ontomap"
 	"nnexus/internal/owl"
 	"nnexus/internal/render"
+	"nnexus/internal/replication"
 	"nnexus/internal/semnet"
 	"nnexus/internal/server"
 	"nnexus/internal/storage"
@@ -217,17 +218,41 @@ type Config struct {
 	// LaTeX converts entry bodies and linked text from LaTeX markup to
 	// plain text before scanning (Noosphere entries are written in TeX).
 	LaTeX bool
+	// ReplicationPrimary makes this node a replication primary: the store
+	// retains its WAL record log and Serve answers the replSubscribe /
+	// replSnapshot / replAck exchanges followers use to mirror it. Requires
+	// DataDir; mutually exclusive with FollowPrimary.
+	ReplicationPrimary bool
+	// FollowPrimary makes this node a read replica of the primary at this
+	// address ("host:port" of its XML-protocol listener): a background loop
+	// streams the primary's WAL into the local store and engine, Serve
+	// answers the full read surface, and writes are rejected with a typed
+	// notPrimary redirect naming the primary. Requires DataDir (the replica's
+	// durable state, which replays across restarts).
+	FollowPrimary string
+	// ReplicaName identifies this follower in replAck reports and the
+	// primary's per-follower lag gauge (default: hostname).
+	ReplicaName string
 }
 
 // Engine is a fully assembled NNexus instance.
 type Engine struct {
-	core  *core.Engine
-	store *storage.Store
+	core     *core.Engine
+	store    *storage.Store
+	primary  *replication.Primary
+	follower *replication.Follower
+	replSrc  *client.Client
 }
 
 // New assembles an engine from the configuration. When DataDir is set, any
 // previously persisted state is loaded and all indexes rebuilt.
 func New(cfg Config) (*Engine, error) {
+	if cfg.ReplicationPrimary && cfg.FollowPrimary != "" {
+		return nil, fmt.Errorf("nnexus: ReplicationPrimary and FollowPrimary are mutually exclusive")
+	}
+	if (cfg.ReplicationPrimary || cfg.FollowPrimary != "") && cfg.DataDir == "" {
+		return nil, fmt.Errorf("nnexus: replication requires DataDir")
+	}
 	// One registry spans every layer: the storage WAL, the engine, and the
 	// serving layers (which register onto the engine's registry later).
 	reg := telemetry.NewRegistry()
@@ -240,15 +265,25 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.GroupCommitWindow > 0 {
 			opts = append(opts, storage.WithGroupCommitWindow(cfg.GroupCommitWindow))
 		}
+		if cfg.ReplicationPrimary {
+			opts = append(opts, storage.WithReplication())
+		}
 		var err error
 		store, err = storage.Open(cfg.DataDir, opts...)
 		if err != nil {
 			return nil, err
 		}
 	}
+	// A follower's engine takes no store: its state is fed exclusively by
+	// the replication stream (local writes would diverge from the primary's
+	// WAL numbering), while the store itself is the replica's durable copy.
+	engineStore := store
+	if cfg.FollowPrimary != "" {
+		engineStore = nil
+	}
 	eng, err := core.NewEngine(core.Config{
 		Scheme:             cfg.Scheme,
-		Store:              store,
+		Store:              engineStore,
 		Telemetry:          reg,
 		Mode:               cfg.Mode,
 		Format:             cfg.Format,
@@ -263,11 +298,56 @@ func New(cfg Config) (*Engine, error) {
 		}
 		return nil, err
 	}
-	return &Engine{core: eng, store: store}, nil
+	e := &Engine{core: eng, store: store}
+	switch {
+	case cfg.ReplicationPrimary:
+		e.primary, err = replication.NewPrimary(store, replication.WithPrimaryTelemetry(reg))
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	case cfg.FollowPrimary != "":
+		// The source client is constructed unconnected: a follower must come
+		// up (and serve its replayed state) even while the primary is down,
+		// catching up once it returns. Its call timeout is sized to the
+		// subscribe long-poll so a partitioned (stalled, not refused) link
+		// surfaces as a sync failure within seconds, not the generic 30s
+		// call timeout; retries stay at one because the follower loop has
+		// its own backoff-and-report cycle.
+		const followerWait = 2 * time.Second
+		e.replSrc = client.New(cfg.FollowPrimary, dialTimeout,
+			client.WithCallTimeout(followerWait+3*time.Second),
+			client.WithMaxRetries(1))
+		fopts := []replication.FollowerOption{
+			replication.WithLeaderAddr(cfg.FollowPrimary),
+			replication.WithStateDir(cfg.DataDir),
+			replication.WithFollowerWait(followerWait),
+		}
+		if cfg.ReplicaName != "" {
+			fopts = append(fopts, replication.WithFollowerName(cfg.ReplicaName))
+		}
+		e.follower, err = replication.NewFollower(store, eng, e.replSrc, fopts...)
+		if err == nil {
+			err = e.follower.Start()
+		}
+		if err != nil {
+			e.replSrc.Close()
+			store.Close()
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
-// Close flushes and closes the engine's persistent store, if any.
+// Close stops replication (if any) and flushes and closes the engine's
+// persistent store.
 func (e *Engine) Close() error {
+	if e.follower != nil {
+		e.follower.Stop()
+	}
+	if e.replSrc != nil {
+		e.replSrc.Close()
+	}
 	if e.store == nil {
 		return nil
 	}
@@ -539,6 +619,29 @@ func WithPipelineWindow(n int) ClientOption { return client.WithPipelineWindow(n
 // DisablePipelining is shorthand for WithPipelineWindow(1).
 func DisablePipelining() ClientOption { return client.DisablePipelining() }
 
+// Client-side replication routing options.
+
+// ErrNoPrimary is returned by a replica-aware client's write methods when
+// the primary is unreachable; reads keep failing over to replicas.
+var ErrNoPrimary = client.ErrNoPrimary
+
+// WithReplicas attaches read replicas to a dialed client: reads
+// load-balance across caught-up followers, writes pin to the primary, and
+// on primary loss reads fail over to followers while writes fail with
+// ErrNoPrimary.
+func WithReplicas(addrs ...string) ClientOption { return client.WithReplicas(addrs...) }
+
+// WithStalenessBound sets how many records a replica may lag behind the
+// primary and still serve routed reads. Must appear after WithReplicas in
+// the option list.
+func WithStalenessBound(records uint64) ClientOption { return client.WithStalenessBound(records) }
+
+// WithReplicaProbeInterval sets how often replica lag is probed for
+// routing. Must appear after WithReplicas in the option list.
+func WithReplicaProbeInterval(d time.Duration) ClientOption {
+	return client.WithReplicaProbeInterval(d)
+}
+
 // HTTP-side resilience options.
 
 // WithHealth wires a health state into GET /healthz and GET /readyz.
@@ -553,6 +656,12 @@ func WithMaxInFlight(n int) HTTPOption { return httpapi.WithMaxInFlight(n) }
 // be passed to Dial. logger may be nil. Stop it with Server.Close, or drain
 // it gracefully with Server.Shutdown.
 func (e *Engine) Serve(addr string, logger *log.Logger, opts ...ServerOption) (*Server, string, error) {
+	if e.primary != nil {
+		opts = append(opts, server.WithReplicationPrimary(e.primary))
+	}
+	if e.follower != nil {
+		opts = append(opts, server.WithReplicationFollower(e.follower))
+	}
 	srv := server.New(e.core, logger, opts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -579,12 +688,67 @@ func (e *Engine) Ready() error {
 	return e.store.Ready()
 }
 
+// ReplicationInfo returns the node's replication detail for readiness
+// reporting: role, epoch and head, plus per-follower lag on a primary and
+// applied offset / lag / sync state on a follower. Wire it into a
+// HealthState with AddInfo("replication", engine.ReplicationInfo) and the
+// detail appears in the GET /readyz JSON body.
+func (e *Engine) ReplicationInfo() map[string]interface{} {
+	switch {
+	case e.primary != nil:
+		st := e.primary.Status()
+		lags := e.primary.FollowerLags()
+		followers := make(map[string]interface{}, len(lags))
+		var maxLag uint64
+		for name, lag := range lags {
+			followers[name] = lag
+			if lag > maxLag {
+				maxLag = lag
+			}
+		}
+		return map[string]interface{}{
+			"role":      st.Role,
+			"epoch":     st.Epoch,
+			"head":      st.Head,
+			"followers": followers,
+			"maxLag":    maxLag,
+		}
+	case e.follower != nil:
+		st := e.follower.Status()
+		info := map[string]interface{}{
+			"role":    st.Role,
+			"epoch":   st.Epoch,
+			"applied": st.Applied,
+			"head":    st.Head,
+			"lag":     st.Lag(),
+			"synced":  st.Synced,
+			"leader":  st.Leader,
+		}
+		if st.Err != "" {
+			info["error"] = st.Err
+		}
+		return info
+	default:
+		return map[string]interface{}{"role": "single"}
+	}
+}
+
 // HTTPHandler returns an http.Handler exposing the engine as a web service
 // (paper §3.4): POST /api/link for on-demand text linking, CRUD under
 // /api/entries, and an interactive form at /. Mount it on any mux or server:
 //
 //	http.ListenAndServe(":8080", engine.HTTPHandler())
+//
+// On a follower (FollowPrimary set) the mutating routes are gated: they
+// answer 403 with a JSON body naming the leader, matching the wire
+// protocol's notPrimary rejection, so the HTTP surface cannot diverge a
+// replica from its replication stream.
 func (e *Engine) HTTPHandler(opts ...HTTPOption) http.Handler {
+	if e.follower != nil {
+		opts = append([]HTTPOption{httpapi.WithNotPrimary(func() string {
+			return e.follower.Status().Leader
+		})}, opts...)
+	}
 	return httpapi.New(e.core, opts...)
 }
 
