@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench bench-json bench-compare chaos chaos-replication readscale experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare chaos chaos-replication readscale openloop loadgate experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -55,6 +55,20 @@ chaos-replication:
 # single node); regenerates the committed BENCH_PR5.json snapshot.
 readscale:
 	go run ./cmd/nnexus-bench -exp readscale -entries 800 -json BENCH_PR5.json
+
+# The open-loop (coordinated-omission-free) load sweep against the live
+# primary + 2-follower cluster; regenerates the committed BENCH_PR6.json
+# snapshot (offered-load ladder, intended-latency percentiles, and the
+# auto-detected knee).
+openloop:
+	go run ./cmd/nnexus-bench -exp openloop -entries 400 -duration 2s -json BENCH_PR6.json
+
+# CI regression gate: a scaled-down open-loop sweep whose measured knee is
+# compared against the committed BENCH_PR6.json baseline. Fails loudly
+# (non-zero exit) if the knee moved left beyond the tolerance.
+loadgate:
+	go run ./cmd/nnexus-bench -exp openloop -entries 200 -duration 1s \
+		-rates 300,600,1200 -loadgate BENCH_PR6.json -knee-tolerance 0.5
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a stable JSON document, so benchmark trajectories can be
 // committed alongside the code they measure (BENCH_PR3.json and successors)
-// and compared across PRs.
+// and compared across PRs. The schema and the parser live in
+// internal/benchfmt, shared with the experiment drivers that record
+// results directly (readscale, openloop).
 //
 // Usage:
 //
@@ -14,177 +16,45 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"nnexus/internal/benchfmt"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Name is the benchmark name without the -P GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS the benchmark ran at (the -P suffix; 1 when
-	// absent).
-	Procs int `json:"procs"`
-	// Iterations is b.N.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp, BytesPerOp, AllocsPerOp mirror the standard columns; the
-	// latter two are -1 when -benchmem was off.
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	// Metrics holds custom b.ReportMetric values (precision, links/op, …).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// File is the committed JSON document.
-type File struct {
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file (default stdout when -compare is absent)")
 	compare := flag.String("compare", "", "print an old/new comparison against this previously committed JSON")
 	flag.Parse()
 
-	cur := parse(os.Stdin)
+	cur := benchfmt.Parse(os.Stdin)
 	if len(cur.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
 
 	if *compare != "" {
-		old, err := load(*compare)
+		old, err := benchfmt.Load(*compare)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		printComparison(os.Stdout, old, cur)
+		benchfmt.WriteComparison(os.Stdout, old, cur)
 	}
 
-	data, err := json.MarshalIndent(cur, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
 	switch {
 	case *out != "":
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := cur.Write(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
 	case *compare == "":
+		data, err := cur.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 		os.Stdout.Write(data)
 	}
-}
-
-// parse reads `go test -bench` output and extracts every Benchmark line.
-// The format is: Benchmark<Name>[-P] <N> <value> <unit> [<value> <unit>]...
-func parse(r *os.File) File {
-	var f File
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			continue
-		}
-		n, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		b := Benchmark{
-			Name:        strings.TrimPrefix(fields[0], "Benchmark"),
-			Procs:       1,
-			Iterations:  n,
-			BytesPerOp:  -1,
-			AllocsPerOp: -1,
-		}
-		if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
-			if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
-				b.Name, b.Procs = b.Name[:i], p
-			}
-		}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				b.NsPerOp = v
-			case "B/op":
-				b.BytesPerOp = v
-			case "allocs/op":
-				b.AllocsPerOp = v
-			case "MB/s":
-				// derived from ns/op and SetBytes; skip
-			default:
-				if b.Metrics == nil {
-					b.Metrics = make(map[string]float64)
-				}
-				b.Metrics[unit] = v
-			}
-		}
-		f.Benchmarks = append(f.Benchmarks, b)
-	}
-	sort.Slice(f.Benchmarks, func(i, j int) bool {
-		if f.Benchmarks[i].Name != f.Benchmarks[j].Name {
-			return f.Benchmarks[i].Name < f.Benchmarks[j].Name
-		}
-		return f.Benchmarks[i].Procs < f.Benchmarks[j].Procs
-	})
-	return f
-}
-
-func load(path string) (File, error) {
-	var f File
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return f, err
-	}
-	return f, json.Unmarshal(data, &f)
-}
-
-type benchKey struct {
-	name  string
-	procs int
-}
-
-// printComparison writes a benchstat-style old/new table for benchmarks
-// present in both files.
-func printComparison(w *os.File, old, cur File) {
-	oldBy := make(map[benchKey]Benchmark, len(old.Benchmarks))
-	for _, b := range old.Benchmarks {
-		oldBy[benchKey{b.Name, b.Procs}] = b
-	}
-	fmt.Fprintf(w, "%-52s %14s %14s %8s %12s %12s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
-	for _, b := range cur.Benchmarks {
-		o, ok := oldBy[benchKey{b.Name, b.Procs}]
-		if !ok {
-			continue
-		}
-		name := fmt.Sprintf("%s-%d", b.Name, b.Procs)
-		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8s %12.0f %12.0f %8s\n",
-			name, o.NsPerOp, b.NsPerOp, delta(o.NsPerOp, b.NsPerOp),
-			o.AllocsPerOp, b.AllocsPerOp, delta(o.AllocsPerOp, b.AllocsPerOp))
-	}
-}
-
-func delta(old, new float64) string {
-	if old <= 0 {
-		return "n/a"
-	}
-	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }

@@ -13,6 +13,7 @@
 //	nnexus-bench -exp network        §1.3: the resulting semantic network
 //	nnexus-bench -exp throughput     closed-loop TCP QPS: stop-and-wait vs pipelined
 //	nnexus-bench -exp readscale      read QPS: single node vs 1 primary + 2 read replicas
+//	nnexus-bench -exp openloop       open-loop (coordinated-omission-free) latency-vs-offered-load sweep with knee detection
 //	nnexus-bench -exp all            everything above
 //
 // -entries sets the full corpus size (default 7132, the paper's largest
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table1, table2, table3, fig8, fig9, invalidation, maintenance, all)")
+		exp     = flag.String("exp", "all", "experiment to run (table1, table2, table3, fig8, fig9, invalidation, maintenance, autopolicy, semiauto, network, throughput, readscale, openloop, all)")
 		entries = flag.Int("entries", 7132, "full corpus size")
 		seed    = flag.Int64("seed", 20090601, "workload seed")
 		sample2 = flag.Int("sample", 50, "Table 2 sample size (paper: 50)")
@@ -41,7 +42,16 @@ func main() {
 		qpsDur  = flag.Duration("duration", 2*time.Second, "throughput/readscale experiments: measurement window per configuration")
 		rtt     = flag.Duration("rtt", time.Millisecond, "throughput experiment: simulated round-trip time for the proxied rows (0 = loopback only)")
 		rsRTT   = flag.Duration("readscale-rtt", 10*time.Millisecond, "readscale experiment: simulated round-trip time per node")
-		rsJSON  = flag.String("json", "", "readscale experiment: also record results (benchjson schema) to this file")
+		rsJSON  = flag.String("json", "", "readscale/openloop experiments: also record results (benchjson schema) to this file")
+		olRates = flag.String("rates", "150,300,600,1200,2400,4800", "openloop experiment: comma-separated offered-load ladder (req/s)")
+		olSLO   = flag.Duration("slo", 25*time.Millisecond, "openloop experiment: intended-latency p99 SLO for knee detection")
+		olWin   = flag.Int("window", 8, "openloop experiment: pipeline window per connection")
+		olRTT   = flag.Duration("openloop-rtt", 4*time.Millisecond, "openloop experiment: simulated round-trip time per node")
+		olDiur  = flag.Bool("diurnal", false, "openloop experiment: use diurnal (sinusoidal) arrivals instead of Poisson")
+		olStorm = flag.Bool("storm", false, "openloop experiment: fire an invalidation storm mid-step")
+		olKill  = flag.Bool("kill-replica", false, "openloop experiment: drop and stall a replica's link mid-step")
+		olGate  = flag.String("loadgate", "", "openloop experiment: compare the measured knee against this committed baseline and exit non-zero on regression")
+		olTol   = flag.Float64("knee-tolerance", 0.5, "openloop experiment: allowed fractional knee regression before -loadgate fails")
 	)
 	flag.Parse()
 
@@ -77,6 +87,23 @@ func main() {
 	run("network", runNetwork)
 	run("throughput", func(c *workload.Corpus) error { return runThroughput(c, *conns, *qpsDur, *rtt) })
 	run("readscale", func(c *workload.Corpus) error { return runReadScale(c, *qpsDur, *rsRTT, *rsJSON) })
+	run("openloop", func(c *workload.Corpus) error {
+		return runOpenLoop(c, openLoopOptions{
+			rates:     *olRates,
+			duration:  *qpsDur,
+			rtt:       *olRTT,
+			conns:     *conns,
+			window:    *olWin,
+			slo:       *olSLO,
+			seed:      *seed,
+			diurnal:   *olDiur,
+			storm:     *olStorm,
+			killRep:   *olKill,
+			jsonOut:   *rsJSON,
+			gatePath:  *olGate,
+			tolerance: *olTol,
+		})
+	})
 }
 
 func fatal(err error) {

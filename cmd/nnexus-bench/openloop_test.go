@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nnexus/internal/benchfmt"
+)
+
+func writeBaseline(t *testing.T, kneeQPS float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_PR6.json")
+	f := benchfmt.File{Benchmarks: []benchfmt.Benchmark{
+		{Name: "OpenLoop/offered=500", Procs: 1, Metrics: map[string]float64{"offered_qps": 500}},
+		{Name: "OpenLoop/knee", Procs: 1, Metrics: map[string]float64{"knee_offered_qps": kneeQPS}},
+	}}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadgateFailsOnDegradedPerformance is the loadgate contract: when the
+// measured knee has moved left of the committed baseline beyond tolerance
+// (here a synthetic collapse from 10000 to 900 req/s against a 50%
+// allowance), the gate must fail loudly, not shrug.
+func TestLoadgateFailsOnDegradedPerformance(t *testing.T) {
+	path := writeBaseline(t, 10_000)
+	err := gateAgainstBaseline(path, 900, 0.5)
+	if err == nil {
+		t.Fatal("gate passed a knee that collapsed from 10000 to 900 req/s")
+	}
+	if !strings.Contains(err.Error(), "knee regression") {
+		t.Fatalf("gate failure does not name the regression: %v", err)
+	}
+}
+
+func TestLoadgatePassesWithinTolerance(t *testing.T) {
+	path := writeBaseline(t, 1200)
+	if err := gateAgainstBaseline(path, 1100, 0.5); err != nil {
+		t.Fatalf("knee 1100 vs baseline 1200 at 50%% tolerance must pass: %v", err)
+	}
+	// Right at the boundary: baseline*(1-tol) exactly is still a pass.
+	if err := gateAgainstBaseline(path, 600, 0.5); err != nil {
+		t.Fatalf("knee at exactly baseline*(1-tolerance) must pass: %v", err)
+	}
+}
+
+func TestLoadgateRejectsBadBaselines(t *testing.T) {
+	if err := gateAgainstBaseline(filepath.Join(t.TempDir(), "missing.json"), 1000, 0.5); err == nil {
+		t.Fatal("gate accepted a missing baseline file")
+	}
+	path := filepath.Join(t.TempDir(), "noknee.json")
+	f := benchfmt.File{Benchmarks: []benchfmt.Benchmark{
+		{Name: "ReadScale/single", Procs: 1},
+	}}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	err := gateAgainstBaseline(path, 1000, 0.5)
+	if err == nil || !strings.Contains(err.Error(), "OpenLoop/knee") {
+		t.Fatalf("gate must name the missing OpenLoop/knee row, got: %v", err)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates(" 250, 500,1000 ")
+	if err != nil || len(got) != 3 || got[0] != 250 || got[2] != 1000 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "100,,x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+	if _, err := parseRates("100,,200"); err != nil {
+		t.Errorf("empty elements between commas should be skipped: %v", err)
+	}
+}

@@ -10,7 +10,6 @@ package main
 // the one primary.
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -19,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"nnexus/internal/benchfmt"
 	"nnexus/internal/client"
 	"nnexus/internal/experiments"
 	"nnexus/internal/netsim"
@@ -29,22 +29,6 @@ import (
 
 	"nnexus/internal/core"
 )
-
-// benchmarkJSON mirrors cmd/benchjson's schema so readscale results land in
-// the same committed format as the `go test -bench` trajectories.
-type benchmarkJSON struct {
-	Name        string             `json:"name"`
-	Procs       int                `json:"procs"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op"`
-	AllocsPerOp float64            `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-type benchmarkFile struct {
-	Benchmarks []benchmarkJSON `json:"benchmarks"`
-}
 
 func runReadScale(c *workload.Corpus, dur, rtt time.Duration, jsonOut string) error {
 	const (
@@ -170,7 +154,7 @@ func runReadScale(c *workload.Corpus, dur, rtt time.Duration, jsonOut string) er
 	}
 
 	fmt.Printf("%-16s %12s %12s %12s %9s\n", "config", "reads", "QPS", "avg lat", "speedup")
-	var results []benchmarkJSON
+	var results []benchfmt.Benchmark
 	var baseline float64
 	for _, cfg := range configs {
 		opts := append([]client.Option{
@@ -206,7 +190,7 @@ func runReadScale(c *workload.Corpus, dur, rtt time.Duration, jsonOut string) er
 		if cfg.name != "single" {
 			metrics["speedup_vs_single"] = qps / baseline
 		}
-		results = append(results, benchmarkJSON{
+		results = append(results, benchfmt.Benchmark{
 			Name:       "ReadScale/" + cfg.name,
 			Procs:      runtime.GOMAXPROCS(0),
 			Iterations: calls,
@@ -220,11 +204,7 @@ func runReadScale(c *workload.Corpus, dur, rtt time.Duration, jsonOut string) er
 	fmt.Println(" would still pin to the primary)")
 
 	if jsonOut != "" {
-		data, err := json.MarshalIndent(benchmarkFile{Benchmarks: results}, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := (benchfmt.File{Benchmarks: results}).Write(jsonOut); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonOut)

@@ -1,0 +1,184 @@
+// Package benchfmt is the committed benchmark-snapshot format shared by
+// cmd/benchjson (which converts `go test -bench` text into it) and the
+// experiment drivers in cmd/nnexus-bench (which record read-scaling and
+// open-loop sweep results directly). Keeping one schema means every
+// BENCH_PR*.json file — whatever produced it — can be loaded, compared,
+// and gated with the same code.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one recorded result: a parsed `go test -bench` line or a
+// synthetic experiment row.
+type Benchmark struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (the -P suffix; 1 when
+	// absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N (or the operation count of an experiment row).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror the standard columns; the
+	// latter two are -1 when -benchmem was off or the row is synthetic.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values (precision, links/op,
+	// offered_qps, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the committed JSON document.
+type File struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the benchmark with the given name and proc count.
+func (f File) Find(name string, procs int) (Benchmark, bool) {
+	for _, b := range f.Benchmarks {
+		if b.Name == name && b.Procs == procs {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Sort orders benchmarks by (name, procs), the committed order.
+func (f *File) Sort() {
+	sort.Slice(f.Benchmarks, func(i, j int) bool {
+		if f.Benchmarks[i].Name != f.Benchmarks[j].Name {
+			return f.Benchmarks[i].Name < f.Benchmarks[j].Name
+		}
+		return f.Benchmarks[i].Procs < f.Benchmarks[j].Procs
+	})
+}
+
+// Parse reads `go test -bench` output and extracts every benchmark line.
+// The format is: Benchmark<Name>[-P] <N> <value> <unit> [<value> <unit>]...
+func Parse(r io.Reader) File {
+	var f File
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:        strings.TrimPrefix(fields[0], "Benchmark"),
+			Procs:       1,
+			Iterations:  n,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+			if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name, b.Procs = b.Name[:i], p
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "MB/s":
+				// derived from ns/op and SetBytes; skip
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	f.Sort()
+	return f
+}
+
+// Load reads a committed snapshot from path.
+func Load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+// Write commits f to path as indented JSON with a trailing newline.
+func (f File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Marshal renders f exactly as Write commits it.
+func (f File) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+type benchKey struct {
+	name  string
+	procs int
+}
+
+// WriteComparison writes a benchstat-style old/new table for benchmarks
+// present in both files.
+func WriteComparison(w io.Writer, old, cur File) {
+	oldBy := make(map[benchKey]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey{b.Name, b.Procs}] = b
+	}
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, b := range cur.Benchmarks {
+		o, ok := oldBy[benchKey{b.Name, b.Procs}]
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("%s-%d", b.Name, b.Procs)
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8s %12.0f %12.0f %8s\n",
+			name, o.NsPerOp, b.NsPerOp, Delta(o.NsPerOp, b.NsPerOp),
+			o.AllocsPerOp, b.AllocsPerOp, Delta(o.AllocsPerOp, b.AllocsPerOp))
+	}
+}
+
+// Delta formats a relative change as a signed percentage ("n/a" when the
+// old value is non-positive).
+func Delta(old, new float64) string {
+	if old <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}

@@ -70,6 +70,16 @@ func WithLatency(d time.Duration) ConnOption {
 	return func(c *Conn) { c.latency = d }
 }
 
+// SetLatency changes the injected per-call latency on a live connection.
+// Load tests use it to stall a serving connection mid-run — every
+// subsequent Read and Write pays d — and then lift the stall, without
+// tearing the connection down.
+func (c *Conn) SetLatency(d time.Duration) {
+	c.mu.Lock()
+	c.latency = d
+	c.mu.Unlock()
+}
+
 // WithMaxWriteBytes caps the bytes accepted per Write call, forcing the
 // caller through the short-write path.
 func WithMaxWriteBytes(n int) ConnOption {

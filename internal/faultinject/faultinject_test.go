@@ -163,3 +163,47 @@ func TestFileFailWrite(t *testing.T) {
 		t.Errorf("failed write reached disk: size=%d", st.Size())
 	}
 }
+
+// TestConnSetLatency: latency can be injected and lifted on a live
+// connection — the stall knob of the open-loop load harness.
+func TestConnSetLatency(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WrapConn(a)
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+			if _, err := b.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	exchange := func() time.Duration {
+		start := time.Now()
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Read(make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	if d := exchange(); d > 50*time.Millisecond {
+		t.Fatalf("un-stalled exchange took %v", d)
+	}
+	c.SetLatency(60 * time.Millisecond)
+	// Write and Read each pay the injected latency.
+	if d := exchange(); d < 100*time.Millisecond {
+		t.Fatalf("stalled exchange took %v, want ≥~120ms", d)
+	}
+	c.SetLatency(0)
+	if d := exchange(); d > 50*time.Millisecond {
+		t.Fatalf("exchange after lifting the stall took %v", d)
+	}
+}

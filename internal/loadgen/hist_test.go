@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileAccuracy records a known uniform distribution and checks
+// the quantiles against the histogram's advertised ≤1/64 relative error
+// (plus the uniform grid's own granularity).
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := NewHist()
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50_000 * time.Microsecond},
+		{0.90, 90_000 * time.Microsecond},
+		{0.99, 99_000 * time.Microsecond},
+		{0.999, 99_900 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		err := float64(got-tc.want) / float64(tc.want)
+		if err < -1.0/64 || err > 2.0/64 {
+			t.Errorf("Quantile(%.3f) = %v, want %v within bucket error (got %+.2f%%)", tc.q, got, tc.want, err*100)
+		}
+	}
+	if got, want := h.Mean(), 50_000*time.Microsecond+500*time.Nanosecond; got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("Mean = %v, want ≈%v", got, want)
+	}
+	if got := h.Max(); got != 100_000*time.Microsecond {
+		t.Errorf("Max = %v, want %v", got, 100_000*time.Microsecond)
+	}
+}
+
+// TestHistClampAndEdges covers the extremes: negative values clamp to 0,
+// values beyond the trackable range clamp to the ceiling, and extreme
+// quantile arguments behave.
+func TestHistClampAndEdges(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should read as all-zero")
+	}
+	h.Record(-time.Second)
+	h.Record(100 * time.Hour) // far beyond histMaxValue
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	if got := h.Quantile(1); int64(got) < histMaxValue/2 {
+		t.Errorf("Quantile(1) = %v, want near the clamp ceiling", got)
+	}
+	if got := h.Max(); int64(got) != histMaxValue {
+		t.Errorf("Max = %v, want the clamp ceiling %v", got, time.Duration(histMaxValue))
+	}
+}
+
+// TestHistIndexRoundTrip checks the bucket math: every recorded value must
+// land in a slot whose reconstructed value is within the sub-bucket's
+// relative error, and slots must be monotone.
+func TestHistIndexRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 63, 64, 65, 1000, 4095, 4096, 1 << 20, 1<<42 - 1, 1 << 42} {
+		idx := histIndex(v)
+		if idx < 0 {
+			t.Fatalf("histIndex(%d) = %d", v, idx)
+		}
+		hi := histValueAt(idx)
+		if hi < v {
+			t.Errorf("histValueAt(histIndex(%d)) = %d < value", v, hi)
+		}
+		if v >= histSubCount && float64(hi-v) > float64(v)/(histSubHalf-1) {
+			t.Errorf("value %d reconstructs to %d: relative error too large", v, hi)
+		}
+	}
+	last := int64(-1)
+	for idx := 0; idx <= histIndex(histMaxValue); idx++ {
+		v := histValueAt(idx)
+		if v <= last {
+			t.Fatalf("histValueAt not strictly increasing at %d: %d after %d", idx, v, last)
+		}
+		last = v
+	}
+}
+
+// TestHistConcurrentRecordAndMerge hammers one histogram from many
+// goroutines (meaningful under -race) and checks the merged totals.
+func TestHistConcurrentRecordAndMerge(t *testing.T) {
+	h := NewHist()
+	const (
+		workers = 8
+		per     = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+
+	other := NewHist()
+	other.Record(time.Minute)
+	other.Merge(h)
+	if other.Count() != workers*per+1 {
+		t.Fatalf("merged Count = %d, want %d", other.Count(), workers*per+1)
+	}
+	if other.Max() != time.Minute {
+		t.Fatalf("merged Max = %v, want %v", other.Max(), time.Minute)
+	}
+}

@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestPoissonInterArrivalStatistics checks the generator's arrival model:
+// exponential gaps with mean 1/λ and coefficient of variation 1. A fixed
+// seed keeps the assertion deterministic.
+func TestPoissonInterArrivalStatistics(t *testing.T) {
+	const (
+		rate = 500.0
+		n    = 100_000
+	)
+	sched := NewPoisson(rate)
+	rng := rand.New(rand.NewSource(7))
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := sched.Gap(rng, 0).Seconds()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	wantMean := 1 / rate
+	if math.Abs(mean-wantMean)/wantMean > 0.03 {
+		t.Errorf("gap mean = %.6fs, want %.6fs ±3%%", mean, wantMean)
+	}
+	// Exponential gaps: stddev equals the mean (CV = 1).
+	cv := math.Sqrt(variance) / mean
+	if cv < 0.95 || cv > 1.05 {
+		t.Errorf("coefficient of variation = %.3f, want ≈1 (exponential)", cv)
+	}
+}
+
+// TestDiurnalRateModulation checks that the non-homogeneous schedule
+// actually modulates: the peak quarter of the day carries substantially
+// more arrivals than the trough quarter, and the overall mean stays near
+// base.
+func TestDiurnalRateModulation(t *testing.T) {
+	const (
+		base   = 2000.0
+		amp    = 0.5
+		period = time.Second
+	)
+	events := Generate(Params{
+		Seed:     11,
+		Schedule: NewDiurnal(base, amp, period),
+		Duration: 2 * period,
+		Keys:     10,
+	})
+	mean := float64(len(events)) / (2 * period.Seconds())
+	if math.Abs(mean-base)/base > 0.05 {
+		t.Errorf("mean rate = %.0f/s, want %.0f/s ±5%%", mean, base)
+	}
+	// sin peaks at period/4 and troughs at 3·period/4; count arrivals in
+	// the quarter-period windows around each, across both simulated days.
+	inWindow := func(center time.Duration) int {
+		lo, hi := center-period/8, center+period/8
+		var n int
+		for _, ev := range events {
+			phase := ev.At % period
+			if phase >= lo && phase < hi {
+				n++
+			}
+		}
+		return n
+	}
+	peak, trough := inWindow(period/4), inWindow(3*period/4)
+	// Exact integral ratio over the windows is ≈(1+0.45)/(1−0.45); demand
+	// a clear separation rather than the exact value.
+	if float64(peak) < 1.8*float64(trough) {
+		t.Errorf("peak window %d arrivals vs trough %d: diurnal modulation too weak", peak, trough)
+	}
+}
+
+// TestZipfRankFrequencySlope fits the rank-frequency line of generated
+// keys on log-log axes and checks its slope against the configured Zipf
+// exponent: freq(rank) ∝ rank^(−s).
+func TestZipfRankFrequencySlope(t *testing.T) {
+	const s = 1.4
+	events := Generate(Params{
+		Seed:     23,
+		Schedule: NewPoisson(200_000),
+		Duration: time.Second,
+		Keys:     1000,
+		ZipfS:    s,
+		ZipfV:    1,
+	})
+	if len(events) < 150_000 {
+		t.Fatalf("only %d events generated; expected ≈200k", len(events))
+	}
+	freq := make(map[int]int)
+	for _, ev := range events {
+		if ev.Key < 0 || ev.Key >= 1000 {
+			t.Fatalf("key %d outside [0,1000)", ev.Key)
+		}
+		freq[ev.Key]++
+	}
+	// Least-squares fit of log(freq) on log(rank+v) over well-sampled
+	// ranks (rand.Zipf: P(k) ∝ (v+k)^-s).
+	var xs, ys []float64
+	for rank := 0; rank < 200; rank++ {
+		n := freq[rank]
+		if n < 50 {
+			break
+		}
+		xs = append(xs, math.Log(float64(rank)+1))
+		ys = append(ys, math.Log(float64(n)))
+	}
+	if len(xs) < 10 {
+		t.Fatalf("only %d well-sampled ranks; Zipf skew looks wrong", len(xs))
+	}
+	slope := fitSlope(xs, ys)
+	if math.Abs(slope-(-s)) > 0.25 {
+		t.Errorf("rank-frequency slope = %.3f over %d ranks, want %.1f ±0.25", slope, len(xs), -s)
+	}
+	// And the hottest key must dominate: rank 0 well above rank 20.
+	if freq[0] < 4*freq[20] {
+		t.Errorf("freq(0)=%d not ≫ freq(20)=%d", freq[0], freq[20])
+	}
+}
+
+func fitSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxy, sxx float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// TestGenerateDeterminism is the determinism contract: identical Params
+// yield identical event streams, different seeds diverge.
+func TestGenerateDeterminism(t *testing.T) {
+	params := Params{
+		Seed:     42,
+		Schedule: NewPoisson(5000),
+		Duration: time.Second,
+		Mix:      Mix{Read: 0.8, Link: 0.1, Write: 0.08, Relink: 0.02},
+		Keys:     500,
+		ZipfS:    1.3,
+	}
+	a, b := Generate(params), Generate(params)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical params produced different event streams")
+	}
+	params.Seed = 43
+	c := Generate(params)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical event streams")
+	}
+
+	// The contract holds for the diurnal schedule too.
+	dp := Params{
+		Seed:     42,
+		Schedule: NewDiurnal(5000, 0.4, 200*time.Millisecond),
+		Duration: time.Second,
+		Keys:     500,
+	}
+	d1, d2 := Generate(dp), Generate(dp)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("identical diurnal params produced different event streams")
+	}
+}
+
+// TestGenerateMixAndOrdering checks the operation mixture converges to the
+// configured weights and that events come out time-ordered with in-range
+// keys.
+func TestGenerateMixAndOrdering(t *testing.T) {
+	mix := Mix{Read: 0.70, Link: 0.10, Write: 0.15, Relink: 0.05}
+	events := Generate(Params{
+		Seed:     3,
+		Schedule: NewPoisson(50_000),
+		Duration: time.Second,
+		Mix:      mix,
+		Keys:     100,
+	})
+	counts := map[OpKind]int{}
+	var last time.Duration
+	for _, ev := range events {
+		if ev.At < last {
+			t.Fatalf("events out of order: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		counts[ev.Kind]++
+		if ev.Kind == OpRelink {
+			if ev.Key != -1 {
+				t.Fatalf("relink event carries key %d, want -1", ev.Key)
+			}
+		} else if ev.Key < 0 || ev.Key >= 100 {
+			t.Fatalf("key %d outside [0,100)", ev.Key)
+		}
+	}
+	total := float64(len(events))
+	for kind, want := range map[OpKind]float64{OpRead: mix.Read, OpLink: mix.Link, OpWrite: mix.Write, OpRelink: mix.Relink} {
+		got := float64(counts[kind]) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v fraction = %.3f, want %.2f ±0.02", kind, got, want)
+		}
+	}
+}

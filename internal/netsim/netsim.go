@@ -124,6 +124,15 @@ func (l *Link) Partition(blocked bool) {
 // Heal reopens both directions; stalled traffic resumes where it stopped.
 func (l *Link) Heal() { l.Partition(false) }
 
+// Stall partitions both directions for d and then heals from a background
+// timer — a transient full stall of the segment (a GC'd middlebox, a
+// rerouting blip) that preserves stream integrity. It returns immediately;
+// scripted load-test events use it to stall a node mid-run.
+func (l *Link) Stall(d time.Duration) {
+	l.Partition(true)
+	time.AfterFunc(d, l.Heal)
+}
+
 // DropConnections closes every live proxied connection — both sides see an
 // abrupt connection failure — and returns how many were dropped. The
 // listener keeps accepting, so clients may reconnect immediately.

@@ -279,3 +279,42 @@ func TestLinkCloseReleasesPartitionedTraffic(t *testing.T) {
 		t.Fatal("Close hung on a partitioned link")
 	}
 }
+
+// TestLinkStall: a stalled link delays traffic for the stall window and
+// then flows again on its own, preserving the stream.
+func TestLinkStall(t *testing.T) {
+	const stall = 120 * time.Millisecond
+	l, err := NewLink(echoServer(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	exchange := func(msg string) time.Duration {
+		start := time.Now()
+		fmt.Fprintln(conn, msg)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != msg+"\n" {
+			t.Fatalf("echo = %q, want %q", line, msg+"\n")
+		}
+		return time.Since(start)
+	}
+
+	exchange("warm") // establish the proxied path
+	l.Stall(stall)
+	if got := exchange("stalled"); got < stall*8/10 {
+		t.Fatalf("exchange during stall took %v, want ≥~%v", got, stall)
+	}
+	if got := exchange("healed"); got > stall/2 {
+		t.Fatalf("exchange after heal took %v, want fast", got)
+	}
+}

@@ -289,6 +289,15 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("server: listen: %w", err)
 	}
+	return s.Serve(ln)
+}
+
+// Serve starts accepting connections from an existing listener — the
+// injection point for fault-wrapped listeners (faultinject.WrapListener)
+// in chaos and open-loop load tests. The server owns ln from here on: it
+// is closed on Close/Shutdown, or immediately when the server has already
+// shut down. The listener's address is returned.
+func (s *Server) Serve(ln net.Listener) (string, error) {
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()

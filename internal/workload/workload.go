@@ -538,3 +538,28 @@ func (c *Corpus) Subset(n int) *Corpus {
 	}
 	return sub
 }
+
+// QueryTexts returns n deterministic prose snippets, each invoking a
+// handful of the corpus's entry titles amid filler text — the free-text
+// linking traffic of the open-loop load generator. The same (n, seed)
+// always yields the same snippets, keeping load runs reproducible.
+func (c *Corpus) QueryTexts(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	var b strings.Builder
+	for i := range out {
+		b.Reset()
+		b.WriteString("These lecture notes discuss ")
+		for j, k := 0, 2+rng.Intn(3); j < k; j++ {
+			if j > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(c.Entries[rng.Intn(len(c.Entries))].Entry.Title)
+		}
+		b.WriteString(", among considerable other prose about ")
+		b.WriteString(c.Entries[rng.Intn(len(c.Entries))].Entry.Title)
+		b.WriteString(".")
+		out[i] = b.String()
+	}
+	return out
+}

@@ -290,3 +290,47 @@ func TestSecondClassFraction(t *testing.T) {
 		t.Errorf("multi-class entries = %d of 300, configured 0.5", multi)
 	}
 }
+
+// TestQueryTexts: the load generator's free-text traffic is deterministic
+// per (n, seed) and actually invokes corpus titles.
+func TestQueryTexts(t *testing.T) {
+	p := DefaultParams(120)
+	p.Seed = 5
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.QueryTexts(50, 99)
+	b := c.QueryTexts(50, 99)
+	if len(a) != 50 {
+		t.Fatalf("got %d texts, want 50", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("text %d differs across identical seeds", i)
+		}
+	}
+	other := c.QueryTexts(50, 100)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical texts")
+	}
+	// Every text must mention at least one real entry title.
+	for i, text := range a {
+		found := false
+		for _, ge := range c.Entries {
+			if strings.Contains(text, ge.Entry.Title) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("text %d mentions no corpus title: %q", i, text)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package nnexus_test
+
+// Open-loop chaos: coordinated-omission-free read traffic from
+// internal/loadgen against the public facade while a scripted invalidation
+// storm (a burst of UpdateEntry calls plus a relink run) lands mid-run.
+// The contract: the storm may slow requests — the open-loop harness will
+// charge every microsecond of that to intended latency — but it must not
+// surface errors outside the typed shed/retry classes, and the engine's
+// telemetry must account for the storm (update_entry operations, fired
+// invalidations, and a relink run all visible in WriteMetrics output).
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nnexus"
+	"nnexus/internal/client"
+	"nnexus/internal/loadgen"
+)
+
+// stormCorpus builds a facade engine whose entries cross-reference each
+// other's titles, so re-defining any entry invalidates the entries whose
+// texts invoke its label.
+func stormCorpus(t *testing.T) (*nnexus.Engine, []int64) {
+	t.Helper()
+	engine, err := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.Close() })
+	if err := engine.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc", Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	titles := []string{
+		"planar graph", "chromatic number", "spanning tree", "perfect matching",
+		"vertex cover", "independent set", "adjacency matrix", "graph minor",
+		"euler tour", "hamiltonian cycle", "bipartite graph", "edge coloring",
+	}
+	ids := make([]int64, len(titles))
+	for i, title := range titles {
+		next := titles[(i+1)%len(titles)]
+		id, err := engine.AddEntry(&nnexus.Entry{
+			Domain:  "planetmath.org",
+			Title:   title,
+			Classes: []string{"05C10"},
+			Body:    fmt.Sprintf("The %s is closely related to the %s.", title, next),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return engine, ids
+}
+
+// scrapeMetric reads one sample from the engine's Prometheus text output,
+// e.g. scrapeMetric(t, e, `nnexus_engine_operations_total{op="update_entry"}`).
+func scrapeMetric(t *testing.T, e *nnexus.Engine, sample string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, sample+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, sample)), 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in WriteMetrics output", sample)
+	return 0
+}
+
+func TestChaosOpenLoopInvalidationStorm(t *testing.T) {
+	engine, ids := stormCorpus(t)
+	srv, addr, err := engine.Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const workers = 6
+	clients := make([]*nnexus.Client, workers)
+	for i := range clients {
+		cl, err := nnexus.Dial(addr,
+			nnexus.WithMaxRetries(2),
+			nnexus.WithCallTimeout(10*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+	stormClient, err := nnexus.Dial(addr, nnexus.WithCallTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stormClient.Close()
+
+	updatesBefore := scrapeMetric(t, engine, `nnexus_engine_operations_total{op="update_entry"}`)
+	relinksBefore := scrapeMetric(t, engine, `nnexus_relink_runs_total`)
+
+	// The storm: re-submit every entry (UpdateEntry re-indexes its labels
+	// and invalidates the entries whose texts invoke them), observe the
+	// invalidation queue while it is non-empty, then run a relink batch —
+	// all through the wire client, mid-flight under open-loop reads.
+	var (
+		invalidatedSeen atomic.Int64
+		relinked        atomic.Int64
+		stormErr        atomic.Value
+	)
+	storm := func() {
+		go func() {
+			for _, id := range ids {
+				e, err := stormClient.GetEntry(id)
+				if err == nil {
+					err = stormClient.UpdateEntry(e)
+				}
+				if err != nil {
+					stormErr.Store(err)
+					return
+				}
+			}
+			inv, err := stormClient.Invalidated()
+			if err != nil {
+				stormErr.Store(err)
+				return
+			}
+			invalidatedSeen.Store(int64(len(inv)))
+			n, err := stormClient.Relink()
+			if err != nil {
+				stormErr.Store(err)
+				return
+			}
+			relinked.Store(int64(n))
+		}()
+	}
+
+	const duration = 1500 * time.Millisecond
+	events := loadgen.Generate(loadgen.Params{
+		Seed:     99,
+		Schedule: loadgen.NewPoisson(300),
+		Duration: duration,
+		Mix:      loadgen.Mix{Read: 0.9, Link: 0.1},
+		Keys:     len(ids),
+	})
+	res, err := loadgen.Run{
+		Events:   events,
+		Duration: duration,
+		Workers:  workers,
+		Drain:    20 * time.Second,
+		Target: func(w int, ev loadgen.Event) error {
+			cl := clients[w%len(clients)]
+			if ev.Kind == loadgen.OpLink {
+				_, err := cl.LinkText("every planar graph admits an euler tour", nil, "", "", "")
+				return err
+			}
+			_, err := cl.GetEntry(ids[ev.Key%len(ids)])
+			return err
+		},
+		Classify: func(err error) string {
+			if client.IsOverloaded(err) {
+				return "shed"
+			}
+			var se *client.ServerError
+			if errors.As(err, &se) {
+				return "server"
+			}
+			return "untyped"
+		},
+		Script: []loadgen.ScriptEvent{
+			{At: duration / 2, Name: "invalidation-storm", Fire: storm},
+		},
+	}.Do()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic contract: the storm must not leak errors outside the typed
+	// shed/retry surface, and the drain window must absorb the backlog.
+	if res.Errors["untyped"] != 0 || res.Errors["server"] != 0 {
+		t.Fatalf("storm leaked hard errors into the traffic: %v", res.Errors)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d requests never finished under the storm", res.Unfinished)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no traffic completed")
+	}
+	if err, _ := stormErr.Load().(error); err != nil {
+		t.Fatalf("storm operations failed: %v", err)
+	}
+
+	// Storm accounting: invalidations observed mid-storm, the relink batch
+	// cleared them, and the engine's telemetry advanced to match.
+	if invalidatedSeen.Load() == 0 {
+		t.Fatal("storm invalidated no entries (cross-referencing corpus should)")
+	}
+	if relinked.Load() == 0 {
+		t.Fatal("relink batch re-linked no entries")
+	}
+	updatesAfter := scrapeMetric(t, engine, `nnexus_engine_operations_total{op="update_entry"}`)
+	if got := updatesAfter - updatesBefore; got < float64(len(ids)) {
+		t.Fatalf("update_entry counter advanced by %v, want ≥ %d", got, len(ids))
+	}
+	relinksAfter := scrapeMetric(t, engine, `nnexus_relink_runs_total`)
+	if relinksAfter <= relinksBefore {
+		t.Fatalf("relink_runs counter did not advance: %v → %v", relinksBefore, relinksAfter)
+	}
+	t.Logf("storm: %d invalidated, %d relinked; traffic: %d completed, intended p99 %v (service p99 %v)",
+		invalidatedSeen.Load(), relinked.Load(), res.Completed,
+		res.Intended.Quantile(0.99), res.Service.Quantile(0.99))
+}
