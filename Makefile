@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench bench-json bench-compare chaos chaos-replication readscale openloop loadgate experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare chaos chaos-replication chaos-failover readscale openloop loadgate experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -50,6 +50,13 @@ chaos:
 # scenario — always under the race detector.
 chaos-replication:
 	go test -race -run '^TestChaosRepl' ./...
+
+# The failover slice of the chaos suite: the primary killed at every WAL
+# record boundary under concurrent quorum-acknowledged writes, automatic
+# election among the survivors, exactly-one-primary convergence, and a
+# restarted stale primary fencing itself — always under the race detector.
+chaos-failover:
+	go test -race -run '^TestChaosFailover' ./...
 
 # The read-scaling experiment (1 primary + 2 WAL-shipped replicas vs a
 # single node); regenerates the committed BENCH_PR5.json snapshot.

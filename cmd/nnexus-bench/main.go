@@ -50,6 +50,7 @@ func main() {
 		olDiur  = flag.Bool("diurnal", false, "openloop experiment: use diurnal (sinusoidal) arrivals instead of Poisson")
 		olStorm = flag.Bool("storm", false, "openloop experiment: fire an invalidation storm mid-step")
 		olKill  = flag.Bool("kill-replica", false, "openloop experiment: drop and stall a replica's link mid-step")
+		olKillP = flag.Bool("kill-primary", false, "openloop experiment: kill the primary mid-window on a 3-node election-enabled cluster and measure the availability gap")
 		olGate  = flag.String("loadgate", "", "openloop experiment: compare the measured knee against this committed baseline and exit non-zero on regression")
 		olTol   = flag.Float64("knee-tolerance", 0.5, "openloop experiment: allowed fractional knee regression before -loadgate fails")
 	)
@@ -99,6 +100,7 @@ func main() {
 			diurnal:   *olDiur,
 			storm:     *olStorm,
 			killRep:   *olKill,
+			killPrim:  *olKillP,
 			jsonOut:   *rsJSON,
 			gatePath:  *olGate,
 			tolerance: *olTol,

@@ -46,6 +46,7 @@ type openLoopOptions struct {
 	diurnal   bool   // diurnal (sinusoidal) arrivals instead of Poisson
 	storm     bool   // fire an invalidation storm mid-step
 	killRep   bool   // drop + stall a replica's link mid-step
+	killPrim  bool   // kill the primary mid-window (election-enabled cluster)
 	jsonOut   string // record the sweep (benchfmt schema) to this file
 	gatePath  string // compare the knee against this committed baseline
 	tolerance float64
@@ -186,6 +187,11 @@ func parseRates(s string) ([]float64, error) {
 }
 
 func runOpenLoop(c *workload.Corpus, opt openLoopOptions) error {
+	if opt.killPrim {
+		// The primary-kill variant changes the cluster mid-window, so it
+		// runs its own single-step measurement instead of the ladder.
+		return runOpenLoopFailover(c, opt)
+	}
 	rates, err := parseRates(opt.rates)
 	if err != nil {
 		return err

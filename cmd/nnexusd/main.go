@@ -21,6 +21,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +51,12 @@ func main() {
 		replPrimary = flag.Bool("repl-primary", false, "serve as a replication primary: retain the WAL record log and answer follower subscriptions (requires -data)")
 		follow      = flag.String("follow", "", "run as a read replica of the primary at this XML-protocol address (requires -data; writes answer a notPrimary redirect)")
 		replicaName = flag.String("replica-name", "", "name this follower reports for lag accounting (default: hostname)")
+
+		peers           = flag.String("peers", "", "comma-separated XML-protocol addresses of the OTHER cluster nodes; enables automatic failover (requires -advertise, -data, and -repl-primary or -follow for the initial role)")
+		advertise       = flag.String("advertise", "", "this node's own address as its peers dial it (required with -peers)")
+		electionTimeout = flag.Duration("election-timeout", 0, "primary-silence tolerance before a follower stands for election (0 = library default)")
+		quorumAcks      = flag.Int("quorum-acks", 0, "acknowledge writes only after this many followers confirm the WAL offset durable (0 = local durability only)")
+		quorumTimeout   = flag.Duration("quorum-timeout", 0, "bound on the quorum wait before a write answers quorumUnavailable (0 = server default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
@@ -89,6 +96,15 @@ func main() {
 		}
 	}
 
+	var clusterPeers []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				clusterPeers = append(clusterPeers, p)
+			}
+		}
+	}
+
 	engine, err := nnexus.New(nnexus.Config{
 		Scheme:             s,
 		DataDir:            *dataDir,
@@ -97,6 +113,11 @@ func main() {
 		ReplicationPrimary: *replPrimary,
 		FollowPrimary:      *follow,
 		ReplicaName:        *replicaName,
+		ClusterPeers:       clusterPeers,
+		AdvertiseAddr:      *advertise,
+		ElectionTimeout:    *electionTimeout,
+		QuorumAcks:         *quorumAcks,
+		QuorumTimeout:      *quorumTimeout,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -116,6 +137,9 @@ func main() {
 	healthState.AddCheck("storage", engine.Ready)
 	healthState.AddCheck("engine", func() error { return nil })
 	healthState.AddInfo("replication", engine.ReplicationInfo)
+	if len(clusterPeers) > 0 {
+		healthState.AddInfo("election", engine.ElectionInfo)
+	}
 
 	var srvOpts []nnexus.ServerOption
 	if *maxConns > 0 {

@@ -1,0 +1,419 @@
+package nnexus_test
+
+// Failover chaos: a three-node cluster assembled entirely from the public
+// facade, with the primary killed abruptly at every WAL record boundary
+// while concurrent quorum-acknowledged writes are in flight. The acceptance
+// bar: no quorum-acked write is ever lost, exactly one primary exists after
+// convergence, writes resume through the same client within a bounded
+// window, and a restarted old primary fences itself — all with no human in
+// the loop.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+import "nnexus"
+
+// failoverElectionTimeout keeps detection fast without racing the follower
+// long-poll (the facade sizes the poll to a quarter of this).
+const failoverElectionTimeout = time.Second
+
+type failoverCluster struct {
+	addrs   []string
+	dirs    []string
+	engines []*nnexus.Engine
+	servers []*nnexus.Server
+
+	quorumAcks int
+}
+
+// startFailoverCluster boots node 0 as the initial primary and nodes 1, 2
+// as followers, every node election-enabled with quorum-acked writes. The
+// listeners are bound before any engine exists so each node can advertise
+// the others' real ports.
+func startFailoverCluster(t testing.TB) *failoverCluster {
+	return startFailoverClusterAcks(t, 1)
+}
+
+// startFailoverClusterAcks is startFailoverCluster with an explicit write
+// acknowledgement level (0 = primary durability only).
+func startFailoverClusterAcks(t testing.TB, quorumAcks int) *failoverCluster {
+	t.Helper()
+	fc := &failoverCluster{
+		quorumAcks: quorumAcks,
+		dirs:       make([]string, 3),
+		engines:    make([]*nnexus.Engine, 3),
+		servers:    make([]*nnexus.Server, 3),
+	}
+	lns := make([]net.Listener, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		fc.addrs = append(fc.addrs, ln.Addr().String())
+		fc.dirs[i] = t.TempDir()
+	}
+	for i := range lns {
+		fc.startNode(t, i, lns[i], i == 0)
+	}
+	return fc
+}
+
+// startNode assembles one node (initial primary or follower of node 0) and
+// serves it on ln. Used both at cluster boot and to restart a killed node
+// against its original data directory and address.
+func (fc *failoverCluster) startNode(t testing.TB, i int, ln net.Listener, initialPrimary bool) {
+	t.Helper()
+	var peers []string
+	for j, a := range fc.addrs {
+		if j != i {
+			peers = append(peers, a)
+		}
+	}
+	cfg := nnexus.Config{
+		Scheme:          nnexus.SampleMSC(10),
+		DataDir:         fc.dirs[i],
+		ClusterPeers:    peers,
+		AdvertiseAddr:   fc.addrs[i],
+		ElectionTimeout: failoverElectionTimeout,
+		QuorumAcks:      fc.quorumAcks,
+		QuorumTimeout:   5 * time.Second,
+		ReplicaName:     fmt.Sprintf("node%d", i),
+	}
+	if initialPrimary {
+		cfg.ReplicationPrimary = true
+	} else {
+		cfg.FollowPrimary = fc.addrs[0]
+	}
+	engine, err := nnexus.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := engine.ServeListener(ln, nil)
+	if err != nil {
+		engine.Close()
+		t.Fatal(err)
+	}
+	fc.engines[i], fc.servers[i] = engine, srv
+	t.Cleanup(func() { fc.kill(i) })
+}
+
+// kill abruptly stops node i: listener and connections torn down, engine
+// (and its election loop) stopped. Idempotent.
+func (fc *failoverCluster) kill(i int) {
+	if fc.servers[i] != nil {
+		fc.servers[i].Close()
+		fc.servers[i] = nil
+	}
+	if fc.engines[i] != nil {
+		fc.engines[i].Close()
+		fc.engines[i] = nil
+	}
+}
+
+func (fc *failoverCluster) role(i int) string {
+	if fc.engines[i] == nil {
+		return "dead"
+	}
+	info := fc.engines[i].ElectionInfo()
+	if info == nil {
+		return "none"
+	}
+	return info["role"].(string)
+}
+
+// awaitSinglePrimary waits for the surviving followers to elect exactly one
+// primary and for that leadership to be stable, returning the winner index.
+func (fc *failoverCluster) awaitSinglePrimary(t *testing.T, among []int) int {
+	t.Helper()
+	winner := -1
+	waitFor(t, "a single primary after failover", func() bool {
+		winner = -1
+		for _, i := range among {
+			if fc.role(i) == "primary" {
+				if winner != -1 {
+					return false // split — must resolve
+				}
+				winner = i
+			}
+		}
+		return winner != -1
+	})
+	// Stability: still exactly one primary after another election window.
+	time.Sleep(2 * failoverElectionTimeout)
+	n := 0
+	for _, i := range among {
+		if fc.role(i) == "primary" {
+			n++
+		}
+	}
+	if n != 1 || fc.role(winner) != "primary" {
+		t.Fatalf("leadership unstable: %d primaries, winner role %q", n, fc.role(winner))
+	}
+	return winner
+}
+
+// ackedWrites is the concurrent record of quorum-acknowledged entries: only
+// a write whose AddEntry call returned success (meaning the server gathered
+// the quorum) may be asserted durable.
+type ackedWrites struct {
+	mu     sync.Mutex
+	ids    map[int64]string // id -> title
+	firstA time.Time        // first ack after the kill
+	kill   time.Time
+}
+
+func (a *ackedWrites) record(id int64, title string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ids[id] = title
+	if !a.kill.IsZero() && a.firstA.IsZero() {
+		a.firstA = time.Now()
+	}
+}
+
+func (a *ackedWrites) markKill() {
+	a.mu.Lock()
+	a.kill = time.Now()
+	a.mu.Unlock()
+}
+
+func (a *ackedWrites) postKillAcks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.firstA.IsZero() {
+		return 0
+	}
+	n := 0
+	for range a.ids {
+		n++
+	}
+	return n
+}
+
+func (a *ackedWrites) availabilityGap() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.kill.IsZero() || a.firstA.IsZero() {
+		return -1
+	}
+	return a.firstA.Sub(a.kill)
+}
+
+// TestChaosFailover kills the primary at every WAL record boundary of a
+// short history, each time with a concurrent quorum-write burst in flight,
+// and asserts the full failover contract on what remains.
+func TestChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover chaos matrix is not -short")
+	}
+	// Boundary k: the primary dies when its WAL head sits exactly at the
+	// record written by seed entry k-1 (the domain registration is record 1;
+	// each entry appends two records — the entry itself and the nextID
+	// counter — so seeding walks heads 1, 3, 5, ...). Those are every
+	// boundary reachable between operations; the concurrent burst plus the
+	// abrupt kill covers the intra-operation boundaries in between, since
+	// the teardown can land between the two appends of a single entry.
+	// Every boundary gets its own fresh cluster.
+	for k := 1; k <= 5; k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill_at_boundary_%d", k), func(t *testing.T) {
+			fc := startFailoverCluster(t)
+			c, err := nnexus.Dial(fc.addrs[0],
+				nnexus.WithReplicas(fc.addrs[1], fc.addrs[2]),
+				nnexus.WithReplicaProbeInterval(25*time.Millisecond),
+				nnexus.WithCallTimeout(3*time.Second),
+				nnexus.WithMaxRetries(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.AddDomain(nnexus.Domain{
+				Name: "planetmath.org", URLTemplate: "http://planetmath.org/{id}", Scheme: "msc",
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			acked := &ackedWrites{ids: make(map[int64]string)}
+			// Seed sequentially up to exactly the kill boundary.
+			for i := 0; i < k-1; i++ {
+				title := fmt.Sprintf("seed %d %d", k, i)
+				id, err := c.AddEntry(&nnexus.Entry{
+					Domain: "planetmath.org", Title: title, Classes: []string{chaosClasses},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				acked.record(id, title)
+			}
+			wantHead := uint64(1 + 2*(k-1))
+			if head := fc.engines[0].ReplicationInfo()["head"].(uint64); head != wantHead {
+				t.Fatalf("head before kill = %d, want %d", head, wantHead)
+			}
+
+			// Concurrent quorum-write burst; the kill lands inside it.
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						title := fmt.Sprintf("burst %d %d %d", k, g, i)
+						id, err := c.AddEntry(&nnexus.Entry{
+							Domain: "planetmath.org", Title: title, Classes: []string{chaosClasses},
+						})
+						if err == nil {
+							acked.record(id, title)
+						}
+						// Failures are legitimate mid-failover (ErrNoPrimary,
+						// quorumUnavailable, fate-unknown): such writes are
+						// simply not in the acked set.
+					}
+				}(g)
+			}
+			time.Sleep(5 * time.Millisecond) // let the burst reach the wire
+			acked.markKill()
+			fc.kill(0)
+
+			// The cluster must recover with no human in the loop: writes
+			// resume through the SAME client against the elected primary.
+			waitFor(t, "writes resumed after the kill", func() bool {
+				return acked.postKillAcks() > 0
+			})
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) && acked.postKillAcks() < 5 {
+				time.Sleep(10 * time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+
+			if gap := acked.availabilityGap(); gap < 0 || gap > 20*time.Second {
+				t.Fatalf("availability gap = %v, want bounded (0, 20s]", gap)
+			}
+			winner := fc.awaitSinglePrimary(t, []int{1, 2})
+
+			// Zero quorum-acked writes lost: every acked entry is readable,
+			// with its exact content, from the new primary.
+			direct, err := nnexus.Dial(fc.addrs[winner])
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer direct.Close()
+			acked.mu.Lock()
+			snapshot := make(map[int64]string, len(acked.ids))
+			for id, title := range acked.ids {
+				snapshot[id] = title
+			}
+			acked.mu.Unlock()
+			for id, title := range snapshot {
+				e, err := direct.GetEntry(id)
+				if err != nil || e == nil || e.Title != title {
+					t.Fatalf("acked entry %d lost after failover: %+v, %v", id, e, err)
+				}
+			}
+			t.Logf("boundary %d: %d acked writes survived, availability gap %v, winner node%d",
+				k, len(snapshot), acked.availabilityGap(), winner)
+		})
+	}
+}
+
+// TestChaosFailoverOldPrimaryFenced restarts a deposed primary against its
+// original data directory and address: it must discover the higher epoch on
+// its own, demote without serving a single divergent write, and converge on
+// the new primary's history.
+func TestChaosFailoverOldPrimaryFenced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover chaos is not -short")
+	}
+	fc := startFailoverCluster(t)
+	c, err := nnexus.Dial(fc.addrs[0],
+		nnexus.WithReplicas(fc.addrs[1], fc.addrs[2]),
+		nnexus.WithReplicaProbeInterval(25*time.Millisecond),
+		nnexus.WithCallTimeout(3*time.Second),
+		nnexus.WithMaxRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://planetmath.org/{id}", Scheme: "msc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	titles := make(map[int64]string)
+	for i := 0; i < 5; i++ {
+		title := fmt.Sprintf("pre-kill %d", i)
+		id, err := c.AddEntry(&nnexus.Entry{
+			Domain: "planetmath.org", Title: title, Classes: []string{chaosClasses},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		titles[id] = title
+	}
+
+	fc.kill(0)
+	winner := fc.awaitSinglePrimary(t, []int{1, 2})
+
+	// The new regime keeps writing (transparently, via the same client).
+	waitFor(t, "writes resumed on the new primary", func() bool {
+		title := fmt.Sprintf("post-kill %d", len(titles))
+		id, err := c.AddEntry(&nnexus.Entry{
+			Domain: "planetmath.org", Title: title, Classes: []string{chaosClasses},
+		})
+		if err != nil {
+			return false
+		}
+		titles[id] = title
+		return true
+	})
+
+	// Resurrect the old primary: same data dir, same address, still
+	// believing it leads. Its first peer contact must fence it.
+	ln, err := net.Listen("tcp", fc.addrs[0])
+	if err != nil {
+		t.Fatalf("rebind old primary address: %v", err)
+	}
+	fc.startNode(t, 0, ln, true)
+	waitFor(t, "old primary fenced itself", func() bool {
+		info := fc.engines[0].ElectionInfo()
+		return info["role"].(string) == "follower" && info["fenced"].(bool)
+	})
+	if got := fc.engines[0].ElectionInfo()["leader"].(string); got != fc.addrs[winner] {
+		t.Fatalf("fenced node's leader = %q, want %q", got, fc.addrs[winner])
+	}
+	// Exactly one primary across the WHOLE cluster, including the returnee.
+	if n := fc.awaitSinglePrimary(t, []int{0, 1, 2}); n != winner {
+		t.Fatalf("leadership moved to node%d after the old primary returned", n)
+	}
+
+	// The fenced node converges on the winner's history and serves it.
+	winnerHead := func() uint64 { return fc.engines[winner].ReplicationInfo()["head"].(uint64) }
+	waitFor(t, "fenced node converged", func() bool {
+		info := fc.engines[0].ReplicationInfo()
+		return info["role"] == "follower" && info["applied"].(uint64) == winnerHead() && info["synced"].(bool)
+	})
+	direct, err := nnexus.Dial(fc.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	for id, title := range titles {
+		e, err := direct.GetEntry(id)
+		if err != nil || e == nil || e.Title != title {
+			t.Fatalf("entry %d missing on the re-joined node: %+v, %v", id, e, err)
+		}
+	}
+}

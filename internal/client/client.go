@@ -94,6 +94,11 @@ var idempotent = map[string]bool{
 	wire.MethodReplSnapshot:  true,
 	wire.MethodReplAck:       true,
 	wire.MethodReplStatus:    true,
+	// Election exchanges are idempotent by construction: a voter re-grants
+	// the same (epoch, candidate) pair, and a leadership announcement for an
+	// epoch already adopted is a no-op.
+	wire.MethodReplVote: true,
+	wire.MethodReplLead: true,
 }
 
 // Client is a connection to an NNexus server.
@@ -457,13 +462,21 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 // own server, transparently reconnecting and retrying per the client's
 // policy.
 func (c *Client) callLocal(req *wire.Request) (*wire.Response, error) {
+	resp, _, err := c.callLocalClassed(req)
+	return resp, err
+}
+
+// callLocalClassed is callLocal surfacing the final attempt's failure class,
+// so the routing layer can tell a request that provably never reached the
+// wire (safe to re-issue at a new primary) from one whose fate is unknown.
+func (c *Client) callLocalClassed(req *wire.Request) (*wire.Response, failClass, error) {
 	for attempt := 0; ; attempt++ {
 		resp, class, err := c.doCall(req)
 		if err == nil {
-			return resp, nil
+			return resp, failNone, nil
 		}
 		if attempt >= c.maxRetries {
-			return nil, err
+			return nil, class, err
 		}
 		switch class {
 		case failNotSent, failRejected:
@@ -471,10 +484,10 @@ func (c *Client) callLocal(req *wire.Request) (*wire.Response, error) {
 		case failUnknown:
 			// Fate unknown: only idempotent methods may retry.
 			if !idempotent[req.Method] {
-				return nil, err
+				return nil, class, err
 			}
 		default:
-			return nil, err
+			return nil, class, err
 		}
 		c.retries.Add(1)
 		if c.telRetries != nil {
@@ -775,6 +788,38 @@ func (c *Client) ReplAck(follower string, offset, epoch uint64) error {
 		Follower: follower,
 		Offset:   offset,
 		Epoch:    epoch,
+	})
+	return err
+}
+
+// ReplVote asks the server's election node for its vote: the caller proposes
+// itself (candidate, its advertised address) for the given election epoch at
+// the given applied WAL offset. The returned payload's Granted reports the
+// verdict; on rejection its Epoch/Applied carry the voter's own position.
+func (c *Client) ReplVote(epoch, offset uint64, candidate string) (*wire.ReplPayload, error) {
+	resp, err := c.callLocal(&wire.Request{
+		Method:    wire.MethodReplVote,
+		Epoch:     epoch,
+		Offset:    offset,
+		Candidate: candidate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Repl == nil {
+		return nil, errors.New("client: response missing replication payload")
+	}
+	return resp.Repl, nil
+}
+
+// ReplLead announces a won election to the server: leader (its advertised
+// address) now serves epoch. A server holding a higher epoch rejects the
+// claim with the staleEpoch code.
+func (c *Client) ReplLead(epoch uint64, leader string) error {
+	_, err := c.callLocal(&wire.Request{
+		Method: wire.MethodReplLead,
+		Epoch:  epoch,
+		Leader: leader,
 	})
 	return err
 }

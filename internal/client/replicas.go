@@ -2,11 +2,13 @@
 // one sub-client per read replica and a background probe of each replica's
 // replStatus. Reads load-balance round-robin across followers that are
 // alive, in contact with the primary, and within the staleness bound
-// (falling back to the primary when none qualify); writes always pin to the
-// primary. On primary loss, reads fail over to the freshest followers and
-// writes surface ErrNoPrimary; a write that lands on a follower (e.g. after
-// a misconfigured failover) follows the notPrimary redirect's leader hint
-// once.
+// (falling back to the primary when none qualify); writes pin to the
+// current primary. On primary loss, reads fail over to the freshest
+// followers and writes re-discover the elected primary from the replicas'
+// replStatus (a probe reporting the primary role, a follower's leader hint,
+// or a notPrimary redirect) and resume there — only a request whose fate is
+// unknown is left unrepeated, surfacing ErrNoPrimary or the raw error for
+// the caller to reconcile.
 package client
 
 import (
@@ -93,9 +95,39 @@ type replicaSet struct {
 	probeEvery time.Duration
 	rr         atomic.Uint64
 
+	// hintMu guards leaderAddr — the freshest known primary address after a
+	// failover (a listed replica answering replStatus with the primary role,
+	// or a follower naming its leader). Writes try it before the configured
+	// address once set.
+	hintMu     sync.Mutex
+	leaderAddr string
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+}
+
+// leaderHint returns the freshest known primary address ("" when none).
+func (rs *replicaSet) leaderHint() string {
+	rs.hintMu.Lock()
+	defer rs.hintMu.Unlock()
+	return rs.leaderAddr
+}
+
+func (rs *replicaSet) setLeaderHint(addr string) {
+	rs.hintMu.Lock()
+	rs.leaderAddr = addr
+	rs.hintMu.Unlock()
+}
+
+// clearLeaderHint drops the hint if it still names addr (a newer hint is
+// kept).
+func (rs *replicaSet) clearLeaderHint(addr string) {
+	rs.hintMu.Lock()
+	if rs.leaderAddr == addr {
+		rs.leaderAddr = ""
+	}
+	rs.hintMu.Unlock()
 }
 
 // WithReplicas attaches read replicas to the client: routed reads
@@ -195,10 +227,27 @@ func (rs *replicaSet) stopProbing() {
 func (rs *replicaSet) probeAll() {
 	for _, r := range rs.replicas {
 		payload, _, err := r.c.ReplStatus()
-		if err != nil || payload == nil || payload.Role != wire.RoleFollower {
+		if err != nil || payload == nil {
 			r.alive.Store(false)
 			continue
 		}
+		if payload.Role == wire.RolePrimary {
+			// A listed replica was promoted: it no longer serves routed
+			// reads, but it is exactly where failed-over writes must go.
+			r.alive.Store(false)
+			rs.setLeaderHint(r.addr)
+			continue
+		}
+		if payload.Role != wire.RoleFollower {
+			r.alive.Store(false)
+			continue
+		}
+		// A hinted replica that reverted to follower is no longer the
+		// primary; drop the hint. (A follower's leader STRING is not cached
+		// here — in steady state it merely names the configured primary,
+		// possibly under a different address, and must not divert writes.
+		// discoverLeader consults it on demand after a failure.)
+		rs.clearLeaderHint(r.addr)
 		lag := uint64(0)
 		if payload.Head > payload.Applied {
 			lag = payload.Head - payload.Applied
@@ -207,6 +256,31 @@ func (rs *replicaSet) probeAll() {
 		r.stale.Store(payload.Stale)
 		r.alive.Store(true)
 	}
+}
+
+// discoverLeader synchronously asks every listed replica who the primary is:
+// a replica answering with the primary role wins outright; otherwise the
+// first follower naming a leader decides. The result (possibly "") also
+// refreshes the cached hint.
+func (rs *replicaSet) discoverLeader() string {
+	var hinted string
+	for _, r := range rs.replicas {
+		payload, leader, err := r.c.ReplStatus()
+		if err != nil || payload == nil {
+			continue
+		}
+		if payload.Role == wire.RolePrimary {
+			rs.setLeaderHint(r.addr)
+			return r.addr
+		}
+		if hinted == "" && leader != "" {
+			hinted = leader
+		}
+	}
+	if hinted != "" {
+		rs.setLeaderHint(hinted)
+	}
+	return hinted
 }
 
 // pick returns the next routable replica round-robin, or nil when none
@@ -279,6 +353,10 @@ func (c *Client) route(req *wire.Request) (*wire.Response, error) {
 		return resp, err
 	}
 
+	if rs != nil && mutatingMethods[req.Method] {
+		return c.routeWrite(rs, req)
+	}
+
 	resp, err := c.callLocal(req)
 	if err == nil {
 		return resp, nil
@@ -292,7 +370,68 @@ func (c *Client) route(req *wire.Request) (*wire.Response, error) {
 		}
 		return nil, err
 	}
-	if rs != nil && mutatingMethods[req.Method] && isConnFailure(err) {
+	return nil, err
+}
+
+// routeWrite is the mutating-method path for replica-aware clients. It makes
+// writes survive an automatic failover: a known promoted replica is tried
+// first, a notPrimary rejection follows the server's leader hint and then
+// asks the followers who won, and a connection failure that provably never
+// reached the wire re-discovers the leader and re-issues there. A request
+// whose fate is unknown (sent, then the connection died) is NEVER re-issued
+// at another node — re-executing a possibly-applied mutation risks
+// duplicates — so it surfaces as an error for the caller to reconcile.
+func (c *Client) routeWrite(rs *replicaSet, req *wire.Request) (*wire.Response, error) {
+	if hint := rs.leaderHint(); hint != "" && hint != c.addr {
+		resp, class, err := c.leaderClient(hint).callLocalClassed(req)
+		switch {
+		case err == nil:
+			return resp, nil
+		case IsNotPrimary(err) || class == failNotSent:
+			// Stale hint; fall through to the configured primary.
+			rs.clearLeaderHint(hint)
+		default:
+			// failUnknown included: the request may have executed at the
+			// hinted node, so it must not be re-issued anywhere else.
+			if isConnFailure(err) {
+				return nil, fmt.Errorf("%w: %v", ErrNoPrimary, err)
+			}
+			return nil, err
+		}
+	}
+
+	resp, class, err := c.callLocalClassed(req)
+	if err == nil {
+		return resp, nil
+	}
+	var se *ServerError
+	if errors.As(err, &se) && se.Code == wire.CodeNotPrimary {
+		// The write was rejected before executing, so re-issuing elsewhere
+		// is safe. Follow the server's leader hint first, then ask the
+		// replicas who won the election.
+		if se.Leader != "" && se.Leader != c.addr {
+			if resp2, _, err2 := c.leaderClient(se.Leader).callLocalClassed(req); err2 == nil {
+				rs.setLeaderHint(se.Leader)
+				return resp2, nil
+			}
+		}
+		if addr := rs.discoverLeader(); addr != "" && addr != c.addr && addr != se.Leader {
+			if resp2, _, err2 := c.leaderClient(addr).callLocalClassed(req); err2 == nil {
+				return resp2, nil
+			}
+		}
+		return nil, err
+	}
+	if isConnFailure(err) {
+		if class == failNotSent {
+			// The request never reached the old primary; discover the new
+			// one and re-issue.
+			if addr := rs.discoverLeader(); addr != "" && addr != c.addr {
+				if resp2, _, err2 := c.leaderClient(addr).callLocalClassed(req); err2 == nil {
+					return resp2, nil
+				}
+			}
+		}
 		return nil, fmt.Errorf("%w: %v", ErrNoPrimary, err)
 	}
 	return nil, err

@@ -270,6 +270,28 @@ func (e *Engine) load() error {
 	return nil
 }
 
+// AttachStore binds a persistent store to a running engine, so subsequent
+// mutations persist (and, with replication enabled on the store, append to
+// the streamed WAL history). Leader election uses it when a follower —
+// whose engine runs storeless, fed by the replication stream — wins an
+// election and promotes: its already-live in-memory state matches the
+// store's replayed state, so no reload is needed, only the binding.
+func (e *Engine) AttachStore(st *storage.Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = st
+}
+
+// DetachStore unbinds the engine's persistent store, returning it to the
+// storeless follower shape: mutations no longer persist locally, so a
+// demoted primary cannot diverge its WAL from the new leader's history
+// while the replication stream takes over feeding both store and engine.
+func (e *Engine) DetachStore() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = nil
+}
+
 // domainMap returns the current immutable domain-table generation. The
 // returned map must not be mutated.
 func (e *Engine) domainMap() map[string]*corpus.Domain { return *e.domains.Load() }

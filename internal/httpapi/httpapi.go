@@ -59,6 +59,7 @@ type Handler struct {
 	health      *health.State
 	maxInFlight int64
 	leader      func() string
+	isPrimary   func() bool
 	res         *resilience
 }
 
@@ -87,6 +88,18 @@ func WithMaxInFlight(n int) Option {
 // by the replication layer is reflected immediately.
 func WithNotPrimary(leader func() string) Option {
 	return func(h *Handler) { h.leader = leader }
+}
+
+// WithDynamicPrimary gates mutating routes on a failover-cluster node whose
+// role changes at runtime: each mutating request consults isPrimary() and is
+// served normally on the current primary or answered with the WithNotPrimary
+// 403 redirect everywhere else. leader() names the node writes should go to
+// (may return "" mid-election).
+func WithDynamicPrimary(isPrimary func() bool, leader func() string) Option {
+	return func(h *Handler) {
+		h.isPrimary = isPrimary
+		h.leader = leader
+	}
 }
 
 // New builds the HTTP handler around an engine. Routes share the engine's
@@ -127,7 +140,18 @@ func New(engine *core.Engine, opts ...Option) *Handler {
 	for _, rt := range routes {
 		handler := rt.handler
 		if rt.mutates && h.leader != nil {
-			handler = h.notPrimary
+			if h.isPrimary != nil {
+				inner := rt.handler
+				handler = func(w http.ResponseWriter, r *http.Request) {
+					if h.isPrimary() {
+						inner(w, r)
+						return
+					}
+					h.notPrimary(w, r)
+				}
+			} else {
+				handler = h.notPrimary
+			}
 		}
 		h.mux.HandleFunc(rt.pattern, h.res.protect(m.instrument(rt.label, handler)))
 	}

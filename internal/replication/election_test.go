@@ -1,0 +1,647 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nnexus/internal/storage"
+	"nnexus/internal/wire"
+)
+
+// fabric is an in-process cluster wire: every node registers under its
+// address, and fabricPeer routes peer calls to the registered node exactly
+// like the server layer would. Marking an address down simulates a crashed
+// or partitioned process (every call to it fails).
+type fabric struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	down  map[string]bool
+}
+
+func newFabric() *fabric {
+	return &fabric{nodes: make(map[string]*Node), down: make(map[string]bool)}
+}
+
+func (fb *fabric) register(addr string, n *Node) {
+	fb.mu.Lock()
+	fb.nodes[addr] = n
+	fb.mu.Unlock()
+}
+
+func (fb *fabric) setDown(addr string, down bool) {
+	fb.mu.Lock()
+	fb.down[addr] = down
+	fb.mu.Unlock()
+}
+
+// target resolves a call from one node to another; a down node neither
+// answers nor initiates (a crash or full partition, not a half-open link).
+func (fb *fabric) target(from, addr string) (*Node, error) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.down[from] {
+		return nil, fmt.Errorf("fabric: caller %s is down", from)
+	}
+	if fb.down[addr] {
+		return nil, fmt.Errorf("fabric: %s is down", addr)
+	}
+	n, ok := fb.nodes[addr]
+	if !ok {
+		return nil, fmt.Errorf("fabric: %s not registered", addr)
+	}
+	return n, nil
+}
+
+// fabricPeer implements Peer over the fabric (the dial itself is lazy and
+// never fails, like client.New).
+type fabricPeer struct {
+	fb   *fabric
+	from string
+	addr string
+}
+
+func (p fabricPeer) ReplSubscribe(from, epoch uint64, max, waitMillis int, follower string) (*wire.ReplPayload, error) {
+	n, err := p.fb.target(p.from, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	prim := n.CurrentPrimary()
+	if prim == nil {
+		return nil, errors.New("fabric: not a primary")
+	}
+	pay, err := prim.Subscribe(from, epoch, max, time.Duration(waitMillis)*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	// A partition severs in-flight long-polls too: a response to a call
+	// dispatched before the cut never arrives.
+	if _, err := p.fb.target(p.from, p.addr); err != nil {
+		return nil, err
+	}
+	return pay, nil
+}
+
+func (p fabricPeer) ReplSnapshot() (*wire.ReplPayload, error) {
+	n, err := p.fb.target(p.from, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	prim := n.CurrentPrimary()
+	if prim == nil {
+		return nil, errors.New("fabric: not a primary")
+	}
+	pay, err := prim.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.fb.target(p.from, p.addr); err != nil {
+		return nil, err
+	}
+	return pay, nil
+}
+
+func (p fabricPeer) ReplAck(follower string, offset, epoch uint64) error {
+	n, err := p.fb.target(p.from, p.addr)
+	if err != nil {
+		return err
+	}
+	if prim := n.CurrentPrimary(); prim != nil {
+		prim.Ack(follower, offset)
+	}
+	return nil
+}
+
+func (p fabricPeer) ReplVote(epoch, offset uint64, candidate string) (*wire.ReplPayload, error) {
+	n, err := p.fb.target(p.from, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleVote(epoch, offset, candidate), nil
+}
+
+func (p fabricPeer) ReplLead(epoch uint64, leader string) error {
+	n, err := p.fb.target(p.from, p.addr)
+	if err != nil {
+		return err
+	}
+	return n.HandleLead(epoch, leader)
+}
+
+func (p fabricPeer) ReplStatus() (*wire.ReplPayload, string, error) {
+	n, err := p.fb.target(p.from, p.addr)
+	if err != nil {
+		return nil, "", err
+	}
+	pay, leader := n.WireStatus()
+	return pay, leader, nil
+}
+
+func (p fabricPeer) Close() error { return nil }
+
+const testElectionTimeout = 150 * time.Millisecond
+
+// newClusterNode builds and registers one cluster member. The returned store
+// outlives the node (tests restart nodes against the same directory).
+func newClusterNode(t *testing.T, fb *fabric, dir, self string, peers []string, initialPrimary bool, initialLeader string) (*Node, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(dir, storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(NodeConfig{
+		Self:            self,
+		Peers:           peers,
+		Store:           st,
+		Dial:            func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: self, addr: addr}, nil },
+		InitialPrimary:  initialPrimary,
+		InitialLeader:   initialLeader,
+		StateDir:        dir,
+		ElectionTimeout: testElectionTimeout,
+		FollowerOpts: []FollowerOption{
+			WithFollowerName(self),
+			WithFollowerWait(50 * time.Millisecond),
+			WithFollowerBackoff(5 * time.Millisecond),
+			WithFollowerMaxBackoff(50 * time.Millisecond),
+		},
+	})
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	fb.register(self, n)
+	return n, st
+}
+
+func waitNode(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// threeNodeCluster boots n1 as primary with n2, n3 following it, writes
+// `writes` records, and waits for both followers to apply them.
+func threeNodeCluster(t *testing.T, fb *fabric, writes int) (nodes map[string]*Node, stores map[string]*storage.Store, dirs map[string]string) {
+	t.Helper()
+	addrs := []string{"n1", "n2", "n3"}
+	nodes = make(map[string]*Node)
+	stores = make(map[string]*storage.Store)
+	dirs = make(map[string]string)
+	others := func(self string) []string {
+		var out []string
+		for _, a := range addrs {
+			if a != self {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	for _, a := range addrs {
+		dirs[a] = t.TempDir()
+	}
+	nodes["n1"], stores["n1"] = newClusterNode(t, fb, dirs["n1"], "n1", others("n1"), true, "")
+	nodes["n2"], stores["n2"] = newClusterNode(t, fb, dirs["n2"], "n2", others("n2"), false, "n1")
+	nodes["n3"], stores["n3"] = newClusterNode(t, fb, dirs["n3"], "n3", others("n3"), false, "n1")
+	for _, a := range addrs {
+		if err := nodes[a].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, a := range addrs {
+			nodes[a].Stop()
+		}
+		for _, a := range addrs {
+			stores[a].Close()
+		}
+	})
+	for i := 0; i < writes; i++ {
+		if err := stores["n1"].Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := stores["n1"].ReplicationHead()
+	for _, a := range []string{"n2", "n3"} {
+		a := a
+		waitNode(t, a+" caught up", 5*time.Second, func() bool {
+			f := nodes[a].CurrentFollower()
+			if f == nil {
+				return false
+			}
+			st := f.Status()
+			return st.Applied == head && st.Synced
+		})
+	}
+	return nodes, stores, dirs
+}
+
+// TestElectionAfterPrimaryLoss is the core failover path: the primary dies,
+// the two remaining followers (who may well time out simultaneously) elect
+// exactly one of themselves, the winner serves the replication surface, and
+// the loser retargets its stream to the winner. Simultaneous candidacies
+// split the vote; the jittered re-arm must resolve the split within a few
+// rounds.
+func TestElectionAfterPrimaryLoss(t *testing.T) {
+	fb := newFabric()
+	nodes, stores, _ := threeNodeCluster(t, fb, 5)
+
+	fb.setDown("n1", true)
+	nodes["n1"].Stop()
+
+	var winner, loser string
+	waitNode(t, "a follower won the election", 10*time.Second, func() bool {
+		for _, a := range []string{"n2", "n3"} {
+			if nodes[a].IsPrimary() {
+				winner = a
+				return true
+			}
+		}
+		return false
+	})
+	for _, a := range []string{"n2", "n3"} {
+		if a != winner {
+			loser = a
+		}
+	}
+	if epoch := nodes[winner].Epoch(); epoch == 0 {
+		t.Fatalf("winner's election epoch = 0, want > 0")
+	}
+	if nodes[winner].CurrentPrimary() == nil {
+		t.Fatal("winner has no primary surface")
+	}
+	if head := stores[winner].ReplicationHead(); head != 5 {
+		t.Fatalf("winner's head = %d, want 5 (no acknowledged record lost)", head)
+	}
+
+	// The loser hears the announcement (or re-bootstraps) and follows the
+	// winner; new writes reach it through the retargeted stream.
+	if err := stores[winner].Put("t", "post-failover", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	waitNode(t, "loser follows the winner", 10*time.Second, func() bool {
+		if nodes[loser].IsPrimary() {
+			t.Fatal("both followers became primary — split brain")
+		}
+		f := nodes[loser].CurrentFollower()
+		if f == nil || f.Leader() != winner {
+			return false
+		}
+		st := f.Status()
+		return st.Applied == stores[winner].ReplicationHead() && st.Synced
+	})
+	if l := nodes[loser].LeaderAddr(); l != winner {
+		t.Fatalf("loser's leader = %q, want %q", l, winner)
+	}
+	sameState(t, stores[loser], stores[winner], "after failover")
+
+	// Exactly one primary, stably: re-check after another timeout window.
+	time.Sleep(2 * testElectionTimeout)
+	if !nodes[winner].IsPrimary() || nodes[loser].IsPrimary() {
+		t.Fatalf("roles unstable: winner primary=%v, loser primary=%v",
+			nodes[winner].IsPrimary(), nodes[loser].IsPrimary())
+	}
+}
+
+// TestOldPrimaryFencedAndTruncated is the fencing contract: a primary that
+// keeps writing while partitioned from every follower, dies, and later
+// returns must (1) discover the higher epoch on its first probe and demote
+// without human help, and (2) lose its unshipped WAL suffix, converging on
+// the new primary's history.
+func TestOldPrimaryFencedAndTruncated(t *testing.T) {
+	fb := newFabric()
+	nodes, stores, dirs := threeNodeCluster(t, fb, 5)
+
+	// Partition both followers, then write records only n1 ever sees.
+	fb.setDown("n2", true)
+	fb.setDown("n3", true)
+	for i := 0; i < 3; i++ {
+		if err := stores["n1"].Put("t", fmt.Sprintf("unshipped%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if head := stores["n1"].ReplicationHead(); head != 8 {
+		t.Fatalf("old primary head = %d, want 8", head)
+	}
+
+	// Kill the old primary; heal the followers; they elect among themselves.
+	fb.setDown("n1", true)
+	nodes["n1"].Stop()
+	if err := stores["n1"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	fb.setDown("n2", false)
+	fb.setDown("n3", false)
+	var winner string
+	waitNode(t, "failover election", 10*time.Second, func() bool {
+		for _, a := range []string{"n2", "n3"} {
+			if nodes[a].IsPrimary() {
+				winner = a
+				return true
+			}
+		}
+		return false
+	})
+	// The new regime writes history of its own past the divergence point.
+	for i := 0; i < 2; i++ {
+		if err := stores[winner].Put("t", fmt.Sprintf("newreign%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The deposed primary restarts believing it still leads. Its startup
+	// watchdog probe must fence it before the election timeout elapses.
+	fb.setDown("n1", false)
+	n1b, st1b := newClusterNode(t, fb, dirs["n1"], "n1", []string{"n2", "n3"}, true, "")
+	defer func() {
+		n1b.Stop()
+		st1b.Close()
+	}()
+	if err := n1b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitNode(t, "returning primary fenced", 10*time.Second, func() bool {
+		return !n1b.IsPrimary() && n1b.Fenced()
+	})
+	if got, want := n1b.LeaderAddr(), winner; got != want {
+		t.Fatalf("fenced node's leader = %q, want %q", got, want)
+	}
+	// Its unshipped suffix is truncated by the re-bootstrap: state converges
+	// on the winner's 7-record history, not the old 8-record one.
+	waitNode(t, "fenced node converged on the new history", 10*time.Second, func() bool {
+		f := n1b.CurrentFollower()
+		if f == nil {
+			return false
+		}
+		st := f.Status()
+		return st.Applied == stores[winner].ReplicationHead() && st.Synced
+	})
+	sameState(t, st1b, stores[winner], "after fencing re-bootstrap")
+	if _, ok := st1b.Get("t", "unshipped0"); ok {
+		t.Fatal("unshipped record survived fencing — old primary's suffix must be truncated")
+	}
+	if _, ok := st1b.Get("t", "newreign0"); !ok {
+		t.Fatal("fenced node is missing the new primary's history")
+	}
+}
+
+// TestHandleVoteRules pins the voter state machine: one vote per epoch,
+// idempotent re-grants, freshness refusal, epoch adoption on rejection, and
+// stale-candidate fencing.
+func TestHandleVoteRules(t *testing.T) {
+	fb := newFabric()
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 4; i++ {
+		if err := st.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := NewNode(NodeConfig{
+		Self:            "voter",
+		Peers:           []string{"a", "b"},
+		Store:           st,
+		Dial:            func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: "voter", addr: addr}, nil },
+		StateDir:        dir,
+		ElectionTimeout: time.Hour, // the loop must not interfere
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	if pay := n.HandleVote(1, 2, "a"); pay.Granted {
+		t.Fatal("granted a vote to a candidate behind this node's applied offset")
+	}
+	if pay := n.HandleVote(1, 4, "a"); !pay.Granted || pay.Epoch != 1 {
+		t.Fatalf("fresh candidate refused: %+v", pay)
+	}
+	if pay := n.HandleVote(1, 4, "b"); pay.Granted {
+		t.Fatal("second vote granted in the same epoch")
+	}
+	if pay := n.HandleVote(1, 4, "a"); !pay.Granted {
+		t.Fatal("idempotent re-grant refused (retries must be safe)")
+	}
+	if pay := n.HandleVote(2, 4, "b"); !pay.Granted || pay.Epoch != 2 {
+		t.Fatalf("new-epoch candidate refused: %+v", pay)
+	}
+	// A stale candidate is fenced, and the rejection names the newer epoch.
+	if pay := n.HandleVote(1, 99, "c"); pay.Granted || pay.Epoch != 2 {
+		t.Fatalf("stale candidate: %+v, want rejection carrying epoch 2", pay)
+	}
+	// Rejection on freshness at a newer epoch still adopts the epoch.
+	if pay := n.HandleVote(5, 1, "c"); pay.Granted || pay.Epoch != 5 {
+		t.Fatalf("unfresh high-epoch candidate: %+v, want rejection carrying epoch 5", pay)
+	}
+	if got := n.Epoch(); got != 5 {
+		t.Fatalf("node epoch = %d, want 5 (adopted from rejected candidate)", got)
+	}
+}
+
+// TestVotePersistsAcrossRestart: the persist-before-reply contract — a
+// restarted voter must not grant a second vote in an epoch it already spent.
+func TestVotePersistsAcrossRestart(t *testing.T) {
+	fb := newFabric()
+	dir := t.TempDir()
+	build := func() (*Node, *storage.Store) {
+		st, err := storage.Open(dir, storage.WithReplication())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode(NodeConfig{
+			Self:            "voter",
+			Peers:           []string{"a", "b"},
+			Store:           st,
+			Dial:            func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: "voter", addr: addr}, nil },
+			StateDir:        dir,
+			ElectionTimeout: time.Hour,
+		})
+		if err != nil {
+			st.Close()
+			t.Fatal(err)
+		}
+		return n, st
+	}
+	n1, st1 := build()
+	if pay := n1.HandleVote(3, 10, "a"); !pay.Granted {
+		t.Fatalf("vote refused: %+v", pay)
+	}
+	n1.Stop()
+	st1.Close()
+
+	n2, st2 := build()
+	defer func() {
+		n2.Stop()
+		st2.Close()
+	}()
+	if got := n2.Epoch(); got != 3 {
+		t.Fatalf("restarted epoch = %d, want 3", got)
+	}
+	if pay := n2.HandleVote(3, 10, "b"); pay.Granted {
+		t.Fatal("restarted voter granted a second vote in epoch 3")
+	}
+	if pay := n2.HandleVote(3, 10, "a"); !pay.Granted {
+		t.Fatal("restarted voter refused its own recorded vote (retries must be safe)")
+	}
+}
+
+// TestHandleLeadFencesStaleClaims: leadership claims below the node's epoch
+// answer ErrStaleEpoch; current ones adopt the leader.
+func TestHandleLeadFencesStaleClaims(t *testing.T) {
+	fb := newFabric()
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n, err := NewNode(NodeConfig{
+		Self:            "voter",
+		Peers:           []string{"a", "b"},
+		Store:           st,
+		Dial:            func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: "voter", addr: addr}, nil },
+		StateDir:        dir,
+		ElectionTimeout: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	if pay := n.HandleVote(4, 0, "a"); !pay.Granted {
+		t.Fatalf("setup vote refused: %+v", pay)
+	}
+	if err := n.HandleLead(3, "b"); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale leadership claim = %v, want ErrStaleEpoch", err)
+	}
+	if err := n.HandleLead(4, "a"); err != nil {
+		t.Fatalf("current leadership claim rejected: %v", err)
+	}
+	if got := n.LeaderAddr(); got != "a" {
+		t.Fatalf("leader = %q, want %q", got, "a")
+	}
+	if err := n.HandleLead(6, "b"); err != nil {
+		t.Fatalf("newer leadership claim rejected: %v", err)
+	}
+	if got, epoch := n.LeaderAddr(), n.Epoch(); got != "b" || epoch != 6 {
+		t.Fatalf("leader/epoch = %q/%d, want b/6", got, epoch)
+	}
+}
+
+// TestTornWALTailVotesTruncatedOffset: a follower that crashed mid-append
+// reopens with the torn record dropped, and must campaign (and judge
+// candidates) with the truncated offset — the records it actually holds,
+// not the bytes it once buffered.
+func TestTornWALTailVotesTruncatedOffset(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullHead := st.ReplicationHead()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the WAL tail: chop bytes off the last record.
+	walPath := filepath.Join(dir, "wal.log")
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, wal[:len(wal)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := storage.Open(dir, storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tornHead := st2.ReplicationHead()
+	if tornHead >= fullHead {
+		t.Fatalf("torn head = %d, want < %d", tornHead, fullHead)
+	}
+
+	fb := newFabric()
+	n, err := NewNode(NodeConfig{
+		Self:            "torn",
+		Peers:           []string{"a", "b"},
+		Store:           st2,
+		Dial:            func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: "torn", addr: addr}, nil },
+		StateDir:        dir,
+		ElectionTimeout: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	// As a voter it must NOT refuse a candidate that holds everything it
+	// (still) holds, even though that candidate is behind the pre-crash head.
+	if pay := n.HandleVote(1, tornHead, "a"); !pay.Granted {
+		t.Fatalf("candidate at the torn node's own offset refused: %+v", pay)
+	}
+	if pay, _ := n.WireStatus(); pay.Applied != tornHead {
+		t.Fatalf("status applied = %d, want truncated %d", pay.Applied, tornHead)
+	}
+}
+
+// TestWaitQuorum pins the quorum-acknowledgement primitive the server's
+// quorum-ack write path is built on: satisfied by follower acks, typed
+// failure on timeout, woken by drain.
+func TestWaitQuorum(t *testing.T) {
+	pst, p := newPrimary(t)
+	if err := pst.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	head := p.Head()
+
+	// k=0 never waits.
+	if err := p.WaitQuorum(head, 0, time.Nanosecond); err != nil {
+		t.Fatalf("k=0 wait = %v, want nil", err)
+	}
+	// Timeout path: nobody acks.
+	if err := p.WaitQuorum(head, 1, 30*time.Millisecond); !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("unacked wait = %v, want ErrQuorumUnavailable", err)
+	}
+	// Ack path: a follower confirms the offset mid-wait.
+	done := make(chan error, 1)
+	go func() { done <- p.WaitQuorum(head, 1, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	p.Ack("f1", head)
+	if err := <-done; err != nil {
+		t.Fatalf("acked wait = %v, want nil", err)
+	}
+	// Already-acked offsets satisfy immediately.
+	if err := p.WaitQuorum(head, 1, time.Nanosecond); err != nil {
+		t.Fatalf("post-ack wait = %v, want nil", err)
+	}
+	// Two followers needed, only one acked.
+	if err := p.WaitQuorum(head, 2, 30*time.Millisecond); !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("k=2 with one ack = %v, want ErrQuorumUnavailable", err)
+	}
+	// Drain wakes blocked waiters with a typed error.
+	go func() { done <- p.WaitQuorum(head, 2, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	p.Drain()
+	if err := <-done; !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("drained wait = %v, want ErrQuorumUnavailable", err)
+	}
+}

@@ -10,6 +10,7 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -63,22 +64,24 @@ func (s Status) Lag() uint64 {
 
 // Follower replicates a primary's WAL into a local store and engine.
 type Follower struct {
-	store    *storage.Store
-	applier  Applier
-	src      Source
-	name     string
-	leader   string
-	stateDir string
-	maxBatch int
-	wait     time.Duration
-	backoff  time.Duration
+	store      *storage.Store
+	applier    Applier
+	name       string
+	stateDir   string
+	maxBatch   int
+	wait       time.Duration
+	backoff    time.Duration
+	backoffMax time.Duration
 
-	mu       sync.Mutex
-	epoch    uint64
-	head     uint64 // primary head last observed
-	synced   bool
-	lastErr  error
-	applied  func(offset uint64) // test hook: called after each record applies
+	mu          sync.Mutex
+	src         Source
+	leader      string
+	epoch       uint64
+	head        uint64 // primary head last observed
+	synced      bool
+	lastErr     error
+	lastContact time.Time           // last successful exchange with the primary
+	applied     func(offset uint64) // test hook: called after each record applies
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -132,12 +135,24 @@ func WithFollowerWait(d time.Duration) FollowerOption {
 	}
 }
 
-// WithFollowerBackoff sets the pause after a failed exchange with the
-// primary (default 250ms).
+// WithFollowerBackoff sets the base pause after a failed exchange with the
+// primary (default 250ms). Consecutive failures back off exponentially from
+// this base, with full jitter, up to the WithFollowerMaxBackoff cap — so a
+// dead primary is not hammered in lockstep by every follower.
 func WithFollowerBackoff(d time.Duration) FollowerOption {
 	return func(f *Follower) {
 		if d > 0 {
 			f.backoff = d
+		}
+	}
+}
+
+// WithFollowerMaxBackoff caps the exponential resubscribe backoff (default
+// 4s).
+func WithFollowerMaxBackoff(d time.Duration) FollowerOption {
+	return func(f *Follower) {
+		if d > 0 {
+			f.backoffMax = d
 		}
 	}
 }
@@ -158,15 +173,16 @@ func NewFollower(store *storage.Store, applier Applier, src Source, opts ...Foll
 		return nil, errors.New("replication: follower needs a source")
 	}
 	f := &Follower{
-		store:    store,
-		applier:  applier,
-		src:      src,
-		name:     "follower",
-		maxBatch: DefaultMaxBatch,
-		wait:     5 * time.Second,
-		backoff:  250 * time.Millisecond,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		store:      store,
+		applier:    applier,
+		src:        src,
+		name:       "follower",
+		maxBatch:   DefaultMaxBatch,
+		wait:       5 * time.Second,
+		backoff:    250 * time.Millisecond,
+		backoffMax: 4 * time.Second,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	if host, err := os.Hostname(); err == nil && host != "" {
 		f.name = host
@@ -228,8 +244,48 @@ func (f *Follower) Status() Status {
 	return st
 }
 
-// Leader returns the primary's address as configured.
-func (f *Follower) Leader() string { return f.leader }
+// Leader returns the primary's address as configured (or last retargeted).
+func (f *Follower) Leader() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
+}
+
+// Epoch returns the primary epoch the local state is synced under.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// LastContact returns the time of the last successful exchange with the
+// primary (zero before the first one). Election timeouts key off it: a
+// primary silent longer than the tolerance window is presumed dead.
+func (f *Follower) LastContact() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastContact
+}
+
+// Retarget switches the follower to a new primary: subsequent exchanges use
+// src and leader. The in-flight exchange finishes against the old source;
+// the epoch check on the next subscribe forces a snapshot re-bootstrap from
+// the new leader when its history epoch differs. The old source is NOT
+// closed here — the caller owns both sources' lifecycles.
+func (f *Follower) Retarget(src Source, leader string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.src = src
+	f.leader = leader
+}
+
+// source returns the current source under the lock (it can change across a
+// Retarget mid-loop).
+func (f *Follower) source() Source {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.src
+}
 
 // WireStatus answers replStatus for a follower node.
 func (f *Follower) WireStatus() *wire.ReplPayload {
@@ -243,11 +299,15 @@ func (f *Follower) WireStatus() *wire.ReplPayload {
 	}
 }
 
-// syncLoop is the follower's heartbeat: subscribe, apply, ack, repeat, with
-// a bounded backoff after failures. It exits when Stop is called.
+// syncLoop is the follower's heartbeat: subscribe, apply, ack, repeat. After
+// a failed exchange it sleeps a jittered exponential backoff — base ·2ⁿ for
+// n consecutive failures, capped, with full jitter — so followers of a dead
+// primary desynchronize instead of hammering it in lockstep. It exits when
+// Stop is called.
 func (f *Follower) syncLoop() {
 	defer close(f.done)
 	needReset := false
+	failStreak := 0
 	for {
 		select {
 		case <-f.stop:
@@ -271,15 +331,34 @@ func (f *Follower) syncLoop() {
 		f.mu.Lock()
 		f.synced = err == nil
 		f.lastErr = err
-		f.mu.Unlock()
-		if err != nil {
-			select {
-			case <-f.stop:
-				return
-			case <-time.After(f.backoff):
-			}
+		if err == nil {
+			f.lastContact = time.Now()
 		}
+		f.mu.Unlock()
+		if err == nil {
+			failStreak = 0
+			continue
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.retryBackoff(failStreak)):
+		}
+		failStreak++
 	}
+}
+
+// retryBackoff returns the sleep before retrying after the n-th consecutive
+// failure (0-based): uniformly jittered in (0, min(backoff·2ⁿ, backoffMax)].
+func (f *Follower) retryBackoff(n int) time.Duration {
+	if n > 30 {
+		n = 30 // avoid shift overflow; the cap dominates long before this
+	}
+	d := f.backoff << uint(n)
+	if d <= 0 || d > f.backoffMax {
+		d = f.backoffMax
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
 }
 
 // syncOnce performs one subscribe exchange and applies its records. It
@@ -288,8 +367,9 @@ func (f *Follower) syncOnce() (reset bool, err error) {
 	from := f.store.ReplicationHead() + 1
 	f.mu.Lock()
 	epoch := f.epoch
+	src := f.src
 	f.mu.Unlock()
-	payload, err := f.src.ReplSubscribe(from, epoch, f.maxBatch, int(f.wait/time.Millisecond), f.name)
+	payload, err := src.ReplSubscribe(from, epoch, f.maxBatch, int(f.wait/time.Millisecond), f.name)
 	if err != nil {
 		return false, err
 	}
@@ -318,7 +398,7 @@ func (f *Follower) syncOnce() (reset bool, err error) {
 	}
 	f.mu.Unlock()
 	// Ack best-effort: lag accounting must not stall replication.
-	_ = f.src.ReplAck(f.name, f.store.ReplicationHead(), epoch)
+	_ = src.ReplAck(f.name, f.store.ReplicationHead(), epoch)
 	return false, nil
 }
 
@@ -352,7 +432,8 @@ func (f *Follower) applyRecord(body []byte, offset uint64) error {
 // head, the engine rebuilds, and the primary epoch is adopted and
 // persisted.
 func (f *Follower) bootstrap() error {
-	payload, err := f.src.ReplSnapshot()
+	src := f.source()
+	payload, err := src.ReplSnapshot()
 	if err != nil {
 		return err
 	}
@@ -378,7 +459,7 @@ func (f *Follower) bootstrap() error {
 	if err := f.savePrimaryEpoch(payload.Epoch); err != nil {
 		return err
 	}
-	_ = f.src.ReplAck(f.name, payload.Head, payload.Epoch)
+	_ = src.ReplAck(f.name, payload.Head, payload.Epoch)
 	return nil
 }
 

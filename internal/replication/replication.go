@@ -42,6 +42,13 @@ const (
 	RoleSingle   = wire.RoleSingle
 )
 
+// ErrQuorumUnavailable reports that a quorum-acknowledged write could not
+// gather the configured number of follower confirmations within its commit
+// timeout. The write is durable on the primary and will replicate; only the
+// quorum guarantee is degraded, so callers must not assume the write
+// survives a primary failover.
+var ErrQuorumUnavailable = errors.New("replication: quorum unavailable")
+
 // followerState is the primary's accounting for one subscriber.
 type followerState struct {
 	acked    uint64
@@ -49,15 +56,25 @@ type followerState struct {
 	gauge    *telemetry.Gauge
 }
 
+// quorumWaiter is one write blocked in WaitQuorum: ch closes once k
+// followers have acknowledged offset (or the primary drains).
+type quorumWaiter struct {
+	offset uint64
+	k      int
+	ch     chan struct{}
+}
+
 // Primary serves a store's replication log to subscribing followers.
 type Primary struct {
-	store    *storage.Store
-	maxBatch int
-	maxWait  time.Duration
-	lagVec   *telemetry.GaugeVec
+	store      *storage.Store
+	maxBatch   int
+	maxWait    time.Duration
+	lagVec     *telemetry.GaugeVec
+	quorumHist *telemetry.Histogram
 
 	mu        sync.Mutex
 	followers map[string]*followerState
+	waiters   []*quorumWaiter
 	draining  bool
 	drainCh   chan struct{}
 }
@@ -87,13 +104,16 @@ func WithMaxWait(d time.Duration) PrimaryOption {
 }
 
 // WithPrimaryTelemetry registers the per-follower replication lag gauge
-// nnexus_replication_lag_records on reg.
+// nnexus_replication_lag_records and the quorum-commit latency histogram
+// nnexus_quorum_commit_seconds on reg.
 func WithPrimaryTelemetry(reg *telemetry.Registry) PrimaryOption {
 	return func(p *Primary) {
 		if reg != nil {
 			p.lagVec = reg.GaugeVec("nnexus_replication_lag_records",
 				"Records the primary has applied but the follower has not acknowledged.",
 				"follower")
+			p.quorumHist = reg.Histogram("nnexus_quorum_commit_seconds",
+				"Time a quorum-acknowledged write waited for its follower confirmations.")
 		}
 	}
 }
@@ -217,7 +237,109 @@ func (p *Primary) Ack(follower string, offset uint64) {
 		}
 		st.gauge.Set(lag)
 	}
+	p.wakeQuorumLocked()
 }
+
+// ackedCountLocked counts followers whose acknowledged offset has reached
+// offset. Callers must hold p.mu.
+func (p *Primary) ackedCountLocked(offset uint64) int {
+	n := 0
+	for _, st := range p.followers {
+		if st.acked >= offset {
+			n++
+		}
+	}
+	return n
+}
+
+// wakeQuorumLocked completes every quorum waiter whose confirmation count
+// has been reached. Callers must hold p.mu.
+func (p *Primary) wakeQuorumLocked() {
+	if len(p.waiters) == 0 {
+		return
+	}
+	kept := p.waiters[:0]
+	for _, w := range p.waiters {
+		if p.ackedCountLocked(w.offset) >= w.k {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.waiters = kept
+}
+
+// removeWaiter unregisters a timed-out waiter. It reports whether the
+// waiter was still registered (false means it raced a wakeup and its ch is
+// closed: the quorum was in fact reached).
+func (p *Primary) removeWaiter(w *quorumWaiter) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, cur := range p.waiters {
+		if cur == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WaitQuorum blocks until k followers have acknowledged offset as durable,
+// piggybacking on the replAck flow of the subscribe long-poll — the happy
+// path costs one extra round trip after the local commit. It degrades with
+// a typed ErrQuorumUnavailable after timeout (or when the primary drains)
+// rather than hanging writers: the write is already durable locally and
+// will still replicate, only its quorum guarantee is unmet. k <= 0 returns
+// immediately.
+func (p *Primary) WaitQuorum(offset uint64, k int, timeout time.Duration) error {
+	if k <= 0 {
+		return nil
+	}
+	start := time.Now()
+	p.mu.Lock()
+	if p.ackedCountLocked(offset) >= k {
+		p.mu.Unlock()
+		if p.quorumHist != nil {
+			p.quorumHist.Observe(time.Since(start).Seconds())
+		}
+		return nil
+	}
+	if p.draining {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: primary draining", ErrQuorumUnavailable)
+	}
+	w := &quorumWaiter{offset: offset, k: k, ch: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		if p.quorumHist != nil {
+			p.quorumHist.Observe(time.Since(start).Seconds())
+		}
+		return nil
+	case <-p.drainCh:
+		if !p.removeWaiter(w) {
+			return nil // quorum reached concurrently
+		}
+		return fmt.Errorf("%w: primary draining", ErrQuorumUnavailable)
+	case <-timer.C:
+		if !p.removeWaiter(w) {
+			return nil // quorum reached concurrently
+		}
+		p.mu.Lock()
+		n := p.ackedCountLocked(offset)
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %d of %d follower acks for offset %d within %v",
+			ErrQuorumUnavailable, n, k, offset, timeout)
+	}
+}
+
+// Head returns the newest applied record offset of the primary's store —
+// the offset a quorum-acknowledged write waits on.
+func (p *Primary) Head() uint64 { return p.store.ReplicationHead() }
 
 // Status answers replStatus for a primary node.
 func (p *Primary) Status() *wire.ReplPayload {

@@ -50,6 +50,11 @@ const DefaultWriteTimeout = 30 * time.Second
 // flight concurrently (see WithMaxPipeline).
 const DefaultMaxPipeline = 32
 
+// DefaultQuorumTimeout bounds how long a quorum-acknowledged write waits for
+// its follower confirmations before degrading to a typed quorumUnavailable
+// error.
+const DefaultQuorumTimeout = 5 * time.Second
+
 // errOverloaded is the message body of a shed request.
 var errOverloaded = errors.New("server overloaded, retry later")
 
@@ -59,11 +64,19 @@ type Server struct {
 	logger *log.Logger
 	tel    *serverTelemetry
 
-	// Replication role: at most one of primary/follower is set. A primary
-	// serves the repl* streaming methods; a follower rejects mutating
-	// methods with a typed notPrimary redirect.
+	// Replication role: at most one of primary/follower/node is set. A
+	// primary serves the repl* streaming methods; a follower rejects
+	// mutating methods with a typed notPrimary redirect; a node does either,
+	// flipping dynamically as elections change its role.
 	primary  *replication.Primary
 	follower *replication.Follower
+	node     *replication.Node
+
+	// Quorum-acknowledged writes: when quorumAcks > 0 and the node serves as
+	// primary, a mutating request is acknowledged only after that many
+	// followers confirmed its WAL offset durable (bounded by quorumTimeout).
+	quorumAcks    int
+	quorumTimeout time.Duration
 
 	maxRequestBytes int64
 	idleTimeout     time.Duration
@@ -160,6 +173,7 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 		wire.MethodAddEntries, wire.MethodLinkBatch, wire.MethodRelinkBatch,
 		wire.MethodReplSubscribe, wire.MethodReplSnapshot,
 		wire.MethodReplAck, wire.MethodReplStatus,
+		wire.MethodReplVote, wire.MethodReplLead,
 	} {
 		t.byMethod[m] = t.requests.With(m)
 	}
@@ -247,6 +261,29 @@ func WithReplicationFollower(f *replication.Follower) Option {
 	return func(s *Server) { s.follower = f }
 }
 
+// WithReplicationNode attaches an election-managed replication node: the
+// server consults it per request for the current role, serves the repl*
+// streaming surface whenever the node is primary, rejects mutating methods
+// with a notPrimary redirect whenever it is not, and answers the replVote /
+// replLead election exchanges.
+func WithReplicationNode(n *replication.Node) Option {
+	return func(s *Server) { s.node = n }
+}
+
+// WithQuorumAcks makes mutating requests quorum-acknowledged: a write is
+// answered only once k followers have confirmed its WAL offset durable,
+// waiting at most timeout before degrading to a typed quorumUnavailable
+// error (the write is applied and durable on the primary either way — only
+// the cross-node guarantee is reported as unmet). k <= 0 disables the wait.
+func WithQuorumAcks(k int, timeout time.Duration) Option {
+	return func(s *Server) {
+		s.quorumAcks = k
+		if timeout > 0 {
+			s.quorumTimeout = timeout
+		}
+	}
+}
+
 // WithMaxPipeline bounds how many requests one connection may have in
 // flight concurrently. The wire protocol correlates responses to requests
 // by Seq, so a pipelining client can keep up to n requests outstanding and
@@ -274,6 +311,7 @@ func New(engine *core.Engine, logger *log.Logger, opts ...Option) *Server {
 		maxRequestBytes: DefaultMaxRequestBytes,
 		writeTimeout:    DefaultWriteTimeout,
 		maxPipeline:     DefaultMaxPipeline,
+		quorumTimeout:   DefaultQuorumTimeout,
 	}
 	for _, o := range opts {
 		o(s)
@@ -367,10 +405,10 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	if s.primary != nil {
+	if p := s.currentPrimary(); p != nil {
 		// Wake blocked subscribe long-polls so their handler goroutines
 		// (and with them the connection goroutines) unwind promptly.
-		s.primary.Drain()
+		p.Drain()
 	}
 	var err error
 	if ln != nil {
@@ -405,12 +443,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if ln != nil {
 		ln.Close()
 	}
-	if s.primary != nil {
+	if p := s.currentPrimary(); p != nil {
 		// Replication subscribers drain like request connections: waking
 		// their long-polls lets each flush a final (possibly empty) batch —
 		// a whole response, never a mid-record cut — and close on a clean
 		// EOF, from which the follower resumes at its applied offset.
-		s.primary.Drain()
+		p.Drain()
 	}
 	start := time.Now()
 	done := make(chan struct{})
@@ -683,24 +721,70 @@ var mutating = map[string]bool{
 	wire.MethodRelinkBatch: true,
 }
 
+// currentPrimary returns the primary surface this server should serve the
+// repl* streaming methods from right now: the election node's (which may
+// change between requests as roles flip) or the statically configured one.
+func (s *Server) currentPrimary() *replication.Primary {
+	if s.node != nil {
+		return s.node.CurrentPrimary()
+	}
+	return s.primary
+}
+
 func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 	if s.testHook != nil {
 		s.testHook(req)
 	}
-	if s.follower != nil && mutating[req.Method] {
-		// Rejected before execution: the client may safely redirect the
-		// very same request to the leader.
-		resp := wire.ErrCoded(req, wire.CodeNotPrimary,
-			fmt.Errorf("%s: node is a read replica, not the primary", req.Method))
-		resp.Leader = s.follower.Leader()
+	if mutating[req.Method] {
+		switch {
+		case s.node != nil && !s.node.IsPrimary():
+			// Rejected before execution: the client may safely redirect the
+			// very same request to the leader. A node demoted by fencing
+			// counts these rejections — they are writes a stale primary
+			// would have accepted.
+			if s.node.Fenced() {
+				s.node.CountFenced()
+			}
+			resp := wire.ErrCoded(req, wire.CodeNotPrimary,
+				fmt.Errorf("%s: node is not the primary (epoch %d)", req.Method, s.node.Epoch()))
+			if leader := s.node.LeaderAddr(); leader != "" {
+				resp.Leader = leader
+			}
+			return resp, nil
+		case s.node == nil && s.follower != nil:
+			resp := wire.ErrCoded(req, wire.CodeNotPrimary,
+				fmt.Errorf("%s: node is a read replica, not the primary", req.Method))
+			resp.Leader = s.follower.Leader()
+			return resp, nil
+		}
+		resp, err := s.dispatchMethod(req)
+		if err != nil {
+			return resp, err
+		}
+		// Quorum acknowledgment: hold the (already applied, locally durable)
+		// write's response until k followers confirmed the current WAL head.
+		// Waiting on the head observed here is at least as strong as waiting
+		// on the write's own offset.
+		if s.quorumAcks > 0 {
+			if p := s.currentPrimary(); p != nil {
+				if qerr := p.WaitQuorum(p.Head(), s.quorumAcks, s.quorumTimeout); qerr != nil {
+					return wire.ErrCoded(req, wire.CodeQuorumUnavailable, qerr), nil
+				}
+			}
+		}
 		return resp, nil
 	}
+	return s.dispatchMethod(req)
+}
+
+func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 	switch req.Method {
 	case wire.MethodPing:
 		return wire.OK(req), nil
 
 	case wire.MethodReplSubscribe:
-		if s.primary == nil {
+		primary := s.currentPrimary()
+		if primary == nil {
 			return nil, errors.New("replSubscribe: node is not a replication primary")
 		}
 		wait := time.Duration(req.WaitMillis) * time.Millisecond
@@ -712,7 +796,7 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 				wait = bound
 			}
 		}
-		payload, err := s.primary.Subscribe(req.Offset, req.Epoch, req.MaxRecords, wait)
+		payload, err := primary.Subscribe(req.Offset, req.Epoch, req.MaxRecords, wait)
 		if err != nil {
 			return nil, err
 		}
@@ -721,10 +805,11 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 		return resp, nil
 
 	case wire.MethodReplSnapshot:
-		if s.primary == nil {
+		primary := s.currentPrimary()
+		if primary == nil {
 			return nil, errors.New("replSnapshot: node is not a replication primary")
 		}
-		payload, err := s.primary.Snapshot()
+		payload, err := primary.Snapshot()
 		if err != nil {
 			return nil, err
 		}
@@ -733,15 +818,20 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 		return resp, nil
 
 	case wire.MethodReplAck:
-		if s.primary == nil {
+		primary := s.currentPrimary()
+		if primary == nil {
 			return nil, errors.New("replAck: node is not a replication primary")
 		}
-		s.primary.Ack(req.Follower, req.Offset)
+		primary.Ack(req.Follower, req.Offset)
 		return wire.OK(req), nil
 
 	case wire.MethodReplStatus:
 		resp := wire.OK(req)
 		switch {
+		case s.node != nil:
+			pay, leader := s.node.WireStatus()
+			resp.Repl = pay
+			resp.Leader = leader
 		case s.primary != nil:
 			resp.Repl = s.primary.Status()
 		case s.follower != nil:
@@ -751,6 +841,33 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 			resp.Repl = &wire.ReplPayload{Role: replication.RoleSingle}
 		}
 		return resp, nil
+
+	case wire.MethodReplVote:
+		if s.node == nil {
+			return nil, errors.New("replVote: node is not in a failover cluster")
+		}
+		resp := wire.OK(req)
+		resp.Repl = s.node.HandleVote(req.Epoch, req.Offset, req.Candidate)
+		if leader := s.node.LeaderAddr(); leader != "" {
+			resp.Leader = leader
+		}
+		return resp, nil
+
+	case wire.MethodReplLead:
+		if s.node == nil {
+			return nil, errors.New("replLead: node is not in a failover cluster")
+		}
+		if err := s.node.HandleLead(req.Epoch, req.Leader); err != nil {
+			if errors.Is(err, replication.ErrStaleEpoch) {
+				resp := wire.ErrCoded(req, wire.CodeStaleEpoch, err)
+				if leader := s.node.LeaderAddr(); leader != "" {
+					resp.Leader = leader
+				}
+				return resp, nil
+			}
+			return nil, err
+		}
+		return wire.OK(req), nil
 
 	case wire.MethodAddDomain:
 		if req.Domain == nil {

@@ -126,6 +126,42 @@ func (s *Store) ReplicationEpoch() uint64 {
 	return s.repl.epoch
 }
 
+// SetReplicationEpoch installs epoch as the store's replication epoch
+// (persisted when the store has a directory). Leader election uses it on
+// promotion: the winning follower adopts the won epoch as its own serving
+// epoch, so every subscriber synced under an older epoch hits the epoch
+// mismatch on first contact and re-bootstraps from the new primary's
+// snapshot. The retained log and head are kept — the promoted store's
+// applied history is the canonical history from here on. Lowering the epoch
+// is refused: epochs only move forward, which is what makes stale-primary
+// fencing sound.
+func (s *Store) SetReplicationEpoch(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repl == nil {
+		return ErrNoReplication
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if epoch < s.repl.epoch {
+		return fmt.Errorf("storage: replication epoch cannot move backwards (%d -> %d)", s.repl.epoch, epoch)
+	}
+	if epoch == s.repl.epoch {
+		return nil
+	}
+	s.repl.epoch = epoch
+	if s.dir != "" {
+		if err := writeEpochFile(s.dir, epoch); err != nil {
+			return err
+		}
+	}
+	// Wake blocked subscribers so they observe the epoch change promptly
+	// (and answer their followers with Reset instead of idling out).
+	s.notifyWatchersLocked()
+	return nil
+}
+
 // ReadRecords returns the encoded bodies of up to max records starting at
 // offset from (1-based), plus the current head offset. A from beyond the
 // head returns an empty slice; a from at or below the replication base

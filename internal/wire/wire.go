@@ -35,6 +35,16 @@
 //	                offset for lag accounting
 //	replStatus    — (none); the node's replication role, epoch, head and
 //	                applied offset (serves lag probes and routing)
+//
+// Election methods (automatic failover; see internal/replication):
+//
+//	replVote — Epoch (the candidate's proposed new epoch), Offset (the
+//	           candidate's applied WAL offset), Candidate; the voter answers
+//	           Granted=true when it has not voted in that epoch and the
+//	           candidate's history is at least as fresh as its own
+//	replLead — Epoch, Leader; a freshly promoted primary announces itself.
+//	           A node holding a higher epoch rejects with code staleEpoch,
+//	           which is how a returning stale primary learns it was fenced
 package wire
 
 import (
@@ -68,6 +78,8 @@ const (
 	MethodReplSnapshot  = "replSnapshot"
 	MethodReplAck       = "replAck"
 	MethodReplStatus    = "replStatus"
+	MethodReplVote      = "replVote"
+	MethodReplLead      = "replLead"
 )
 
 // Replication roles carried in ReplPayload.Role.
@@ -112,6 +124,13 @@ type Request struct {
 	MaxRecords int    `xml:"maxrecords,attr,omitempty"`
 	WaitMillis int    `xml:"waitmillis,attr,omitempty"`
 	Follower   string `xml:"follower,attr,omitempty"`
+
+	// Election fields: Candidate is the proposing node's advertised address
+	// (replVote, with Epoch the proposed epoch and Offset the candidate's
+	// applied WAL offset); Leader is the freshly promoted primary's address
+	// (replLead, with Epoch the won epoch).
+	Candidate string `xml:"candidate,attr,omitempty"`
+	Leader    string `xml:"leader,attr,omitempty"`
 }
 
 // Error codes carried in Response.Code. They classify error responses so
@@ -136,6 +155,16 @@ const (
 	// rejected before execution; Response.Leader carries the primary's
 	// address when the follower knows it.
 	CodeNotPrimary = "notPrimary"
+	// CodeStaleEpoch: the request carried a replication epoch older than the
+	// node's — a fenced message from a deposed primary or a lost election.
+	// The sender must re-discover the current leader before retrying.
+	CodeStaleEpoch = "staleEpoch"
+	// CodeQuorumUnavailable: the write is durable on the primary but fewer
+	// than the configured quorum of followers confirmed the offset within
+	// the commit timeout. The mutation is applied and will replicate; only
+	// the quorum guarantee is degraded, so the caller must not assume the
+	// write survives a primary failover.
+	CodeQuorumUnavailable = "quorumUnavailable"
 )
 
 // Response is one server→client message.
@@ -189,6 +218,10 @@ type ReplPayload struct {
 	// Reset tells a subscribing follower its offset or epoch is unusable:
 	// fetch a replSnapshot and restart from the snapshot's head.
 	Reset bool `xml:"reset,attr,omitempty"`
+	// Granted reports a replVote verdict: true when the voter granted the
+	// candidate's proposed epoch. On rejection, Epoch/Applied carry the
+	// voter's own position so the candidate can tell why it lost.
+	Granted bool `xml:"granted,attr,omitempty"`
 	// Records are WAL records at consecutive offsets (replSubscribe).
 	Records []ReplRecord `xml:"record,omitempty"`
 	// Snap is a full state export (replSnapshot), positioned at Head.

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 
@@ -233,6 +234,33 @@ type Config struct {
 	// ReplicaName identifies this follower in replAck reports and the
 	// primary's per-follower lag gauge (default: hostname).
 	ReplicaName string
+	// ClusterPeers enables automatic failover: the XML-protocol addresses of
+	// the OTHER nodes in the cluster (not this node's own). Every node then
+	// runs an election state machine — followers that lose contact with the
+	// primary beyond the election timeout elect the freshest of themselves,
+	// the winner promotes to a writable primary, and a deposed primary is
+	// fenced by epoch on its first contact with the new regime. Requires
+	// DataDir, AdvertiseAddr, and exactly one of ReplicationPrimary (this
+	// node boots as the leader) or FollowPrimary (this node boots following
+	// that address).
+	ClusterPeers []string
+	// AdvertiseAddr is this node's own XML-protocol address as its peers
+	// dial it ("host:port"); it names the node in vote requests and leader
+	// announcements. Required with ClusterPeers.
+	AdvertiseAddr string
+	// ElectionTimeout is how long a follower tolerates primary silence
+	// before standing for election (default replication.DefaultElectionTimeout;
+	// actual arming is jittered to de-synchronize candidates).
+	ElectionTimeout time.Duration
+	// QuorumAcks makes writes quorum-acknowledged: a mutating request is
+	// answered only after this many followers have confirmed the write's WAL
+	// offset durable (0, the default, acknowledges on local durability
+	// alone). A write that cannot gather the quorum within QuorumTimeout
+	// answers a typed quorumUnavailable error — the write IS durable on the
+	// primary, but its replication guarantee is not yet met.
+	QuorumAcks int
+	// QuorumTimeout bounds the quorum wait (default server.DefaultQuorumTimeout).
+	QuorumTimeout time.Duration
 }
 
 // Engine is a fully assembled NNexus instance.
@@ -242,6 +270,10 @@ type Engine struct {
 	primary  *replication.Primary
 	follower *replication.Follower
 	replSrc  *client.Client
+	node     *replication.Node
+
+	quorumAcks    int
+	quorumTimeout time.Duration
 }
 
 // New assembles an engine from the configuration. When DataDir is set, any
@@ -252,6 +284,18 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if (cfg.ReplicationPrimary || cfg.FollowPrimary != "") && cfg.DataDir == "" {
 		return nil, fmt.Errorf("nnexus: replication requires DataDir")
+	}
+	clustered := len(cfg.ClusterPeers) > 0
+	if clustered {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("nnexus: ClusterPeers requires DataDir")
+		}
+		if cfg.AdvertiseAddr == "" {
+			return nil, fmt.Errorf("nnexus: ClusterPeers requires AdvertiseAddr")
+		}
+		if !cfg.ReplicationPrimary && cfg.FollowPrimary == "" {
+			return nil, fmt.Errorf("nnexus: ClusterPeers requires an initial role: set ReplicationPrimary or FollowPrimary")
+		}
 	}
 	// One registry spans every layer: the storage WAL, the engine, and the
 	// serving layers (which register onto the engine's registry later).
@@ -265,7 +309,11 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.GroupCommitWindow > 0 {
 			opts = append(opts, storage.WithGroupCommitWindow(cfg.GroupCommitWindow))
 		}
-		if cfg.ReplicationPrimary {
+		// A clustered node may hold either role over its lifetime, so every
+		// cluster member keeps the replication record log regardless of its
+		// initial role — a freshly promoted follower must be able to serve
+		// replSubscribe immediately.
+		if cfg.ReplicationPrimary || clustered {
 			opts = append(opts, storage.WithReplication())
 		}
 		var err error
@@ -298,8 +346,60 @@ func New(cfg Config) (*Engine, error) {
 		}
 		return nil, err
 	}
-	e := &Engine{core: eng, store: store}
+	e := &Engine{core: eng, store: store, quorumAcks: cfg.QuorumAcks, quorumTimeout: cfg.QuorumTimeout}
 	switch {
+	case clustered:
+		// The long-poll must cycle several times per election timeout: a
+		// quiet primary's only heartbeat is the empty subscribe return, so a
+		// wait as long as the timeout would read as silence and trigger
+		// spurious elections.
+		et := cfg.ElectionTimeout
+		if et <= 0 {
+			et = replication.DefaultElectionTimeout
+		}
+		wait := et / 4
+		if wait < 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+		if wait > followerWait {
+			wait = followerWait
+		}
+		fopts := []replication.FollowerOption{
+			replication.WithStateDir(cfg.DataDir),
+			replication.WithFollowerWait(wait),
+		}
+		if cfg.ReplicaName != "" {
+			fopts = append(fopts, replication.WithFollowerName(cfg.ReplicaName))
+		}
+		e.node, err = replication.NewNode(replication.NodeConfig{
+			Self:    cfg.AdvertiseAddr,
+			Peers:   cfg.ClusterPeers,
+			Store:   store,
+			Applier: eng,
+			Binder:  eng,
+			// Peers are dialed lazily and survive the target being down; the
+			// call timeout is sized to the subscribe long-poll like a plain
+			// follower's source client.
+			Dial: func(addr string) (replication.Peer, error) {
+				return client.New(addr, dialTimeout,
+					client.WithCallTimeout(wait+3*time.Second),
+					client.WithMaxRetries(1)), nil
+			},
+			InitialPrimary:  cfg.ReplicationPrimary,
+			InitialLeader:   cfg.FollowPrimary,
+			StateDir:        cfg.DataDir,
+			ElectionTimeout: cfg.ElectionTimeout,
+			PrimaryOpts:     []replication.PrimaryOption{replication.WithPrimaryTelemetry(reg)},
+			FollowerOpts:    fopts,
+			Telemetry:       reg,
+		})
+		if err == nil {
+			err = e.node.Start()
+		}
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
 	case cfg.ReplicationPrimary:
 		e.primary, err = replication.NewPrimary(store, replication.WithPrimaryTelemetry(reg))
 		if err != nil {
@@ -314,7 +414,6 @@ func New(cfg Config) (*Engine, error) {
 		// surfaces as a sync failure within seconds, not the generic 30s
 		// call timeout; retries stay at one because the follower loop has
 		// its own backoff-and-report cycle.
-		const followerWait = 2 * time.Second
 		e.replSrc = client.New(cfg.FollowPrimary, dialTimeout,
 			client.WithCallTimeout(followerWait+3*time.Second),
 			client.WithMaxRetries(1))
@@ -342,6 +441,9 @@ func New(cfg Config) (*Engine, error) {
 // Close stops replication (if any) and flushes and closes the engine's
 // persistent store.
 func (e *Engine) Close() error {
+	if e.node != nil {
+		e.node.Stop()
+	}
 	if e.follower != nil {
 		e.follower.Stop()
 	}
@@ -656,18 +758,43 @@ func WithMaxInFlight(n int) HTTPOption { return httpapi.WithMaxInFlight(n) }
 // be passed to Dial. logger may be nil. Stop it with Server.Close, or drain
 // it gracefully with Server.Shutdown.
 func (e *Engine) Serve(addr string, logger *log.Logger, opts ...ServerOption) (*Server, string, error) {
+	srv := server.New(e.core, logger, e.serverOpts(opts)...)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// ServeListener is Serve for a pre-created listener: callers that must know
+// their port before the engine exists (e.g. a cluster whose peers advertise
+// each other's addresses) bind the listener first and hand it over here.
+// The server owns ln from then on.
+func (e *Engine) ServeListener(ln net.Listener, logger *log.Logger, opts ...ServerOption) (*Server, string, error) {
+	srv := server.New(e.core, logger, e.serverOpts(opts)...)
+	bound, err := srv.Serve(ln)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// serverOpts appends the engine's replication role (static primary/follower
+// or an elected cluster node) and quorum-ack policy to the caller's options.
+func (e *Engine) serverOpts(opts []ServerOption) []ServerOption {
+	if e.node != nil {
+		opts = append(opts, server.WithReplicationNode(e.node))
+	}
 	if e.primary != nil {
 		opts = append(opts, server.WithReplicationPrimary(e.primary))
 	}
 	if e.follower != nil {
 		opts = append(opts, server.WithReplicationFollower(e.follower))
 	}
-	srv := server.New(e.core, logger, opts...)
-	bound, err := srv.Listen(addr)
-	if err != nil {
-		return nil, "", err
+	if e.quorumAcks > 0 {
+		opts = append(opts, server.WithQuorumAcks(e.quorumAcks, e.quorumTimeout))
 	}
-	return srv, bound, nil
+	return opts
 }
 
 // Dial connects to an NNexus server. The returned client is self-healing:
@@ -694,10 +821,14 @@ func (e *Engine) Ready() error {
 // HealthState with AddInfo("replication", engine.ReplicationInfo) and the
 // detail appears in the GET /readyz JSON body.
 func (e *Engine) ReplicationInfo() map[string]interface{} {
+	primary, follower := e.primary, e.follower
+	if e.node != nil {
+		primary, follower = e.node.CurrentPrimary(), e.node.CurrentFollower()
+	}
 	switch {
-	case e.primary != nil:
-		st := e.primary.Status()
-		lags := e.primary.FollowerLags()
+	case primary != nil:
+		st := primary.Status()
+		lags := primary.FollowerLags()
 		followers := make(map[string]interface{}, len(lags))
 		var maxLag uint64
 		for name, lag := range lags {
@@ -713,8 +844,8 @@ func (e *Engine) ReplicationInfo() map[string]interface{} {
 			"followers": followers,
 			"maxLag":    maxLag,
 		}
-	case e.follower != nil:
-		st := e.follower.Status()
+	case follower != nil:
+		st := follower.Status()
 		info := map[string]interface{}{
 			"role":    st.Role,
 			"epoch":   st.Epoch,
@@ -729,8 +860,23 @@ func (e *Engine) ReplicationInfo() map[string]interface{} {
 		}
 		return info
 	default:
+		if e.node != nil {
+			// Mid-transition (between roles): report the election view.
+			return map[string]interface{}{"role": e.node.Role(), "epoch": e.node.Epoch()}
+		}
 		return map[string]interface{}{"role": "single"}
 	}
+}
+
+// ElectionInfo returns the failover state machine's detail for readiness
+// reporting — role, election epoch, known leader, fencing status, elections
+// run, and last leader contact. Nil when the engine is not clustered. Wire
+// it into a HealthState with AddInfo("election", engine.ElectionInfo).
+func (e *Engine) ElectionInfo() map[string]interface{} {
+	if e.node == nil {
+		return nil
+	}
+	return e.node.Info()
 }
 
 // HTTPHandler returns an http.Handler exposing the engine as a web service
@@ -744,6 +890,13 @@ func (e *Engine) ReplicationInfo() map[string]interface{} {
 // protocol's notPrimary rejection, so the HTTP surface cannot diverge a
 // replica from its replication stream.
 func (e *Engine) HTTPHandler(opts ...HTTPOption) http.Handler {
+	if e.node != nil {
+		opts = append([]HTTPOption{httpapi.WithDynamicPrimary(
+			e.node.IsPrimary,
+			e.node.LeaderAddr,
+		)}, opts...)
+		return httpapi.New(e.core, opts...)
+	}
 	if e.follower != nil {
 		opts = append([]HTTPOption{httpapi.WithNotPrimary(func() string {
 			return e.follower.Status().Leader
@@ -754,3 +907,8 @@ func (e *Engine) HTTPHandler(opts ...HTTPOption) http.Handler {
 
 // dialTimeout bounds Dial's connection attempt.
 const dialTimeout = 5 * time.Second
+
+// followerWait is the replication subscribe long-poll used by follower
+// source clients and cluster peer clients; their call timeout is sized to
+// it so a stalled link surfaces within seconds.
+const followerWait = 2 * time.Second
