@@ -408,16 +408,40 @@ func (c *Client) routeWrite(rs *replicaSet, req *wire.Request) (*wire.Response, 
 	if errors.As(err, &se) && se.Code == wire.CodeNotPrimary {
 		// The write was rejected before executing, so re-issuing elsewhere
 		// is safe. Follow the server's leader hint first, then ask the
-		// replicas who won the election.
+		// replicas who won the election. But each retry's OWN fate matters:
+		// once an attempt ends failUnknown (sent, then the connection died),
+		// the mutation may have executed there, so it must not be re-issued
+		// at yet another address — and the original notPrimary error must
+		// not be returned either, since callers are documented to treat
+		// notPrimary as rejected-before-execution and may safely retry it.
 		if se.Leader != "" && se.Leader != c.addr {
-			if resp2, _, err2 := c.leaderClient(se.Leader).callLocalClassed(req); err2 == nil {
+			resp2, class2, err2 := c.leaderClient(se.Leader).callLocalClassed(req)
+			switch {
+			case err2 == nil:
 				rs.setLeaderHint(se.Leader)
 				return resp2, nil
+			case IsNotPrimary(err2) || class2 == failNotSent:
+				// Provably never executed there; asking the replicas who
+				// won remains safe.
+			case isConnFailure(err2):
+				return nil, fmt.Errorf("%w: %v", ErrNoPrimary, err2)
+			default:
+				// The hinted leader answered: its verdict on the executed
+				// request, not the follower's pre-execution rejection, is
+				// the caller's truth.
+				return nil, err2
 			}
 		}
 		if addr := rs.discoverLeader(); addr != "" && addr != c.addr && addr != se.Leader {
-			if resp2, _, err2 := c.leaderClient(addr).callLocalClassed(req); err2 == nil {
+			resp2, class2, err2 := c.leaderClient(addr).callLocalClassed(req)
+			switch {
+			case err2 == nil:
 				return resp2, nil
+			case IsNotPrimary(err2) || class2 == failNotSent:
+			case isConnFailure(err2):
+				return nil, fmt.Errorf("%w: %v", ErrNoPrimary, err2)
+			default:
+				return nil, err2
 			}
 		}
 		return nil, err

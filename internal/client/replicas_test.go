@@ -30,11 +30,12 @@ type fakeNode struct {
 	ln   net.Listener
 	addr string
 
-	role    string
+	role    atomic.Value // string; promotions mid-test flip it
 	head    atomic.Uint64
 	applied atomic.Uint64
 	stale   atomic.Bool
 	leader  atomic.Value // string
+	vanish  atomic.Bool  // drop the connection on a write instead of answering
 
 	reads  atomic.Int64
 	writes atomic.Int64
@@ -50,8 +51,9 @@ func startFakeNode(t *testing.T, role string) *fakeNode {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := &fakeNode{t: t, ln: ln, addr: ln.Addr().String(), role: role,
+	n := &fakeNode{t: t, ln: ln, addr: ln.Addr().String(),
 		conns: make(map[net.Conn]struct{})}
+	n.role.Store(role)
 	n.leader.Store("")
 	t.Cleanup(n.kill)
 	go n.acceptLoop()
@@ -105,18 +107,25 @@ func (n *fakeNode) serve(conn net.Conn) {
 			return
 		}
 		var resp *wire.Response
+		role := n.role.Load().(string)
 		switch {
 		case req.Method == wire.MethodReplStatus:
 			resp = wire.OK(&req)
 			resp.Repl = &wire.ReplPayload{
-				Role:    n.role,
+				Role:    role,
 				Epoch:   1,
 				Head:    n.head.Load(),
 				Applied: n.applied.Load(),
 				Stale:   n.stale.Load(),
 			}
 			resp.Leader = n.leader.Load().(string)
-		case mutatingMethods[req.Method] && n.role == wire.RoleFollower:
+		case mutatingMethods[req.Method] && n.vanish.Load():
+			// The request reached the node and then the connection died:
+			// the client cannot know whether it executed.
+			n.writes.Add(1)
+			conn.Close()
+			return
+		case mutatingMethods[req.Method] && role == wire.RoleFollower:
 			n.writes.Add(1)
 			resp = wire.ErrCoded(&req, wire.CodeNotPrimary, errors.New("not primary"))
 			resp.Leader = n.leader.Load().(string)
@@ -381,5 +390,74 @@ func TestReplicaDeathFallsBackToPrimary(t *testing.T) {
 	}
 	if p.reads.Load() == 0 {
 		t.Error("primary served no reads during replica outage")
+	}
+}
+
+// A redirected write whose fate at the hinted leader is unknown (the request
+// was sent, then the connection died — it may well have executed) must not be
+// re-issued at any other address the client can discover, and must not come
+// back as the follower's pre-execution notPrimary either (callers are
+// documented to treat that as rejected-before-execution and may retry it).
+// The only honest answer is the typed ErrNoPrimary for the caller to
+// reconcile.
+func TestUnknownFateWriteNotReissued(t *testing.T) {
+	f := startFakeNode(t, wire.RoleFollower)
+	v := startFakeNode(t, wire.RolePrimary) // the hinted leader: vanishes mid-write
+	v.vanish.Store(true)
+	f.leader.Store(v.addr)
+	d := startFakeNode(t, wire.RoleFollower) // promoted below: discoverable
+	d.caughtUp(5)
+
+	c, err := Dial(f.addr, time.Second, fastOpts(
+		WithReplicas(d.addr),
+		WithReplicaProbeInterval(time.Hour), // only the initial probe runs
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitProbe(t, func() bool { return c.replicas.replicas[0].alive.Load() })
+	// After the initial probe (which saw a follower and cached no hint), d is
+	// promoted: discoverLeader would happily name it.
+	d.role.Store(wire.RolePrimary)
+
+	_, err = c.AddEntry(&corpus.Entry{Domain: "d", Title: "t", Classes: []string{"05C10"}})
+	if !errors.Is(err, ErrNoPrimary) {
+		t.Fatalf("unknown-fate write = %v, want ErrNoPrimary", err)
+	}
+	if IsNotPrimary(err) {
+		t.Fatalf("unknown-fate write surfaced as notPrimary (%v): callers would retry a possibly-executed mutation", err)
+	}
+	if got := v.writes.Load(); got != 1 {
+		t.Fatalf("hinted leader saw %d writes, want 1", got)
+	}
+	if got := d.writes.Load(); got != 0 {
+		t.Fatalf("unknown-fate write was re-issued at the discovered leader (%d executions)", got)
+	}
+}
+
+// The discovery path itself stays intact: a write rejected pre-execution by a
+// leaderless follower re-discovers a promoted replica and executes there.
+func TestNotPrimaryWriteDiscoversPromotedReplica(t *testing.T) {
+	f := startFakeNode(t, wire.RoleFollower) // names no leader
+	d := startFakeNode(t, wire.RoleFollower)
+	d.caughtUp(5)
+
+	c, err := Dial(f.addr, time.Second, fastOpts(
+		WithReplicas(d.addr),
+		WithReplicaProbeInterval(time.Hour),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitProbe(t, func() bool { return c.replicas.replicas[0].alive.Load() })
+	d.role.Store(wire.RolePrimary)
+
+	if _, err := c.AddEntry(&corpus.Entry{Domain: "d", Title: "t", Classes: []string{"05C10"}}); err != nil {
+		t.Fatalf("write after discovery: %v", err)
+	}
+	if got := d.writes.Load(); got != 1 {
+		t.Fatalf("discovered leader executed %d writes, want 1", got)
 	}
 }

@@ -180,7 +180,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.peers = append(n.peers, addr)
 		}
 	}
-	n.term, n.votedFor = n.loadVote()
+	var err error
+	if n.term, n.votedFor, err = n.loadVote(); err != nil {
+		return nil, err
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		n.telEpoch = reg.Gauge("nnexus_replication_epoch",
 			"Current election epoch (leadership term) of this node.")
@@ -560,13 +563,20 @@ func (n *Node) buildFollower(leaderAddr string) {
 	n.mu.Unlock()
 }
 
-// watchdog probes every peer's replStatus for an epoch above this node's
-// own — the signal that this primary was deposed while unreachable and must
-// fence itself.
+// watchdog probes every peer's replStatus for deposition evidence: an epoch
+// above this node's own, or another node claiming the primary role at this
+// node's very epoch when this node never won that epoch's election (its
+// persisted vote names someone else, or nobody) — the latter catches a
+// leadership this node merely adopted rather than won, where epochs alone
+// cannot tell the two primaries apart. Either sighting fences this node.
 func (n *Node) watchdog() {
-	myTerm := n.Epoch()
+	n.mu.Lock()
+	myTerm := n.term
+	wonTerm := n.votedFor == n.cfg.Self
+	n.mu.Unlock()
 	type sighting struct {
 		epoch  uint64
+		role   string
 		leader string
 	}
 	results := make(chan sighting, len(n.peers))
@@ -585,7 +595,7 @@ func (n *Node) watchdog() {
 			if pay.Role == RolePrimary {
 				leader = addr
 			}
-			results <- sighting{epoch: pay.Epoch, leader: leader}
+			results <- sighting{epoch: pay.Epoch, role: pay.Role, leader: leader}
 		}(addr)
 	}
 	for range n.peers {
@@ -595,7 +605,7 @@ func (n *Node) watchdog() {
 		case <-n.stopCh:
 			return
 		}
-		if s.epoch > myTerm {
+		if s.epoch > myTerm || (s.role == RolePrimary && s.epoch == myTerm && !wonTerm) {
 			n.demoteTo(s.epoch, s.leader)
 			return
 		}
@@ -610,26 +620,51 @@ func (n *Node) watchdog() {
 // it is returned. Rejections carry this node's epoch and offset so the
 // candidate can tell why it lost.
 func (n *Node) HandleVote(epoch, offset uint64, candidate string) *wire.ReplPayload {
+	for {
+		pay, stepDown := n.handleVote(epoch, offset, candidate)
+		if !stepDown {
+			return pay
+		}
+		// A serving primary about to GRANT a higher-epoch vote is conceding
+		// that a fresh candidate is gathering a majority: it must step down
+		// before the grant is released (as a Raft leader does), because
+		// granting while continuing to serve manufactures a dual primary the
+		// moment the candidate wins — and if the winner's single replLead
+		// announcement were then lost, only the watchdog's primary-claim rule
+		// would remain to fence this node. A candidate refused on freshness
+		// does NOT depose the leader (it cannot win a majority this node's
+		// records are required for), which keeps a flapping, behind follower
+		// from disrupting a healthy leadership.
+		n.demoteTo(epoch, "")
+	}
+}
+
+// handleVote evaluates one vote request. It reports stepDown (with a nil
+// payload) when the caller must demote a serving primary and re-evaluate.
+func (n *Node) handleVote(epoch, offset uint64, candidate string) (*wire.ReplPayload, bool) {
 	applied := n.cfg.Store.ReplicationHead()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	reject := &wire.ReplPayload{Role: n.role, Epoch: n.term, Applied: applied}
 	if n.stopped || candidate == "" {
-		return reject
+		return reject, false
 	}
 	if epoch < n.term {
 		// A candidate from a past epoch: fence it.
 		if n.telFenced != nil {
 			n.telFenced.Inc()
 		}
-		return reject
+		return reject, false
 	}
 	if epoch == n.term && n.votedFor != "" && n.votedFor != candidate {
-		return reject // one vote per epoch
+		return reject, false // one vote per epoch
 	}
 	if epoch > n.term {
 		// Adopt the newer epoch even when refusing the candidate on
-		// freshness, so this node never regresses behind the cluster.
+		// freshness, so this node never regresses behind the cluster. (A
+		// primary adopting-but-refusing keeps serving; if the candidate
+		// somehow wins anyway, HandleLead's equal-epoch demotion or the
+		// watchdog's primary-claim rule fences this node.)
 		n.term = epoch
 		n.votedFor = ""
 		_ = n.saveVoteLocked()
@@ -639,14 +674,17 @@ func (n *Node) HandleVote(epoch, offset uint64, candidate string) *wire.ReplPayl
 		reject.Epoch = epoch
 	}
 	if offset < applied {
-		return reject // candidate is missing records this node holds
+		return reject, false // candidate is missing records this node holds
+	}
+	if n.role == RolePrimary {
+		return nil, true // step down before releasing the grant
 	}
 	n.votedFor = candidate
 	if err := n.saveVoteLocked(); err != nil {
-		return reject // an unpersisted vote must not be released
+		return reject, false // an unpersisted vote must not be released
 	}
 	n.lastHeard = time.Now()
-	return &wire.ReplPayload{Role: n.role, Granted: true, Epoch: epoch, Applied: applied}
+	return &wire.ReplPayload{Role: n.role, Granted: true, Epoch: epoch, Applied: applied}, false
 }
 
 // HandleLead answers one replLead exchange — a freshly promoted primary
@@ -831,7 +869,10 @@ func (n *Node) getPeer(addr string) (Peer, error) {
 
 // saveVoteLocked persists the current epoch and vote. Callers hold n.mu.
 // Persist-before-act is what makes a restarted node unable to vote twice in
-// one epoch.
+// one epoch — which is only true if the persisted file survives the crash it
+// guards against, so the write is fsynced and atomic: a temp file is synced,
+// renamed over the vote file, and the directory synced. A crash at any point
+// leaves either the old vote or the new one, never a torn file.
 func (n *Node) saveVoteLocked() error {
 	if n.cfg.StateDir == "" {
 		return nil
@@ -841,30 +882,68 @@ func (n *Node) saveVoteLocked() error {
 	}
 	body := strconv.FormatUint(n.term, 10) + "\n" + n.votedFor + "\n"
 	path := filepath.Join(n.cfg.StateDir, voteFileName)
-	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("replication: persist vote: %w", err)
+	}
+	if _, err = f.Write([]byte(body)); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err == nil {
+		err = syncDir(n.cfg.StateDir)
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("replication: persist vote: %w", err)
 	}
 	return nil
 }
 
-// loadVote reads the persisted epoch and vote (0, "" when absent).
-func (n *Node) loadVote() (term uint64, votedFor string) {
-	if n.cfg.StateDir == "" {
-		return 0, ""
-	}
-	data, err := os.ReadFile(filepath.Join(n.cfg.StateDir, voteFileName))
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		return 0, ""
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadVote reads the persisted epoch and vote (0, "" when the file has never
+// been written). An existing but unparsable file is an error, not a fresh
+// start: silently voting from (0, "") in an epoch this node already voted in
+// is exactly the double-vote the persistence exists to prevent.
+func (n *Node) loadVote() (term uint64, votedFor string, err error) {
+	if n.cfg.StateDir == "" {
+		return 0, "", nil
+	}
+	path := filepath.Join(n.cfg.StateDir, voteFileName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, "", nil
+	}
+	if err != nil {
+		return 0, "", fmt.Errorf("replication: read persisted vote %s: %w", path, err)
 	}
 	lines := strings.SplitN(string(data), "\n", 3)
 	if len(lines) < 2 {
-		return 0, ""
+		return 0, "", fmt.Errorf("replication: persisted vote %s is corrupt (%d bytes); refusing to rejoin with a reset vote — repair or remove the file after verifying the cluster's epoch", path, len(data))
 	}
-	term, err = strconv.ParseUint(strings.TrimSpace(lines[0]), 10, 64)
-	if err != nil {
-		return 0, ""
+	term, perr := strconv.ParseUint(strings.TrimSpace(lines[0]), 10, 64)
+	if perr != nil {
+		return 0, "", fmt.Errorf("replication: persisted vote %s is corrupt: %v; refusing to rejoin with a reset vote — repair or remove the file after verifying the cluster's epoch", path, perr)
 	}
-	return term, strings.TrimSpace(lines[1])
+	return term, strings.TrimSpace(lines[1]), nil
 }
 
 func (n *Node) logf(format string, args ...interface{}) {

@@ -645,3 +645,174 @@ func TestWaitQuorum(t *testing.T) {
 		t.Fatalf("drained wait = %v, want ErrQuorumUnavailable", err)
 	}
 }
+
+// A serving primary that receives a vote request for a higher epoch has been
+// outlived — some majority tolerated its silence long enough to elect past
+// it. Merely adopting the epoch while continuing to serve would leave two
+// primaries at one epoch whenever the winner's replLead announcement is
+// lost; the primary must instead step down before voting, exactly as a Raft
+// leader does on seeing a higher term.
+func TestHandleVoteStepsDownServingPrimary(t *testing.T) {
+	fb := newFabric()
+	dir := t.TempDir()
+	n, st := newClusterNode(t, fb, dir, "n1", []string{"n2", "n3"}, true, "")
+	defer st.Close()
+	defer n.Stop()
+	if err := st.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	pay := n.HandleVote(5, st.ReplicationHead()+10, "n2")
+	if !pay.Granted {
+		t.Fatalf("fresh higher-epoch candidate was refused: %+v", pay)
+	}
+	if got := n.Role(); got != RoleFollower {
+		t.Fatalf("primary kept serving after granting a higher-epoch vote (role %q)", got)
+	}
+	if n.CurrentPrimary() != nil {
+		t.Fatal("demoted node still exposes a primary surface")
+	}
+	if got := n.Epoch(); got != 5 {
+		t.Fatalf("epoch = %d, want 5", got)
+	}
+	if !n.Fenced() {
+		t.Error("stepped-down primary not marked fenced")
+	}
+	// The vote was persisted atomically: the final file parses, no temp file
+	// lingers.
+	data, err := os.ReadFile(filepath.Join(dir, voteFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "5\nn2\n" {
+		t.Fatalf("persisted vote = %q, want %q", data, "5\nn2\n")
+	}
+	if _, err := os.Stat(filepath.Join(dir, voteFileName+".tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("vote temp file left behind (stat err %v)", err)
+	}
+
+	// A candidate refused on freshness does NOT depose the leader: it cannot
+	// assemble a majority without the records this node holds, so stepping
+	// down would only let a flapping, behind follower disrupt a healthy
+	// leadership. The primary adopts the higher epoch and keeps serving.
+	n2, st2 := newClusterNode(t, fb, t.TempDir(), "m1", []string{"m2", "m3"}, true, "")
+	defer st2.Close()
+	defer n2.Stop()
+	for i := 0; i < 3; i++ {
+		if err := st2.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pay = n2.HandleVote(4, 0, "m2") // candidate far behind: no vote
+	if pay.Granted {
+		t.Fatal("vote granted to a candidate behind the voter")
+	}
+	if got := n2.Role(); got != RolePrimary {
+		t.Fatalf("primary deposed by a stale candidate it refused (role %q)", got)
+	}
+	if got := n2.Epoch(); got != 4 {
+		t.Fatalf("refusing voter did not adopt the higher epoch: %d, want 4", got)
+	}
+}
+
+// Two nodes both claiming the primary role at the same epoch (a dual primary
+// however it arose — misconfiguration, a lost demotion) must resolve to
+// exactly one: each watchdog sees a peer claiming leadership at an epoch it
+// never won and fences itself, and the follow-up election elects one winner.
+func TestDualPrimarySameEpochResolves(t *testing.T) {
+	fb := newFabric()
+	addrs := []string{"n1", "n2", "n3"}
+	others := func(self string) []string {
+		var out []string
+		for _, a := range addrs {
+			if a != self {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	nodes := make(map[string]*Node)
+	stores := make(map[string]*storage.Store)
+	nodes["n1"], stores["n1"] = newClusterNode(t, fb, t.TempDir(), "n1", others("n1"), true, "")
+	nodes["n2"], stores["n2"] = newClusterNode(t, fb, t.TempDir(), "n2", others("n2"), true, "") // the impostor
+	nodes["n3"], stores["n3"] = newClusterNode(t, fb, t.TempDir(), "n3", others("n3"), false, "n1")
+	for _, a := range addrs {
+		if err := nodes[a].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, a := range addrs {
+			nodes[a].Stop()
+		}
+		for _, a := range addrs {
+			stores[a].Close()
+		}
+	}()
+
+	waitNode(t, "exactly one primary with unanimous followers", 15*time.Second, func() bool {
+		var primaries []string
+		for _, a := range addrs {
+			if nodes[a].Role() == RolePrimary {
+				primaries = append(primaries, a)
+			}
+		}
+		if len(primaries) != 1 {
+			return false
+		}
+		for _, a := range addrs {
+			if nodes[a].LeaderAddr() != primaries[0] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// An existing but unparsable vote file must refuse to start the node: the
+// persisted vote is the only thing standing between a restart and a double
+// vote, so silently resetting to (0, "") would re-enable exactly the
+// two-leaders-in-one-epoch split the persistence exists to prevent.
+func TestCorruptVoteFileRefusesStart(t *testing.T) {
+	fb := newFabric()
+	for _, body := range []string{"garbage\n", "12"} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, voteFileName), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := storage.Open(dir, storage.WithReplication())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = NewNode(NodeConfig{
+			Self:     "n1",
+			Peers:    []string{"n2"},
+			Store:    st,
+			Dial:     func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: "n1", addr: addr}, nil },
+			StateDir: dir,
+		})
+		st.Close()
+		if err == nil {
+			t.Fatalf("NewNode accepted corrupt vote file %q", body)
+		}
+	}
+
+	// An absent file stays a clean fresh start.
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n, err := NewNode(NodeConfig{
+		Self:     "n1",
+		Peers:    []string{"n2"},
+		Store:    st,
+		Dial:     func(addr string) (Peer, error) { return fabricPeer{fb: fb, from: "n1", addr: addr}, nil },
+		StateDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("fresh node refused to start: %v", err)
+	}
+	n.Stop()
+}

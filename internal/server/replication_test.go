@@ -264,3 +264,53 @@ func TestChaosReplShutdownDrainsSubscribers(t *testing.T) {
 		t.Fatalf("resumed subscribe = %+v, want record at offset 2", resp.Repl)
 	}
 }
+
+// A node deposed between applying a mutation and gathering its quorum must
+// answer quorumUnavailable, never plain success: the write sits in the
+// deposed primary's unshipped WAL suffix — exactly the records the fencing
+// re-bootstrap will truncate — so a quorum-style OK would be a lie the
+// client has no way to detect. The in-process demotion window is forced via
+// the post-mutate test hook; the process-kill chaos matrix cannot hit it.
+func TestQuorumAckRefusedAfterInProcessDemotion(t *testing.T) {
+	st, err := storage.Open(t.TempDir(), storage.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	engine, err := core.NewEngine(core.Config{Scheme: classification.SampleMSC(10), Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := replication.NewNode(replication.NodeConfig{
+		Self:  "self",
+		Peers: []string{"peer"},
+		Store: st,
+		Dial: func(addr string) (replication.Peer, error) {
+			return nil, errors.New("unreachable")
+		},
+		InitialPrimary: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Stop)
+	srv := New(engine, nil, WithReplicationNode(node), WithQuorumAcks(1, 5*time.Second))
+	srv.testPostMutate = func(req *wire.Request) {
+		// The new regime's announcement lands the instant the write applied.
+		if err := node.HandleLead(99, ""); err != nil {
+			t.Errorf("HandleLead: %v", err)
+		}
+	}
+
+	resp := srv.Handle(&wire.Request{Method: wire.MethodAddDomain, Seq: 1,
+		Domain: &wire.Domain{Name: "planetmath.org", URLTemplate: "http://pm/{id}", Scheme: "msc"}})
+	if resp.IsOK() {
+		t.Fatal("write acked as success with zero follower confirmations after demotion")
+	}
+	if resp.Code != wire.CodeQuorumUnavailable {
+		t.Fatalf("response code = %q (%s), want %q", resp.Code, resp.Error, wire.CodeQuorumUnavailable)
+	}
+	if node.IsPrimary() {
+		t.Fatal("node still primary after HandleLead")
+	}
+}

@@ -93,6 +93,12 @@ type Server struct {
 	// production code never sets it.
 	testHook func(*wire.Request)
 
+	// testPostMutate, when non-nil, runs after a mutating method has applied
+	// but before its quorum acknowledgement is gathered — the in-process
+	// demotion window a process-kill chaos matrix cannot hit on cue;
+	// production code never sets it.
+	testPostMutate func(*wire.Request)
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]*connState
@@ -761,15 +767,27 @@ func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
 		if err != nil {
 			return resp, err
 		}
+		if s.testPostMutate != nil {
+			s.testPostMutate(req)
+		}
 		// Quorum acknowledgment: hold the (already applied, locally durable)
 		// write's response until k followers confirmed the current WAL head.
 		// Waiting on the head observed here is at least as strong as waiting
-		// on the write's own offset.
+		// on the write's own offset. A nil primary here means the node was
+		// deposed between applying the mutation and gathering the quorum (or
+		// quorum acks were configured without a replication surface): the
+		// write sits in a WAL suffix that fencing may truncate, so acking it
+		// as a quorum success would break the zero-lost-acked-writes
+		// guarantee. Degrade to quorumUnavailable — the same answer a drained
+		// primary gives — and let the caller reconcile.
 		if s.quorumAcks > 0 {
-			if p := s.currentPrimary(); p != nil {
-				if qerr := p.WaitQuorum(p.Head(), s.quorumAcks, s.quorumTimeout); qerr != nil {
-					return wire.ErrCoded(req, wire.CodeQuorumUnavailable, qerr), nil
-				}
+			p := s.currentPrimary()
+			if p == nil {
+				return wire.ErrCoded(req, wire.CodeQuorumUnavailable,
+					fmt.Errorf("%s: node lost the primary role before the write could be quorum-acknowledged", req.Method)), nil
+			}
+			if qerr := p.WaitQuorum(p.Head(), s.quorumAcks, s.quorumTimeout); qerr != nil {
+				return wire.ErrCoded(req, wire.CodeQuorumUnavailable, qerr), nil
 			}
 		}
 		return resp, nil

@@ -257,7 +257,12 @@ type Config struct {
 	// offset durable (0, the default, acknowledges on local durability
 	// alone). A write that cannot gather the quorum within QuorumTimeout
 	// answers a typed quorumUnavailable error — the write IS durable on the
-	// primary, but its replication guarantee is not yet met.
+	// primary, but its replication guarantee is not yet met. Requires a
+	// primary-capable role (ReplicationPrimary or ClusterPeers); with
+	// ClusterPeers, New enforces the failover-durability floor
+	// QuorumAcks+1+majority > N (e.g. at least 1 for 3 nodes, 2 for 5), the
+	// smallest k at which a quorum-acked write provably survives any
+	// election the cluster can hold.
 	QuorumAcks int
 	// QuorumTimeout bounds the quorum wait (default server.DefaultQuorumTimeout).
 	QuorumTimeout time.Duration
@@ -295,6 +300,35 @@ func New(cfg Config) (*Engine, error) {
 		}
 		if !cfg.ReplicationPrimary && cfg.FollowPrimary == "" {
 			return nil, fmt.Errorf("nnexus: ClusterPeers requires an initial role: set ReplicationPrimary or FollowPrimary")
+		}
+	}
+	if cfg.QuorumAcks > 0 {
+		if !cfg.ReplicationPrimary && !clustered {
+			return nil, fmt.Errorf("nnexus: QuorumAcks requires a node that can serve as primary: set ReplicationPrimary or ClusterPeers")
+		}
+		if clustered {
+			// The election freshness rule only guarantees the winner holds
+			// records replicated to a voting majority. A quorum-acked write
+			// lives on QuorumAcks+1 nodes (primary + k followers); for it to
+			// survive any failover, that set must intersect every possible
+			// election majority: QuorumAcks+1 + majority > N. A smaller k
+			// would hand clients a "quorum" ack the next leader may not hold
+			// — a silent gap between the configured word and the guarantee —
+			// so it is rejected here rather than discovered in an outage.
+			followers := 0
+			for _, a := range cfg.ClusterPeers {
+				if a != "" && a != cfg.AdvertiseAddr {
+					followers++
+				}
+			}
+			n := followers + 1
+			if cfg.QuorumAcks > followers {
+				return nil, fmt.Errorf("nnexus: QuorumAcks=%d can never be satisfied by the cluster's %d follower(s)", cfg.QuorumAcks, followers)
+			}
+			majority := n/2 + 1
+			if minAcks := n - majority; cfg.QuorumAcks < minAcks {
+				return nil, fmt.Errorf("nnexus: QuorumAcks=%d is below the failover-durability floor for a %d-node cluster: a quorum-acked write must reach at least %d followers to intersect every election majority (QuorumAcks+1+majority > N)", cfg.QuorumAcks, n, minAcks)
+			}
 		}
 	}
 	// One registry spans every layer: the storage WAL, the engine, and the

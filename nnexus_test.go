@@ -425,3 +425,48 @@ func TestResultJSONContract(t *testing.T) {
 		}
 	}
 }
+
+// QuorumAcks is only a durability guarantee when a quorum-acked write's
+// replica set intersects every election majority (QuorumAcks+1+majority > N);
+// New must reject configurations whose "quorum" word promises more than the
+// election math delivers, and ones no follower count can ever satisfy.
+func TestQuorumAcksValidation(t *testing.T) {
+	base := func(peers ...string) nnexus.Config {
+		return nnexus.Config{
+			Scheme:             nnexus.SampleMSC(nnexus.DefaultBaseWeight),
+			DataDir:            t.TempDir(),
+			ClusterPeers:       peers,
+			AdvertiseAddr:      "self:1",
+			ReplicationPrimary: true,
+		}
+	}
+	cases := []struct {
+		name    string
+		cfg     nnexus.Config
+		wantErr bool
+	}{
+		{"3 nodes, k=1 at the floor", func() nnexus.Config { c := base("p1:1", "p2:1"); c.QuorumAcks = 1; return c }(), false},
+		{"3 nodes, k=2 above the floor", func() nnexus.Config { c := base("p1:1", "p2:1"); c.QuorumAcks = 2; return c }(), false},
+		{"5 nodes, k=1 below the floor", func() nnexus.Config { c := base("p1:1", "p2:1", "p3:1", "p4:1"); c.QuorumAcks = 1; return c }(), true},
+		{"5 nodes, k=2 at the floor", func() nnexus.Config { c := base("p1:1", "p2:1", "p3:1", "p4:1"); c.QuorumAcks = 2; return c }(), false},
+		{"3 nodes, k=3 unsatisfiable", func() nnexus.Config { c := base("p1:1", "p2:1"); c.QuorumAcks = 3; return c }(), true},
+		{"no replication role", nnexus.Config{
+			Scheme:     nnexus.SampleMSC(nnexus.DefaultBaseWeight),
+			QuorumAcks: 1,
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := nnexus.New(tc.cfg)
+			if e != nil {
+				e.Close()
+			}
+			if tc.wantErr && err == nil {
+				t.Fatal("New accepted a quorum configuration weaker than its guarantee")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("New rejected a valid quorum configuration: %v", err)
+			}
+		})
+	}
+}
