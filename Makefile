@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench bench-json bench-compare chaos chaos-replication chaos-failover readscale openloop loadgate experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare matchscan chaos chaos-replication chaos-failover readscale openloop loadgate experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -19,25 +19,33 @@ bench:
 
 # Record the performance trajectory: the key linking benchmarks (sequential
 # modes, free text, maintenance, the parallel path, batch linking, the
-# pipelined wire client, and WAL group commit, the scaling ones at 1/2/4/8
-# procs) as JSON. The output is committed (BENCH_PR4.json; BENCH_PR3.json is
-# the previous snapshot) so later perf PRs have a baseline to be judged
-# against.
+# pipelined wire client, WAL group commit, the scaling ones at 1/2/4/8
+# procs, and the match-stage scan A/B) as JSON. The output is committed
+# (BENCH_PR8.json; BENCH_PR3/4/5/6.json are the earlier snapshots) so later
+# perf PRs have a baseline to be judged against.
 bench-json:
-	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth' -benchmem . ; \
+	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth|LinkText$$' -benchmem . ; \
 	  go test -run '^$$' -bench 'Link(Text)?Parallel|LinkBatch' -benchmem -cpu 1,2,4,8 . ; \
+	  go test -run '^$$' -bench 'MatchScan' -benchmem ./internal/conceptmap ; \
 	  go test -run '^$$' -bench 'PipelinedClient' -benchmem -cpu 1,2,4,8 ./internal/client ; \
 	  go test -run '^$$' -bench 'GroupCommit' -benchmem -cpu 1,2,4,8 ./internal/storage ; } \
-	| go run ./cmd/benchjson -o BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+	| go run ./cmd/benchjson -o BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # Benchstat-style old/new comparison against the committed baseline.
 bench-compare:
-	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth' -benchmem . ; \
+	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth|LinkText$$' -benchmem . ; \
 	  go test -run '^$$' -bench 'Link(Text)?Parallel|LinkBatch' -benchmem -cpu 1,2,4,8 . ; \
+	  go test -run '^$$' -bench 'MatchScan' -benchmem ./internal/conceptmap ; \
 	  go test -run '^$$' -bench 'PipelinedClient' -benchmem -cpu 1,2,4,8 ./internal/client ; \
 	  go test -run '^$$' -bench 'GroupCommit' -benchmem -cpu 1,2,4,8 ./internal/storage ; } \
-	| go run ./cmd/benchjson -compare BENCH_PR4.json
+	| go run ./cmd/benchjson -compare BENCH_PR8.json
+
+# The match-stage scan experiment (chained-hash vs compiled automaton over
+# the engine-shaped concept map); informational companion to the committed
+# BenchmarkMatchScan / BenchmarkLinkText rows in BENCH_PR8.json.
+matchscan:
+	go run ./cmd/nnexus-bench -exp matchscan -entries 7132 -duration 2s
 
 # Fault-injection suite: connection kills, server restarts, torn WAL tails,
 # fsync failures, drains under live traffic — always under the race detector.
@@ -89,6 +97,7 @@ fuzz:
 	go test ./internal/wire -fuzz=FuzzDecodeRequest -fuzztime=30s
 	go test ./internal/storage -fuzz=FuzzDecodeBody -fuzztime=30s
 	go test ./internal/morph -fuzz=FuzzNormalize -fuzztime=30s
+	go test ./internal/conceptmap -fuzz=FuzzAutomatonScanEquivalence -fuzztime=30s
 
 cover:
 	go test -cover ./...

@@ -11,8 +11,10 @@ package nnexus_test
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"nnexus"
 	"nnexus/internal/core"
@@ -383,6 +385,83 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				if _, err := e.LinkText(notes, core.LinkOptions{SourceClasses: classes}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinkText is the match-stage A/B behind the PR 8 acceptance gate:
+// the same free-text linking traffic against one engine scanning with the
+// chained-hash structure (automaton=off) and one scanning with the compiled
+// Aho-Corasick automaton (automaton=on), at PlanetMath scale (~10k concept
+// labels). Total ns/op includes tokenize/policy/steer/render, which the
+// automaton does not touch, so each sub-benchmark also reports match-ns/op —
+// the match stage's share of the run, read from the engine's own
+// nnexus_pipeline_stage_duration_seconds{stage="match"} histogram. The
+// acceptance criterion (≥3x) is on match-ns/op; the scan itself is
+// additionally proven allocation-free by BenchmarkMatchScan and
+// TestAutomatonScanZeroAlloc in internal/conceptmap.
+func BenchmarkLinkText(b *testing.B) {
+	c := corpusFor(b, 7132)
+	// Document-length input: a few entry bodies plus lecture-notes prose —
+	// the shape LinkEntry/relink traffic scans all day.
+	parts := c.QueryTexts(4, 7)
+	for _, i := range []int{100, 1200, 2300, 3400, 4500} {
+		parts = append(parts, c.Entries[i].Entry.Body)
+	}
+	notes := strings.Join(parts, " ")
+	classes := c.Entries[100].Entry.Classes
+	for _, automaton := range []bool{false, true} {
+		name := "automaton=off"
+		if automaton {
+			name = "automaton=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			e, err := core.NewEngine(core.Config{
+				Scheme:           c.Scheme,
+				CompileAutomaton: automaton,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			seedEngine(b, e, c)
+			if automaton {
+				// Wait until the background compiler has caught up with the
+				// bulk load, so the benchmark measures the automaton path.
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					info := e.AutomatonInfo()
+					if info.Compiled && info.Generation == info.SnapshotGeneration {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("automaton never caught up: %+v", info)
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+			matchHist := e.Telemetry().HistogramVec(
+				"nnexus_pipeline_stage_duration_seconds", "", nil, "stage").
+				With(core.StageMatch)
+			matchBefore := matchHist.Sum()
+			b.SetBytes(int64(len(notes)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.LinkText(notes, core.LinkOptions{SourceClasses: classes}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			matchNs := (matchHist.Sum() - matchBefore) * 1e9 / float64(b.N)
+			b.ReportMetric(matchNs, "match-ns/op")
+			info := e.AutomatonInfo()
+			if automaton && info.AutomatonScans == 0 {
+				b.Fatal("automaton=on served no scans from the automaton")
+			}
+			if !automaton && info.AutomatonScans != 0 {
+				b.Fatal("automaton=off unexpectedly used the automaton")
 			}
 		})
 	}

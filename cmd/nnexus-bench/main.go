@@ -14,6 +14,7 @@
 //	nnexus-bench -exp throughput     closed-loop TCP QPS: stop-and-wait vs pipelined
 //	nnexus-bench -exp readscale      read QPS: single node vs 1 primary + 2 read replicas
 //	nnexus-bench -exp openloop       open-loop (coordinated-omission-free) latency-vs-offered-load sweep with knee detection
+//	nnexus-bench -exp matchscan      match-stage scan: chained-hash vs compiled Aho-Corasick automaton
 //	nnexus-bench -exp all            everything above
 //
 // -entries sets the full corpus size (default 7132, the paper's largest
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table1, table2, table3, fig8, fig9, invalidation, maintenance, autopolicy, semiauto, network, throughput, readscale, openloop, all)")
+		exp     = flag.String("exp", "all", "experiment to run (table1, table2, table3, fig8, fig9, invalidation, maintenance, autopolicy, semiauto, network, throughput, readscale, openloop, matchscan, all)")
 		entries = flag.Int("entries", 7132, "full corpus size")
 		seed    = flag.Int64("seed", 20090601, "workload seed")
 		sample2 = flag.Int("sample", 50, "Table 2 sample size (paper: 50)")
@@ -106,6 +107,7 @@ func main() {
 			tolerance: *olTol,
 		})
 	})
+	run("matchscan", func(c *workload.Corpus) error { return runMatchScan(c, *qpsDur, *rsJSON) })
 }
 
 func fatal(err error) {

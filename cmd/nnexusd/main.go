@@ -48,6 +48,8 @@ func main() {
 		maxPipeline    = flag.Int("max-pipeline", 0, "cap on concurrently executing requests per TCP connection (0 = server default, 1 = sequential)")
 		commitWindow   = flag.Duration("group-commit-window", 0, "WAL group-commit gathering window under -sync: one fsync covers writers arriving within it (0 = commit eagerly)")
 
+		compileAutomaton = flag.Bool("compile-automaton", true, "compile concept-map snapshots into an Aho-Corasick automaton in the background for one-pass, allocation-free scanning (fallback scan used while it trails writes)")
+
 		replPrimary = flag.Bool("repl-primary", false, "serve as a replication primary: retain the WAL record log and answer follower subscriptions (requires -data)")
 		follow      = flag.String("follow", "", "run as a read replica of the primary at this XML-protocol address (requires -data; writes answer a notPrimary redirect)")
 		replicaName = flag.String("replica-name", "", "name this follower reports for lag accounting (default: hostname)")
@@ -118,6 +120,7 @@ func main() {
 		ElectionTimeout:    *electionTimeout,
 		QuorumAcks:         *quorumAcks,
 		QuorumTimeout:      *quorumTimeout,
+		CompileAutomaton:   *compileAutomaton,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -200,6 +200,9 @@ type snapshot struct {
 	byObject [numBuckets]map[ObjectID][]string
 	nLabels  int // number of distinct labels indexed
 	objects  int // number of objects indexed
+	// gen numbers the generation (monotonic from 0 at New) so the automaton
+	// compiler can tell how far a compiled artifact trails the write stream.
+	gen uint64
 }
 
 // Map is the concept map. The zero value is not usable; call New.
@@ -210,6 +213,10 @@ type Map struct {
 	snap atomic.Pointer[snapshot]
 	// writeMu serializes snapshot construction; readers never take it.
 	writeMu sync.Mutex
+	// comp is the Aho-Corasick automaton compiler state (see compiler.go):
+	// an optional background goroutine compiles published snapshots into an
+	// immutable matcher that serves scans until the next write lands.
+	comp compilerState
 }
 
 // New returns an empty concept map.
@@ -239,6 +246,7 @@ func (m *Map) beginWrite() *write {
 		byObject: old.byObject,
 		nLabels:  old.nLabels,
 		objects:  old.objects,
+		gen:      old.gen + 1,
 	}
 	return &write{next: next, fiTouched: make(map[string]bool)}
 }
@@ -336,6 +344,7 @@ func (m *Map) AddObject(id ObjectID, labels []string) {
 	w.objBucket(id)[id] = norms
 	w.next.objects++
 	m.snap.Store(w.next)
+	m.markDirty()
 }
 
 // RemoveObject removes every label contribution of the object. Removing an
@@ -350,6 +359,7 @@ func (m *Map) RemoveObject(id ObjectID) {
 	w := m.beginWrite()
 	w.remove(id)
 	m.snap.Store(w.next)
+	m.markDirty()
 }
 
 // remove unindexes an object inside the generation under construction.
@@ -412,8 +422,36 @@ func (m *Map) Scan(tokens []tokenizer.Token) []Match {
 // ScanAppend is Scan appending into dst (which may be nil or a recycled
 // buffer with spare capacity), so steady-state callers can reuse one match
 // buffer across requests instead of allocating per scan.
+//
+// When a compiled automaton matching the current snapshot is published (see
+// StartCompiler / CompileNow), the scan is served by its one-pass
+// Aho-Corasick walk; otherwise — automaton disabled, not yet built, or
+// trailing the snapshot generation — it falls back to the chained-hash walk
+// below. Both paths produce bit-identical match streams.
 func (m *Map) ScanAppend(dst []Match, tokens []tokenizer.Token) []Match {
+	dst, _ = m.ScanAppendAuto(dst, tokens)
+	return dst
+}
+
+// ScanAppendAuto is ScanAppend, additionally reporting whether the compiled
+// automaton (rather than the chained-hash fallback) served the scan, so
+// callers can attribute latency per path.
+func (m *Map) ScanAppendAuto(dst []Match, tokens []tokenizer.Token) ([]Match, bool) {
 	snap := m.snap.Load()
+	// The automaton is exact only for the precise snapshot it was compiled
+	// from; pointer identity is the cheapest possible staleness check.
+	if aut := m.comp.aut.Load(); aut != nil && aut.src == snap {
+		m.comp.autScans.Add(1)
+		return aut.scanAppend(dst, tokens), true
+	}
+	m.comp.fallbackScans.Add(1)
+	return snap.scanChained(dst, tokens), false
+}
+
+// scanChained is the paper's §2.2 chained-hash scan over one immutable
+// snapshot: per position, probe the first-word chain and try its label
+// lengths longest-first.
+func (snap *snapshot) scanChained(dst []Match, tokens []tokenizer.Token) []Match {
 	// phrase is a reusable byte buffer; probing the label table with
 	// b[string(phrase)] compiles to a no-allocation map lookup.
 	var phrase []byte

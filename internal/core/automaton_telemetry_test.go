@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAutomatonTelemetryExposition is the exposition-format contract for
+// the automaton metric family: the scan-path split counters, the build
+// histogram, and the size/staleness gauges must appear under their
+// documented names and types, and must reflect driven traffic.
+func TestAutomatonTelemetryExposition(t *testing.T) {
+	// An engine without the compiler serves every scan from the fallback;
+	// the families must still expose, with the automaton side at zero.
+	e := fig1Engine(t, Config{})
+	if _, err := e.LinkText("every planar graph is nice", LinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := scrape(t, e)
+	for _, want := range []string{
+		"# TYPE nnexus_scan_automaton_total counter",
+		"nnexus_scan_automaton_total 0",
+		"# TYPE nnexus_scan_fallback_total counter",
+		"nnexus_scan_fallback_total 1",
+		"# TYPE nnexus_automaton_build_seconds histogram",
+		"nnexus_automaton_build_seconds_count 0",
+		"# TYPE nnexus_automaton_states gauge",
+		"nnexus_automaton_states 0",
+		"# TYPE nnexus_automaton_edges gauge",
+		"# TYPE nnexus_automaton_words gauge",
+		"# TYPE nnexus_automaton_labels gauge",
+		"# TYPE nnexus_automaton_generation_lag gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fallback-only exposition is missing %q", want)
+		}
+	}
+
+	// With the compiler on and caught up (CompileNow returns only after any
+	// in-flight background build has been observed), a LinkText is served
+	// by the automaton and the gauges describe the published machine.
+	e2 := fig1Engine(t, Config{CompileAutomaton: true})
+	defer e2.Close()
+	e2.cmap.CompileNow()
+	if _, err := e2.LinkText("every planar graph is nice", LinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out = scrape(t, e2)
+	if strings.Contains(out, "nnexus_scan_automaton_total 0") {
+		t.Error("automaton engine served no automaton scans")
+	}
+	if strings.Contains(out, "nnexus_automaton_build_seconds_count 0") {
+		t.Error("automaton build histogram observed nothing")
+	}
+	if strings.Contains(out, "nnexus_automaton_states 0") {
+		t.Error("automaton states gauge is zero after a compile")
+	}
+	if !strings.Contains(out, "nnexus_automaton_generation_lag 0") {
+		t.Error("caught-up automaton reports a nonzero generation lag")
+	}
+	// The per-path match-stage children share the stage histogram family.
+	for _, want := range []string{
+		`nnexus_pipeline_stage_duration_seconds_count{stage="match_automaton"} 1`,
+		`nnexus_pipeline_stage_duration_seconds_count{stage="match_fallback"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("automaton exposition is missing %q", want)
+		}
+	}
+}
+
+func scrape(t *testing.T, e *Engine) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := e.Telemetry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nnexus/internal/cache"
 	"nnexus/internal/classification"
@@ -129,6 +130,14 @@ type Config struct {
 	// (65536 pairs); a negative value disables the cache, which is useful
 	// for benchmarking the bare scheme and for the equivalence tests.
 	DistanceCacheSize int
+	// CompileAutomaton starts the concept map's background compiler, which
+	// rebuilds an immutable Aho-Corasick automaton after maintenance
+	// writes (debounced, off the write path) and serves scans from it
+	// whenever it matches the current snapshot generation, falling back to
+	// the chained-hash scan whenever it trails. Results are identical
+	// either way; the automaton is purely a match-stage throughput win.
+	// Call Close to stop the compiler goroutine.
+	CompileAutomaton bool
 }
 
 // Engine is a fully assembled NNexus instance. All methods are safe for
@@ -215,7 +224,29 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.CompileAutomaton {
+		// Start after load so the initial bulk of AddObject calls compiles
+		// once instead of once per loaded entry; the observer must be in
+		// place first so no build goes unrecorded.
+		if e.tel != nil {
+			e.cmap.SetBuildObserver(e.tel.observeAutomatonBuild)
+		}
+		e.cmap.StartCompiler(automatonDebounce)
+	}
 	return e, nil
+}
+
+// automatonDebounce is how long the background automaton compiler waits
+// after a maintenance write before rebuilding, so write bursts (imports,
+// batch updates) coalesce into one compile.
+const automatonDebounce = 25 * time.Millisecond
+
+// Close releases the engine's background resources (currently the concept
+// map's automaton compiler goroutine). The engine must not be used after
+// Close; it does not close the storage layer, which the caller owns.
+func (e *Engine) Close() error {
+	e.cmap.StopCompiler()
+	return nil
 }
 
 // load rebuilds in-memory state from the store.
@@ -544,6 +575,11 @@ func (e *Engine) NumEntries() int {
 
 // NumConcepts returns the number of distinct concept labels indexed.
 func (e *Engine) NumConcepts() int { return e.cmap.Labels() }
+
+// AutomatonInfo reports the concept map's compiled-automaton state: whether
+// one is published, how far it trails the snapshot generation, its size,
+// and the scan-path counters. Useful for diagnostics and readiness checks.
+func (e *Engine) AutomatonInfo() conceptmap.AutomatonInfo { return e.cmap.AutomatonInfo() }
 
 // Scheme returns the engine's canonical classification scheme.
 func (e *Engine) Scheme() *classification.Scheme { return e.scheme }

@@ -95,6 +95,10 @@ type linkBuffers struct {
 	cands []*corpus.Entry
 	sc    []classification.Candidate
 	ids   []int64
+	// steered is chooseTarget's winner-membership scratch, lazily
+	// allocated and cleared after each use (previously rebuilt with a
+	// fresh map allocation for every steered match).
+	steered map[int64]bool
 	// entries is the per-call candidate snapshot (see captureView).
 	entries map[int64]*corpus.Entry
 }
@@ -215,10 +219,12 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 		st.tokenize = now.Sub(mark)
 		mark = now
 	}
-	buf.matches = e.cmap.ScanAppend(buf.matches, buf.tokens)
+	var usedAutomaton bool
+	buf.matches, usedAutomaton = e.cmap.ScanAppendAuto(buf.matches, buf.tokens)
 	matches := buf.matches
 	if st != nil {
 		st.match = time.Since(mark)
+		st.matchAutomaton = usedAutomaton
 	}
 	view := e.captureView(matches, buf)
 
@@ -314,22 +320,11 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 // results, keyed by entry ID. On error the results completed so far are
 // returned alongside it.
 func (e *Engine) RelinkInvalidated() (map[int64]*Result, error) {
-	var start time.Time
-	if e.tel != nil {
-		e.tel.relinkRuns.Inc()
-		start = time.Now()
-	}
-	out := make(map[int64]*Result)
-	for _, id := range e.Invalidated() {
-		res, err := e.LinkEntry(id, LinkOptions{})
-		if err != nil {
-			e.finishRelink(start, len(out), 1)
-			return out, err
-		}
-		out[id] = res
-	}
-	e.finishRelink(start, len(out), 0)
-	return out, nil
+	// One single-worker run of the shared-view batch path: each chunk of
+	// entries captures one candidate view under one read lock instead of
+	// re-capturing per entry, with the same error semantics and telemetry
+	// as the parallel path.
+	return e.RelinkBatch(nil, 1)
 }
 
 // finishRelink folds one completed (or aborted) relink batch into the
@@ -429,15 +424,33 @@ func (e *Engine) chooseTarget(m conceptmap.Match, view linkView, buf *linkBuffer
 		steered := classification.SteerCached(e.scheme, e.distanceCache(), sourceClasses, sc)
 		if len(steered) > 0 {
 			distance = steered[0].Distance
-			byID := make(map[int64]bool, len(steered))
-			for _, s := range steered {
-				byID[s.Object] = true
-			}
 			winners := cands[:0]
-			for _, c := range cands {
-				if byID[c.ID] {
-					winners = append(winners, c)
+			if len(steered) <= 8 {
+				// Typical case: few winners — a linear membership scan
+				// beats building a map (steered is small and cache-hot).
+				for _, c := range cands {
+					for i := range steered {
+						if steered[i].Object == c.ID {
+							winners = append(winners, c)
+							break
+						}
+					}
 				}
+			} else {
+				byID := buf.steered
+				if byID == nil {
+					byID = make(map[int64]bool, len(steered))
+					buf.steered = byID
+				}
+				for _, s := range steered {
+					byID[s.Object] = true
+				}
+				for _, c := range cands {
+					if byID[c.ID] {
+						winners = append(winners, c)
+					}
+				}
+				clear(byID)
 			}
 			cands = winners
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"nnexus/internal/conceptmap"
 	"nnexus/internal/telemetry"
 )
 
@@ -14,6 +15,15 @@ const (
 	StagePolicy   = "policy"   // entry filtering by linking policies
 	StageSteer    = "steer"    // classification steering + tie resolution
 	StageRender   = "render"   // link substitution into the output text
+
+	// The match stage is additionally attributed to whichever scan path
+	// served it, so the automaton's effect is visible per request: the
+	// compiled Aho-Corasick automaton or the chained-hash fallback (used
+	// while the automaton trails the snapshot generation or is disabled).
+	// StageMatch keeps observing every scan regardless, preserving the
+	// PR 1 stage-label contract.
+	StageMatchAutomaton = "match_automaton"
+	StageMatchFallback  = "match_fallback"
 )
 
 // engineTelemetry holds the engine's pre-resolved instruments so the hot
@@ -32,12 +42,17 @@ type engineTelemetry struct {
 	opLinkEntry   *telemetry.Counter
 
 	// Pipeline stage timings and whole-operation latency.
-	stageTokenize *telemetry.Histogram
-	stageMatch    *telemetry.Histogram
-	stagePolicy   *telemetry.Histogram
-	stageSteer    *telemetry.Histogram
-	stageRender   *telemetry.Histogram
-	linkDuration  *telemetry.Histogram
+	stageTokenize      *telemetry.Histogram
+	stageMatch         *telemetry.Histogram
+	stageMatchAutomat  *telemetry.Histogram
+	stageMatchFallback *telemetry.Histogram
+	stagePolicy        *telemetry.Histogram
+	stageSteer         *telemetry.Histogram
+	stageRender        *telemetry.Histogram
+	linkDuration       *telemetry.Histogram
+
+	// Automaton compile lifecycle (conceptmap background compiler).
+	automatonBuild *telemetry.Histogram
 
 	// Link outcomes (nnexus_link_skips_total{reason=...}).
 	linksCreated  *telemetry.Counter
@@ -76,6 +91,8 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 		"Per-stage latency of the linking pipeline (Fig 2).", nil, "stage")
 	t.stageTokenize = stages.With(StageTokenize)
 	t.stageMatch = stages.With(StageMatch)
+	t.stageMatchAutomat = stages.With(StageMatchAutomaton)
+	t.stageMatchFallback = stages.With(StageMatchFallback)
 	t.stagePolicy = stages.With(StagePolicy)
 	t.stageSteer = stages.With(StageSteer)
 	t.stageRender = stages.With(StageRender)
@@ -104,6 +121,37 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 		"Shared-view link batches processed.")
 	t.batchItems = reg.Counter("nnexus_link_batch_items_total",
 		"Texts linked through shared-view link batches.")
+
+	// Automaton metric family: scan-path split, build lifecycle, and the
+	// size/staleness of the published automaton (all read from the concept
+	// map's own atomic counters at scrape time, so the lock-free scan path
+	// carries no extra instrumentation).
+	t.automatonBuild = reg.Histogram("nnexus_automaton_build_seconds",
+		"Wall time of one background concept-map automaton compile.")
+	reg.CounterFunc("nnexus_scan_automaton_total",
+		"Concept-map scans served by the compiled Aho-Corasick automaton.",
+		func() float64 { return float64(e.cmap.AutomatonInfo().AutomatonScans) })
+	reg.CounterFunc("nnexus_scan_fallback_total",
+		"Concept-map scans served by the chained-hash fallback (automaton disabled or trailing the snapshot).",
+		func() float64 { return float64(e.cmap.AutomatonInfo().FallbackScans) })
+	reg.GaugeFunc("nnexus_automaton_states",
+		"States in the published concept-map automaton (0 when none).",
+		func() float64 { return float64(e.cmap.AutomatonInfo().States) })
+	reg.GaugeFunc("nnexus_automaton_edges",
+		"Goto edges in the published concept-map automaton.",
+		func() float64 { return float64(e.cmap.AutomatonInfo().Edges) })
+	reg.GaugeFunc("nnexus_automaton_words",
+		"Distinct interned words in the published concept-map automaton.",
+		func() float64 { return float64(e.cmap.AutomatonInfo().Words) })
+	reg.GaugeFunc("nnexus_automaton_labels",
+		"Concept labels compiled into the published automaton.",
+		func() float64 { return float64(e.cmap.AutomatonInfo().Labels) })
+	reg.GaugeFunc("nnexus_automaton_generation_lag",
+		"Snapshot generations the published automaton trails the concept map by.",
+		func() float64 {
+			info := e.cmap.AutomatonInfo()
+			return float64(info.SnapshotGeneration - info.Generation)
+		})
 
 	// Live state, read at scrape time.
 	reg.GaugeFunc("nnexus_invalidation_queue_depth",
@@ -156,6 +204,9 @@ type stageTimes struct {
 	policy   time.Duration
 	steer    time.Duration
 	render   time.Duration
+	// matchAutomaton records which scan path served the match stage, so
+	// observeLink can attribute the same duration to the per-path child.
+	matchAutomaton bool
 }
 
 // observeLink records one completed LinkText run.
@@ -166,6 +217,11 @@ func (t *engineTelemetry) observeLink(st *stageTimes, total time.Duration, res *
 	t.opLinkText.Inc()
 	t.stageTokenize.Observe(st.tokenize.Seconds())
 	t.stageMatch.Observe(st.match.Seconds())
+	if st.matchAutomaton {
+		t.stageMatchAutomat.Observe(st.match.Seconds())
+	} else {
+		t.stageMatchFallback.Observe(st.match.Seconds())
+	}
 	t.stagePolicy.Observe(st.policy.Seconds())
 	t.stageSteer.Observe(st.steer.Seconds())
 	t.stageRender.Observe(st.render.Seconds())
@@ -183,6 +239,15 @@ func (t *engineTelemetry) observeLink(st *stageTimes, total time.Duration, res *
 			t.skipNoDomain.Inc()
 		}
 	}
+}
+
+// observeAutomatonBuild is the conceptmap build observer: it records each
+// completed background compile's wall time.
+func (t *engineTelemetry) observeAutomatonBuild(info conceptmap.BuildInfo) {
+	if t == nil {
+		return
+	}
+	t.automatonBuild.Observe(info.Duration.Seconds())
 }
 
 // Telemetry returns the engine's metrics registry, shared by every serving

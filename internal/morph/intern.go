@@ -1,0 +1,49 @@
+package morph
+
+// Interner maps normalized words to dense int32 IDs. The concept-map
+// automaton compiler interns every word appearing in any concept label, so
+// that scanning can work over small integer edge keys instead of strings:
+// one map probe per input token resolves the token's (already normalized)
+// text to a word ID, and every transition after that is integer-keyed.
+//
+// An Interner is not safe for concurrent mutation; the automaton compiler
+// builds one single-threaded and then publishes it inside an immutable
+// automaton, after which Lookup (read-only) is safe for concurrent use.
+type Interner struct {
+	ids   map[string]int32
+	words []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID of word, assigning the next dense ID on first sight.
+// The caller is expected to pass already-normalized words (Normalize output);
+// the interner does not fold again.
+func (in *Interner) Intern(word string) int32 {
+	if id, ok := in.ids[word]; ok {
+		return id
+	}
+	id := int32(len(in.words))
+	in.ids[word] = id
+	in.words = append(in.words, word)
+	return id
+}
+
+// Lookup returns the ID of word and whether it has been interned.
+func (in *Interner) Lookup(word string) (int32, bool) {
+	id, ok := in.ids[word]
+	return id, ok
+}
+
+// Word returns the word for a previously assigned ID.
+func (in *Interner) Word(id int32) string {
+	return in.words[id]
+}
+
+// Len returns the number of distinct interned words.
+func (in *Interner) Len() int {
+	return len(in.words)
+}

@@ -46,6 +46,7 @@ import (
 	"nnexus/internal/cfrank"
 	"nnexus/internal/classification"
 	"nnexus/internal/client"
+	"nnexus/internal/conceptmap"
 	"nnexus/internal/config"
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
@@ -85,6 +86,9 @@ type (
 	Link = core.Link
 	// Skip is one suppressed match.
 	Skip = core.Skip
+	// AutomatonInfo summarizes the compiled concept-map automaton (see
+	// Config.CompileAutomaton).
+	AutomatonInfo = conceptmap.AutomatonInfo
 	// Client talks to a remote NNexus server over the XML socket protocol.
 	Client = client.Client
 	// DeployConfig is a parsed XML deployment configuration.
@@ -219,6 +223,14 @@ type Config struct {
 	// LaTeX converts entry bodies and linked text from LaTeX markup to
 	// plain text before scanning (Noosphere entries are written in TeX).
 	LaTeX bool
+	// CompileAutomaton runs the background concept-map compiler: published
+	// snapshots are compiled into an immutable Aho-Corasick automaton that
+	// scans text in one allocation-free pass, and the engine serves scans
+	// from it whenever it is current (falling back to the chained-hash
+	// structure while it trails a write burst). Results are identical
+	// either way; this trades a little background CPU after writes for
+	// several-fold match-stage throughput.
+	CompileAutomaton bool
 	// ReplicationPrimary makes this node a replication primary: the store
 	// retains its WAL record log and Serve answers the replSubscribe /
 	// replSnapshot / replAck exchanges followers use to mirror it. Requires
@@ -373,6 +385,7 @@ func New(cfg Config) (*Engine, error) {
 		LinkAllOccurrences: cfg.LinkAllOccurrences,
 		TieRanker:          cfg.TieRanker,
 		LaTeX:              cfg.LaTeX,
+		CompileAutomaton:   cfg.CompileAutomaton,
 	})
 	if err != nil {
 		if store != nil {
@@ -484,11 +497,18 @@ func (e *Engine) Close() error {
 	if e.replSrc != nil {
 		e.replSrc.Close()
 	}
+	e.core.Close()
 	if e.store == nil {
 		return nil
 	}
 	return e.store.Close()
 }
+
+// AutomatonInfo reports the state of the compiled concept-map automaton:
+// whether one is published, how its generation compares to the concept
+// map's, its size, and the automaton/fallback scan split. Zero-valued when
+// Config.CompileAutomaton is off and nothing forced a compile.
+func (e *Engine) AutomatonInfo() AutomatonInfo { return e.core.AutomatonInfo() }
 
 // Compact snapshots the persistent store and truncates its write-ahead log.
 func (e *Engine) Compact() error {
