@@ -112,6 +112,12 @@ func compileAutomaton(snap *snapshot) *automaton {
 			} else {
 				word, rest = rest, ""
 			}
+			if word == "" {
+				// NormalizeLabel never emits empty words, but a label from a
+				// foreign source could; an empty word would collide with the
+				// wordTable's empty-slot sentinel, so skip it defensively.
+				continue
+			}
 			w := words.Intern(word)
 			next, ok := states[s].next[w]
 			if !ok {
@@ -394,6 +400,11 @@ func (a *automaton) scanAppend(dst []Match, tokens []tokenizer.Token) []Match {
 // verify with a full string compare.
 func hashWord(s string) uint32 {
 	n := len(s)
+	if n == 0 {
+		// Callers never probe for the empty string ("" is the empty-slot
+		// sentinel), but don't panic on s[0] if one slips through.
+		return 0
+	}
 	var head, tail uint32
 	if n >= 4 {
 		head = uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24

@@ -102,6 +102,32 @@ func TestAutomatonResumePastMatch(t *testing.T) {
 	}
 }
 
+// TestAutomatonEmptyNormalizedWord is a crash regression: a label word that
+// normalizes to nothing (a bare possessive "'s") used to survive
+// NormalizeLabel as an empty word ("euler  theorem"), and compiling such a
+// label panicked in hashWord — on the background compiler goroutine, killing
+// the process. The label must now index as "euler theorem" and compile and
+// match on both scan paths.
+func TestAutomatonEmptyNormalizedWord(t *testing.T) {
+	m := New()
+	m.AddObject(1, []string{"euler 's theorem", "'s", "graph"})
+	if got := m.Lookup("Euler's Theorem"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	ms := scanBoth(t, m, "By Euler's theorem the graph closes.")
+	if len(ms) != 2 || ms[0].Label != "euler theorem" || ms[1].Label != "graph" {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+// TestHashWordEmpty pins the defensive guard: the empty string is the word
+// table's empty-slot sentinel and must hash without panicking.
+func TestHashWordEmpty(t *testing.T) {
+	if got := hashWord(""); got != 0 {
+		t.Fatalf("hashWord(\"\") = %d", got)
+	}
+}
+
 func TestAutomatonStaleFallsBack(t *testing.T) {
 	m := New()
 	m.AddObject(1, []string{"alpha beta"})

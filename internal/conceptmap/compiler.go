@@ -233,8 +233,13 @@ func (m *Map) CompileNow() {
 	m.compileOnce()
 }
 
-// AutomatonInfo reports the current automaton/compiler state.
+// AutomatonInfo reports the current automaton/compiler state. The automaton
+// is loaded before the snapshot: generations are monotonic and an automaton
+// only ever compiles from an already-published snapshot, so this order
+// guarantees SnapshotGeneration >= Generation even when a compile publishes
+// between the two loads.
 func (m *Map) AutomatonInfo() AutomatonInfo {
+	aut := m.comp.aut.Load()
 	info := AutomatonInfo{
 		SnapshotGeneration: m.snap.Load().gen,
 		Builds:             m.comp.builds.Load(),
@@ -243,7 +248,7 @@ func (m *Map) AutomatonInfo() AutomatonInfo {
 		LastBuild:          time.Duration(m.comp.lastBuildNs.Load()),
 		TotalBuild:         time.Duration(m.comp.totalBuildNs.Load()),
 	}
-	if aut := m.comp.aut.Load(); aut != nil {
+	if aut != nil {
 		info.Compiled = true
 		info.Generation = aut.gen
 		info.States = aut.nStates

@@ -318,7 +318,9 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 
 // RelinkInvalidated re-links every invalidated entry and returns their
 // results, keyed by entry ID. On error the results completed so far are
-// returned alongside it.
+// returned alongside it; the abort is chunk-granular (see RelinkBatch), so
+// the remaining entries of the chunk in flight when the first error occurs
+// are still relinked (and their invalidation cleared) before the run stops.
 func (e *Engine) RelinkInvalidated() (map[int64]*Result, error) {
 	// One single-worker run of the shared-view batch path: each chunk of
 	// entries captures one candidate view under one read lock instead of

@@ -150,6 +150,9 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 		"Snapshot generations the published automaton trails the concept map by.",
 		func() float64 {
 			info := e.cmap.AutomatonInfo()
+			if info.Generation > info.SnapshotGeneration {
+				return 0 // racing loads can't make the automaton "ahead"
+			}
 			return float64(info.SnapshotGeneration - info.Generation)
 		})
 

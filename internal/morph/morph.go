@@ -35,13 +35,19 @@ func Normalize(token string) string {
 
 // NormalizeLabel canonicalizes a multi-word concept label. Interior
 // whitespace runs collapse to single spaces and every word is normalized
-// independently, mirroring how the tokenizer will present entry text.
+// independently, mirroring how the tokenizer will present entry text. Words
+// that normalize to nothing (a bare possessive marker like "'s") are dropped
+// entirely, so the result never contains an empty word: "euler 's theorem"
+// becomes "euler theorem", not "euler  theorem".
 func NormalizeLabel(label string) string {
 	fields := strings.Fields(label)
-	for i, f := range fields {
-		fields[i] = Normalize(f)
+	out := fields[:0]
+	for _, f := range fields {
+		if n := Normalize(f); n != "" {
+			out = append(out, n)
+		}
 	}
-	return strings.Join(fields, " ")
+	return strings.Join(out, " ")
 }
 
 // NormalizeWords normalizes every word of an already-split label.

@@ -130,6 +130,11 @@ func TestNormalizeLabel(t *testing.T) {
 		"Connected Components":   "connected component",
 		"Euler's  Formula":       "euler formula",
 		" orthogonal functions ": "orthogonal function",
+		// Words that normalize to nothing are dropped, never left as empty
+		// words (a double space would poison downstream word splitting).
+		"Euler 's Theorem": "euler theorem",
+		"'s":               "",
+		"a ’ b":            "a b",
 	}
 	for in, want := range cases {
 		if got := NormalizeLabel(in); got != want {
