@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench bench-json bench-compare matchscan chaos chaos-replication chaos-failover readscale openloop loadgate experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare matchscan chaos chaos-replication chaos-failover chaos-shard readscale openloop loadgate shardscale experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -20,26 +20,31 @@ bench:
 # Record the performance trajectory: the key linking benchmarks (sequential
 # modes, free text, maintenance, the parallel path, batch linking, the
 # pipelined wire client, WAL group commit, the scaling ones at 1/2/4/8
-# procs, and the match-stage scan A/B) as JSON. The output is committed
-# (BENCH_PR8.json; BENCH_PR3/4/5/6.json are the earlier snapshots) so later
-# perf PRs have a baseline to be judged against.
+# procs, the match-stage scan A/B, and the sharded scatter-gather link
+# path) as JSON, then the shard-scaling experiment rows merged into the
+# same snapshot. The output is committed (BENCH_PR9.json; BENCH_PR3/4/5/6/8
+# .json are the earlier snapshots) so later perf PRs have a baseline to be
+# judged against.
 bench-json:
 	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth|LinkText$$' -benchmem . ; \
 	  go test -run '^$$' -bench 'Link(Text)?Parallel|LinkBatch' -benchmem -cpu 1,2,4,8 . ; \
 	  go test -run '^$$' -bench 'MatchScan' -benchmem ./internal/conceptmap ; \
+	  go test -run '^$$' -bench 'ShardedLinkText' -benchmem ./internal/core ; \
 	  go test -run '^$$' -bench 'PipelinedClient' -benchmem -cpu 1,2,4,8 ./internal/client ; \
 	  go test -run '^$$' -bench 'GroupCommit' -benchmem -cpu 1,2,4,8 ./internal/storage ; } \
-	| go run ./cmd/benchjson -o BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
+	| go run ./cmd/benchjson -o BENCH_PR9.json
+	go run ./cmd/nnexus-bench -exp shardscale -entries 400 -duration 2s -json BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 # Benchstat-style old/new comparison against the committed baseline.
 bench-compare:
 	{ go test -run '^$$' -bench 'Table2LinkingModes|Fig9LectureNotes|MaintenanceGrowth|LinkText$$' -benchmem . ; \
 	  go test -run '^$$' -bench 'Link(Text)?Parallel|LinkBatch' -benchmem -cpu 1,2,4,8 . ; \
 	  go test -run '^$$' -bench 'MatchScan' -benchmem ./internal/conceptmap ; \
+	  go test -run '^$$' -bench 'ShardedLinkText' -benchmem ./internal/core ; \
 	  go test -run '^$$' -bench 'PipelinedClient' -benchmem -cpu 1,2,4,8 ./internal/client ; \
 	  go test -run '^$$' -bench 'GroupCommit' -benchmem -cpu 1,2,4,8 ./internal/storage ; } \
-	| go run ./cmd/benchjson -compare BENCH_PR8.json
+	| go run ./cmd/benchjson -compare BENCH_PR9.json
 
 # The match-stage scan experiment (chained-hash vs compiled automaton over
 # the engine-shaped concept map); informational companion to the committed
@@ -66,6 +71,14 @@ chaos-replication:
 chaos-failover:
 	go test -race -run '^TestChaosFailover' ./...
 
+# The sharding slice of the chaos suite: one shard's primary (or a whole
+# single-node shard) killed mid-traffic — bystander shards' reads and
+# writes unaffected, typed partial results from scatter-gather reads that
+# touch the gap, recovery via the same election machinery — always under
+# the race detector.
+chaos-shard:
+	go test -race -run '^TestChaosShard' ./...
+
 # The read-scaling experiment (1 primary + 2 WAL-shipped replicas vs a
 # single node); regenerates the committed BENCH_PR5.json snapshot.
 readscale:
@@ -85,6 +98,12 @@ loadgate:
 	go run ./cmd/nnexus-bench -exp openloop -entries 200 -duration 1s \
 		-rates 300,600,1200 -loadgate BENCH_PR6.json -knee-tolerance 0.5
 
+# The shard-scaling experiment (aggregate write QPS through the
+# scatter-gather router at 1/2/4 shards); merges its rows into the
+# committed BENCH_PR9.json snapshot.
+shardscale:
+	go run ./cmd/nnexus-bench -exp shardscale -entries 400 -duration 2s -json BENCH_PR9.json
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	go run ./cmd/nnexus-bench -exp all
@@ -98,6 +117,7 @@ fuzz:
 	go test ./internal/storage -fuzz=FuzzDecodeBody -fuzztime=30s
 	go test ./internal/morph -fuzz=FuzzNormalize -fuzztime=30s
 	go test ./internal/conceptmap -fuzz=FuzzAutomatonScanEquivalence -fuzztime=30s
+	go test ./internal/core -fuzz=FuzzShardedLinkEquivalence -fuzztime=30s
 
 cover:
 	go test -cover ./...

@@ -15,6 +15,7 @@
 //	nnexus-bench -exp readscale      read QPS: single node vs 1 primary + 2 read replicas
 //	nnexus-bench -exp openloop       open-loop (coordinated-omission-free) latency-vs-offered-load sweep with knee detection
 //	nnexus-bench -exp matchscan      match-stage scan: chained-hash vs compiled Aho-Corasick automaton
+//	nnexus-bench -exp shardscale     aggregate write QPS at 1/2/4 consistent-hash shards via the scatter-gather router
 //	nnexus-bench -exp all            everything above
 //
 // -entries sets the full corpus size (default 7132, the paper's largest
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table1, table2, table3, fig8, fig9, invalidation, maintenance, autopolicy, semiauto, network, throughput, readscale, openloop, matchscan, all)")
+		exp     = flag.String("exp", "all", "experiment to run (table1, table2, table3, fig8, fig9, invalidation, maintenance, autopolicy, semiauto, network, throughput, readscale, openloop, matchscan, shardscale, all)")
 		entries = flag.Int("entries", 7132, "full corpus size")
 		seed    = flag.Int64("seed", 20090601, "workload seed")
 		sample2 = flag.Int("sample", 50, "Table 2 sample size (paper: 50)")
@@ -43,6 +44,7 @@ func main() {
 		qpsDur  = flag.Duration("duration", 2*time.Second, "throughput/readscale experiments: measurement window per configuration")
 		rtt     = flag.Duration("rtt", time.Millisecond, "throughput experiment: simulated round-trip time for the proxied rows (0 = loopback only)")
 		rsRTT   = flag.Duration("readscale-rtt", 10*time.Millisecond, "readscale experiment: simulated round-trip time per node")
+		ssRTT   = flag.Duration("shardscale-rtt", 4*time.Millisecond, "shardscale experiment: simulated round-trip time per shard")
 		rsJSON  = flag.String("json", "", "readscale/openloop experiments: also record results (benchjson schema) to this file")
 		olRates = flag.String("rates", "150,300,600,1200,2400,4800", "openloop experiment: comma-separated offered-load ladder (req/s)")
 		olSLO   = flag.Duration("slo", 25*time.Millisecond, "openloop experiment: intended-latency p99 SLO for knee detection")
@@ -108,6 +110,7 @@ func main() {
 		})
 	})
 	run("matchscan", func(c *workload.Corpus) error { return runMatchScan(c, *qpsDur, *rsJSON) })
+	run("shardscale", func(c *workload.Corpus) error { return runShardScale(c, *qpsDur, *ssRTT, *rsJSON) })
 }
 
 func fatal(err error) {

@@ -10,6 +10,11 @@
 // play with the protocol. With -http the HTTP API is served too, including
 // Prometheus telemetry at GET /metrics; -pprof adds the standard
 // /debug/pprof/ profiling handlers to the same listener.
+//
+// In a sharded deployment, start one daemon (or replication group) per shard
+// with -shard-map map.json -shard-id N: the node then indexes only the
+// labels its consistent-hash ring slice owns and answers the shardScan /
+// putEntry methods that nnexus.DialSharded's scatter-gather router issues.
 package main
 
 import (
@@ -59,6 +64,9 @@ func main() {
 		electionTimeout = flag.Duration("election-timeout", 0, "primary-silence tolerance before a follower stands for election (0 = library default)")
 		quorumAcks      = flag.Int("quorum-acks", 0, "acknowledge writes only after this many followers confirm the WAL offset durable (0 = local durability only)")
 		quorumTimeout   = flag.Duration("quorum-timeout", 0, "bound on the quorum wait before a write answers quorumUnavailable (0 = server default)")
+
+		shardMapPath = flag.String("shard-map", "", "shard-map JSON file describing the sharded deployment; serve only this node's ring slice (requires -shard-id)")
+		shardID      = flag.Int("shard-id", 0, "this node's shard ID within -shard-map")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
@@ -121,6 +129,8 @@ func main() {
 		QuorumAcks:         *quorumAcks,
 		QuorumTimeout:      *quorumTimeout,
 		CompileAutomaton:   *compileAutomaton,
+		ShardMap:           *shardMapPath,
+		ShardID:            *shardID,
 	})
 	if err != nil {
 		logger.Fatal(err)

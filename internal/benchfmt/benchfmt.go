@@ -139,6 +139,42 @@ func (f File) Write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// MergeInto commits f to path, folding it into whatever snapshot is
+// already there: rows with a matching (name, procs) key are replaced, new
+// rows are appended, everything else is preserved. Experiment drivers use
+// this to add their synthetic rows (ShardScale/…) to the go-test rows
+// cmd/benchjson wrote into the same BENCH_PR*.json. A missing file is the
+// empty snapshot.
+func (f File) MergeInto(path string) error {
+	merged, err := Load(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		merged = File{}
+	}
+	replace := make(map[benchKey]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		replace[benchKey{b.Name, b.Procs}] = b
+	}
+	out := merged.Benchmarks[:0]
+	for _, b := range merged.Benchmarks {
+		if nb, ok := replace[benchKey{b.Name, b.Procs}]; ok {
+			b = nb
+			delete(replace, benchKey{b.Name, b.Procs})
+		}
+		out = append(out, b)
+	}
+	for _, b := range f.Benchmarks {
+		if _, ok := replace[benchKey{b.Name, b.Procs}]; ok {
+			out = append(out, b)
+		}
+	}
+	merged.Benchmarks = out
+	merged.Sort()
+	return merged.Write(path)
+}
+
 // Marshal renders f exactly as Write commits it.
 func (f File) Marshal() ([]byte, error) {
 	data, err := json.MarshalIndent(f, "", "  ")

@@ -88,6 +88,8 @@ var idempotent = map[string]bool{
 	wire.MethodLinkEntry:   true,
 	wire.MethodLinkText:    true,
 	wire.MethodLinkBatch:   true,
+	// shardScan is a pure read of the shard's concept-map snapshot.
+	wire.MethodShardScan: true,
 	// Replication exchanges are all safe to re-issue: subscribes and
 	// snapshots read, and an ack only ratchets the follower's offset up.
 	wire.MethodReplSubscribe: true,

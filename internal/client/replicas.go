@@ -50,6 +50,7 @@ var routedReads = map[string]bool{
 	wire.MethodLinkText:    true,
 	wire.MethodLinkBatch:   true,
 	wire.MethodInvalidated: true,
+	wire.MethodShardScan:   true,
 }
 
 // mutatingMethods lists the methods that must execute on the primary.
@@ -62,6 +63,7 @@ var mutatingMethods = map[string]bool{
 	wire.MethodRelink:      true,
 	wire.MethodAddEntries:  true,
 	wire.MethodRelinkBatch: true,
+	wire.MethodPutEntry:    true,
 }
 
 // replica is the routing view of one read replica.

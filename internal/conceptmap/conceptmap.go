@@ -497,6 +497,60 @@ func (snap *snapshot) scanChained(dst []Match, tokens []tokenizer.Token) []Match
 	return dst
 }
 
+// ScanAllAppend is the sharded-scan primitive: it reports the longest
+// concept match starting at every token position, without consuming the
+// matched tokens — after emitting a match at position i the scan resumes at
+// i+1, not past the phrase. A shard holding only its slice of the label
+// space runs this over the full token stream; because every label starting
+// at a given token shares the same morph-folded first word (and therefore
+// the same owning shard), the union of per-shard ScanAllAppend streams
+// contains the longest match at every position, and the router's global
+// greedy walk over that union — accept a match whose TokenStart is past the
+// previous winner's TokenEnd, drop shadowed ones — reproduces the
+// single-map ScanAppend stream bit-identically.
+//
+// ScanAllAppend always takes the chained-hash path: the compiled automaton
+// keeps only the longest label ending at each state, which serves the
+// greedy consume-on-match walk but cannot report the longest match at every
+// start position.
+func (m *Map) ScanAllAppend(dst []Match, tokens []tokenizer.Token) []Match {
+	snap := m.snap.Load()
+	var phrase []byte
+	for i := 0; i < len(tokens); i++ {
+		first := tokens[i].Norm
+		f := snap.byFirst[bucketOf(first)][first]
+		if f == nil {
+			continue
+		}
+		for _, n := range f.lengths { // longest first
+			if i+n > len(tokens) {
+				continue
+			}
+			phrase = phrase[:0]
+			for j := 0; j < n; j++ {
+				if j > 0 {
+					phrase = append(phrase, ' ')
+				}
+				phrase = append(phrase, tokens[i+j].Norm...)
+			}
+			e, ok := snap.labels[bucketOfBytes(phrase)][string(phrase)]
+			if !ok {
+				continue
+			}
+			dst = append(dst, Match{
+				Label:      e.label,
+				TokenStart: i,
+				TokenEnd:   i + n,
+				ByteStart:  tokens[i].Start,
+				ByteEnd:    tokens[i+n-1].End,
+				Candidates: e.ids,
+			})
+			break
+		}
+	}
+	return dst
+}
+
 // Lookup returns the candidate objects defining exactly the given label
 // (normalized internally), or nil if the concept is unknown. The returned
 // slice is a copy and may be freely mutated by the caller.

@@ -27,6 +27,7 @@ import (
 	"nnexus/internal/ontomap"
 	"nnexus/internal/policy"
 	"nnexus/internal/render"
+	"nnexus/internal/shard"
 	"nnexus/internal/storage"
 	"nnexus/internal/telemetry"
 )
@@ -138,6 +139,20 @@ type Config struct {
 	// either way; the automaton is purely a match-stage throughput win.
 	// Call Close to stop the compiler goroutine.
 	CompileAutomaton bool
+	// ShardRing, when set, runs the engine in shard mode: it serves only
+	// its slice of the consistent-hash ring. Labels whose morph-folded
+	// first word is owned by a different shard are dropped at indexing
+	// time, so the concept map, the invalidation index, and the compiled
+	// automaton all hold ~1/N of the corpus (compile cost and memory drop
+	// proportionally). Entries and domains are still stored whole — a
+	// multi-label entry is projected onto every shard owning one of its
+	// labels, and each projection keeps the full metadata candidate
+	// resolution needs. The engine's own LinkText remains a full greedy
+	// scan over its slice; the cross-shard merge lives in ShardRouter.
+	ShardRing *shard.Ring
+	// ShardID is this engine's position on the ring (0-based). Only
+	// meaningful with ShardRing set.
+	ShardID int
 }
 
 // Engine is a fully assembled NNexus instance. All methods are safe for
@@ -184,6 +199,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if !cfg.Scheme.Built() {
 		return nil, fmt.Errorf("core: Config.Scheme must be built")
+	}
+	if cfg.ShardRing != nil {
+		if cfg.ShardID < 0 || cfg.ShardID >= cfg.ShardRing.NumShards() {
+			return nil, fmt.Errorf("core: shard id %d outside ring of %d shards",
+				cfg.ShardID, cfg.ShardRing.NumShards())
+		}
 	}
 	e := &Engine{
 		cfg:    cfg,
@@ -271,7 +292,7 @@ func (e *Engine) load() error {
 			return false
 		}
 		e.entries[entry.ID] = entry
-		e.cmap.AddObject(conceptmap.ObjectID(entry.ID), entry.Labels())
+		e.cmap.AddObject(conceptmap.ObjectID(entry.ID), e.ownedLabels(entry.Labels()))
 		e.inv.AddText(entry.ID, entry.Body)
 		if entry.Policy != "" {
 			if err := e.pol.Set(entry.ID, entry.Policy); err != nil {
@@ -422,6 +443,62 @@ func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
 	return id, e.persistLocked(entry)
 }
 
+// PutEntry stores an entry under a caller-assigned ID — the shard-mode
+// write path. The shard router assigns IDs from one global sequence and
+// fans the entry out to every shard owning one of its labels; each shard
+// upserts its projection with this method, so an entry present on several
+// shards carries the same ID everywhere (which keeps the lowest-ID
+// tie-break identical to the unsharded engine). Re-putting an existing ID
+// replaces it, like UpdateEntry. The engine's own nextID ratchets past
+// every put ID so a shard later promoted to standalone use never reissues
+// one.
+func (e *Engine) PutEntry(entry *corpus.Entry) error {
+	if entry.ID <= 0 {
+		return fmt.Errorf("core: putEntry needs a positive preassigned ID, got %d", entry.ID)
+	}
+	if err := entry.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.domainMap()[entry.Domain]; !ok {
+		return fmt.Errorf("core: unknown domain %q (AddDomain first)", entry.Domain)
+	}
+	if entry.Policy != "" {
+		if _, err := policy.Parse(entry.Policy); err != nil {
+			return err
+		}
+	}
+	if entry.ExternalID == "" {
+		entry.ExternalID = strconv.FormatInt(entry.ID, 10)
+	}
+	old := e.entries[entry.ID]
+	e.met.entriesAdded.Add(1)
+	if e.tel != nil {
+		e.tel.opPutEntry.Inc()
+	}
+	if err := e.indexLocked(entry); err != nil {
+		return err
+	}
+	if old != nil {
+		e.invalidateForLabelsLocked(old.Labels(), entry.ID)
+	}
+	e.invalidateForLabelsLocked(entry.Labels(), entry.ID)
+	if entry.ID >= e.nextID {
+		e.nextID = entry.ID + 1
+	}
+	return e.persistLocked(entry)
+}
+
+// MaxObjectID returns the highest entry ID the engine has assigned or
+// accepted (0 when empty). A shard router recovers its global ID sequence
+// at startup from the max across all shards.
+func (e *Engine) MaxObjectID() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.nextID - 1
+}
+
 // UpdateEntry replaces an existing entry's metadata and body, re-indexes
 // it, and invalidates entries affected by its (possibly changed) labels.
 func (e *Engine) UpdateEntry(entry *corpus.Entry) error {
@@ -484,13 +561,35 @@ func (e *Engine) RemoveEntry(id int64) error {
 	return nil
 }
 
+// ownsLabel reports whether this engine's ring slice owns the label.
+// Unsharded engines own everything.
+func (e *Engine) ownsLabel(label string) bool {
+	return e.cfg.ShardRing == nil || e.cfg.ShardRing.OwnerLabel(label) == e.cfg.ShardID
+}
+
+// ownedLabels filters an entry's labels down to the ones this engine's ring
+// slice owns. Unsharded engines return the input unchanged (no copy).
+func (e *Engine) ownedLabels(labels []string) []string {
+	if e.cfg.ShardRing == nil {
+		return labels
+	}
+	out := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if e.cfg.ShardRing.OwnerLabel(l) == e.cfg.ShardID {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
 // indexLocked (re)indexes an entry in the concept map, invalidation index,
-// and policy table.
+// and policy table. In shard mode only the ring slice's labels are indexed,
+// so the concept map and the automaton compiled from it stay ~1/N-sized.
 func (e *Engine) indexLocked(entry *corpus.Entry) error {
 	e.rendered.Invalidate(entry.ID)
 	copied := *entry
 	e.entries[entry.ID] = &copied
-	e.cmap.AddObject(conceptmap.ObjectID(entry.ID), entry.Labels())
+	e.cmap.AddObject(conceptmap.ObjectID(entry.ID), e.ownedLabels(entry.Labels()))
 	e.inv.AddText(entry.ID, entry.Body)
 	if entry.Policy != "" {
 		if err := e.pol.Set(entry.ID, entry.Policy); err != nil {
@@ -585,9 +684,15 @@ func (e *Engine) AutomatonInfo() conceptmap.AutomatonInfo { return e.cmap.Automa
 func (e *Engine) Scheme() *classification.Scheme { return e.scheme }
 
 // invalidateForLabelsLocked marks every entry whose text may invoke one of
-// the labels (except the originating entry) as needing re-linking.
+// the labels (except the originating entry) as needing re-linking. In shard
+// mode only owned labels are consulted: a label change belongs to the shard
+// that owns the label's ring slice (each shard invalidates its own
+// projections; see DESIGN.md for the cross-shard invalidation gap).
 func (e *Engine) invalidateForLabelsLocked(labels []string, except int64) {
 	for _, label := range labels {
+		if !e.ownsLabel(label) {
+			continue
+		}
 		for _, id := range e.inv.Lookup(label) {
 			if id == except {
 				continue

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are meaningless under the race runtime (its
+// shadow state allocates on channel and goroutine operations), so the
+// allocs tests skip themselves when it is on.
+const raceEnabled = false

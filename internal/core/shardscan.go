@@ -1,0 +1,85 @@
+package core
+
+import (
+	"nnexus/internal/tokenizer"
+)
+
+// ResolvedMatch is one per-shard scan result: a concept match found by this
+// shard's slice of the label space, already resolved against the shard's
+// candidate entries. The shard can resolve its own matches completely —
+// every candidate of a shard-owned label is projected onto the shard — so
+// the router never needs a second round trip; it only runs the global
+// greedy merge, the first-occurrence duplicate rule, and rendering.
+type ResolvedMatch struct {
+	// Label is the normalized concept label that matched.
+	Label string
+	// TokenStart/TokenEnd delimit the match in the shared token stream.
+	TokenStart int
+	TokenEnd   int
+	// ByteStart/ByteEnd delimit the match in the original text.
+	ByteStart int
+	ByteEnd   int
+	// Skip is the shard-local skip reason (SkipSelf, SkipPolicy,
+	// SkipNoDomain); empty means Link holds a resolved link.
+	Skip string
+	// Link is the resolved link when Skip is empty. Its Text field is left
+	// empty — the shard never sees the original text — and is filled by
+	// the router.
+	Link Link
+}
+
+// ScanShard is the shard-mode read primitive: it scans the already
+// tokenized text against this shard's slice of the concept map, reporting
+// the longest owned match starting at every token position (non-greedy; see
+// conceptmap.ScanAllAppend), with each match resolved through the full
+// policy/steering/tie-break pipeline. Results append into dst (which may be
+// nil or a recycled buffer) in TokenStart order.
+//
+// Correctness of the sharded protocol rests on two invariants:
+//
+//  1. Every label starting at a given token shares that token's morph-folded
+//     first word, hence one owning shard — so the longest match at any
+//     position exists, whole, on exactly one shard.
+//  2. The scan is non-greedy (resumes at i+1 after a match), so a shard
+//     reports the longest match at every position it owns, even positions a
+//     sibling shard's longer match will later shadow. The router's global
+//     greedy walk over the merged streams then reproduces the single-map
+//     scan's leftmost-longest consumption exactly.
+//
+// The tokens must cover the entire text: a multi-word phrase owned by this
+// shard may continue through tokens whose own first words belong to other
+// shards.
+func (e *Engine) ScanShard(dst []ResolvedMatch, tokens []tokenizer.Token, opts LinkOptions) ([]ResolvedMatch, error) {
+	mode := opts.Mode
+	if mode == ModeDefault {
+		mode = e.cfg.Mode.resolve()
+	}
+	sourceClasses := e.mappers.Translate(schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
+
+	buf := getLinkBuffers()
+	defer putLinkBuffers(buf)
+	buf.matches = e.cmap.ScanAllAppend(buf.matches, tokens)
+	matches := buf.matches
+	view := e.captureView(matches, buf)
+
+	for _, m := range matches {
+		rm := ResolvedMatch{
+			Label:      m.Label,
+			TokenStart: m.TokenStart,
+			TokenEnd:   m.TokenEnd,
+			ByteStart:  m.ByteStart,
+			ByteEnd:    m.ByteEnd,
+		}
+		link, skip := e.chooseTarget(m, view, buf, sourceClasses, opts.ExcludeObject, mode, nil)
+		if skip != nil {
+			rm.Skip = skip.Reason
+		} else {
+			rm.Link = *link
+		}
+		dst = append(dst, rm)
+	}
+	if e.tel != nil {
+		e.tel.opScanShard.Inc()
+	}
+	return dst, nil
+}

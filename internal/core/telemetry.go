@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"nnexus/internal/conceptmap"
@@ -15,6 +16,12 @@ const (
 	StagePolicy   = "policy"   // entry filtering by linking policies
 	StageSteer    = "steer"    // classification steering + tie resolution
 	StageRender   = "render"   // link substitution into the output text
+	// StageMerge is the shard router's scatter-gather merge: the k-way,
+	// global-greedy combination of per-shard match streams into one
+	// leftmost-longest winner sequence. Observed by ShardRouter under the
+	// same nnexus_pipeline_stage_duration_seconds contract as the engine
+	// stages.
+	StageMerge = "merge"
 
 	// The match stage is additionally attributed to whichever scan path
 	// served it, so the automaton's effect is visible per request: the
@@ -33,13 +40,16 @@ const (
 type engineTelemetry struct {
 	reg *telemetry.Registry
 
-	// Operation counters (nnexus_engine_operations_total{op=...}).
+	// Operation counters (nnexus_engine_operations_total{op=...}; in shard
+	// mode the family additionally carries a shard label).
 	opAddEntry    *telemetry.Counter
 	opUpdateEntry *telemetry.Counter
 	opRemoveEntry *telemetry.Counter
 	opSetPolicy   *telemetry.Counter
 	opLinkText    *telemetry.Counter
 	opLinkEntry   *telemetry.Counter
+	opPutEntry    *telemetry.Counter
+	opScanShard   *telemetry.Counter
 
 	// Pipeline stage timings and whole-operation latency.
 	stageTokenize      *telemetry.Histogram
@@ -78,14 +88,35 @@ type engineTelemetry struct {
 func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 	t := &engineTelemetry{reg: reg}
 
+	// In shard mode every link/scan/write counter family carries a shard
+	// label, so a fleet-wide scrape attributes traffic and skips per ring
+	// slice. Unsharded engines keep the original label sets — registries
+	// are per-engine, so the two shapes never collide.
+	sharded := e.cfg.ShardRing != nil
+	shardVal := strconv.Itoa(e.cfg.ShardID)
+	withShard := func(names ...string) []string {
+		if sharded {
+			return append(names, "shard")
+		}
+		return names
+	}
+	child := func(v *telemetry.CounterVec, value string) *telemetry.Counter {
+		if sharded {
+			return v.With(value, shardVal)
+		}
+		return v.With(value)
+	}
+
 	ops := reg.CounterVec("nnexus_engine_operations_total",
-		"Engine operations by type.", "op")
-	t.opAddEntry = ops.With("add_entry")
-	t.opUpdateEntry = ops.With("update_entry")
-	t.opRemoveEntry = ops.With("remove_entry")
-	t.opSetPolicy = ops.With("set_policy")
-	t.opLinkText = ops.With("link_text")
-	t.opLinkEntry = ops.With("link_entry")
+		"Engine operations by type.", withShard("op")...)
+	t.opAddEntry = child(ops, "add_entry")
+	t.opUpdateEntry = child(ops, "update_entry")
+	t.opRemoveEntry = child(ops, "remove_entry")
+	t.opSetPolicy = child(ops, "set_policy")
+	t.opLinkText = child(ops, "link_text")
+	t.opLinkEntry = child(ops, "link_entry")
+	t.opPutEntry = child(ops, "put_entry")
+	t.opScanShard = child(ops, "scan_shard")
 
 	stages := reg.HistogramVec("nnexus_pipeline_stage_duration_seconds",
 		"Per-stage latency of the linking pipeline (Fig 2).", nil, "stage")
@@ -99,14 +130,19 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 	t.linkDuration = reg.Histogram("nnexus_link_duration_seconds",
 		"End-to-end latency of one LinkText pipeline run.")
 
-	t.linksCreated = reg.Counter("nnexus_links_created_total",
-		"Hyperlinks created by the linking pipeline.")
+	if sharded {
+		t.linksCreated = reg.CounterVec("nnexus_links_created_total",
+			"Hyperlinks created by the linking pipeline.", "shard").With(shardVal)
+	} else {
+		t.linksCreated = reg.Counter("nnexus_links_created_total",
+			"Hyperlinks created by the linking pipeline.")
+	}
 	skips := reg.CounterVec("nnexus_link_skips_total",
-		"Concept matches deliberately not linked, by reason.", "reason")
-	t.skipPolicy = skips.With(SkipPolicy)
-	t.skipSelf = skips.With(SkipSelf)
-	t.skipDuplicate = skips.With(SkipDuplicate)
-	t.skipNoDomain = skips.With(SkipNoDomain)
+		"Concept matches deliberately not linked, by reason.", withShard("reason")...)
+	t.skipPolicy = child(skips, SkipPolicy)
+	t.skipSelf = child(skips, SkipSelf)
+	t.skipDuplicate = child(skips, SkipDuplicate)
+	t.skipNoDomain = child(skips, SkipNoDomain)
 
 	t.relinkRuns = reg.Counter("nnexus_relink_runs_total",
 		"Relink batches started (sequential or parallel).")
@@ -128,12 +164,23 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 	// carries no extra instrumentation).
 	t.automatonBuild = reg.Histogram("nnexus_automaton_build_seconds",
 		"Wall time of one background concept-map automaton compile.")
-	reg.CounterFunc("nnexus_scan_automaton_total",
-		"Concept-map scans served by the compiled Aho-Corasick automaton.",
-		func() float64 { return float64(e.cmap.AutomatonInfo().AutomatonScans) })
-	reg.CounterFunc("nnexus_scan_fallback_total",
-		"Concept-map scans served by the chained-hash fallback (automaton disabled or trailing the snapshot).",
-		func() float64 { return float64(e.cmap.AutomatonInfo().FallbackScans) })
+	if sharded {
+		reg.CounterFuncLabeled("nnexus_scan_automaton_total",
+			"Concept-map scans served by the compiled Aho-Corasick automaton.",
+			[]string{"shard"}, []string{shardVal},
+			func() float64 { return float64(e.cmap.AutomatonInfo().AutomatonScans) })
+		reg.CounterFuncLabeled("nnexus_scan_fallback_total",
+			"Concept-map scans served by the chained-hash fallback (automaton disabled or trailing the snapshot).",
+			[]string{"shard"}, []string{shardVal},
+			func() float64 { return float64(e.cmap.AutomatonInfo().FallbackScans) })
+	} else {
+		reg.CounterFunc("nnexus_scan_automaton_total",
+			"Concept-map scans served by the compiled Aho-Corasick automaton.",
+			func() float64 { return float64(e.cmap.AutomatonInfo().AutomatonScans) })
+		reg.CounterFunc("nnexus_scan_fallback_total",
+			"Concept-map scans served by the chained-hash fallback (automaton disabled or trailing the snapshot).",
+			func() float64 { return float64(e.cmap.AutomatonInfo().FallbackScans) })
+	}
 	reg.GaugeFunc("nnexus_automaton_states",
 		"States in the published concept-map automaton (0 when none).",
 		func() float64 { return float64(e.cmap.AutomatonInfo().States) })

@@ -35,6 +35,7 @@ import (
 	"nnexus/internal/render"
 	"nnexus/internal/replication"
 	"nnexus/internal/telemetry"
+	"nnexus/internal/tokenizer"
 	"nnexus/internal/wire"
 )
 
@@ -177,6 +178,7 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 		wire.MethodSetPolicy, wire.MethodLinkEntry, wire.MethodLinkText,
 		wire.MethodInvalidated, wire.MethodRelink, wire.MethodStats,
 		wire.MethodAddEntries, wire.MethodLinkBatch, wire.MethodRelinkBatch,
+		wire.MethodShardScan, wire.MethodPutEntry,
 		wire.MethodReplSubscribe, wire.MethodReplSnapshot,
 		wire.MethodReplAck, wire.MethodReplStatus,
 		wire.MethodReplVote, wire.MethodReplLead,
@@ -725,6 +727,7 @@ var mutating = map[string]bool{
 	wire.MethodRelink:      true,
 	wire.MethodAddEntries:  true,
 	wire.MethodRelinkBatch: true,
+	wire.MethodPutEntry:    true,
 }
 
 // currentPrimary returns the primary surface this server should serve the
@@ -994,6 +997,7 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 			CacheMisses:  misses,
 			LinksCreated: met.LinksCreated,
 			TextsLinked:  met.TextsLinked,
+			MaxObject:    s.engine.MaxObjectID(),
 		}
 		return resp, nil
 
@@ -1047,6 +1051,53 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 		}
 		sort.Slice(resp.Objects, func(i, j int) bool { return resp.Objects[i] < resp.Objects[j] })
 		return resp, nil
+
+	case wire.MethodShardScan:
+		opts, err := linkOptions(req)
+		if err != nil {
+			return nil, err
+		}
+		opts.SourceClasses = req.Classes
+		opts.SourceScheme = req.Scheme
+		opts.ExcludeObject = req.Object
+		tokens := make([]tokenizer.Token, len(req.Tokens))
+		for i, t := range req.Tokens {
+			tokens[i] = tokenizer.Token{Norm: t.Norm, Start: t.Start, End: t.End}
+		}
+		matches, err := s.engine.ScanShard(nil, tokens, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp := wire.OK(req)
+		if len(matches) > 0 {
+			resp.Matches = make([]wire.ShardMatch, len(matches))
+		}
+		for i, m := range matches {
+			resp.Matches[i] = wire.ShardMatch{
+				Label:      m.Label,
+				TokenStart: m.TokenStart,
+				TokenEnd:   m.TokenEnd,
+				ByteStart:  m.ByteStart,
+				ByteEnd:    m.ByteEnd,
+				Skip:       m.Skip,
+				Target:     m.Link.Target,
+				Domain:     m.Link.TargetDomain,
+				Title:      m.Link.TargetTitle,
+				URL:        m.Link.URL,
+				Distance:   m.Link.Distance,
+				Candidates: m.Link.Candidates,
+			}
+		}
+		return resp, nil
+
+	case wire.MethodPutEntry:
+		if req.Entry == nil {
+			return nil, errors.New("putEntry: missing entry")
+		}
+		if err := s.engine.PutEntry(req.Entry.ToCorpus()); err != nil {
+			return nil, err
+		}
+		return wire.OK(req), nil
 
 	default:
 		return nil, fmt.Errorf("unknown method %q", req.Method)

@@ -1,0 +1,251 @@
+// Package shard partitions the NNexus linking tier horizontally.
+//
+// The concept map's chained hash is keyed by the morph-folded first word of
+// each label (paper §2.2), which gives the corpus a natural partitioning
+// axis: every label whose first word normalizes to the same key lives on the
+// same shard, so a scan for matches starting at a given token touches
+// exactly one shard. The package owns three pieces:
+//
+//   - Ring: a consistent-hash ring with virtual nodes mapping a normalized
+//     first word to its owning shard. Virtual nodes keep the key space
+//     balanced and let shards be added later without remapping everything —
+//     only the ring segments adjacent to the new shard's vnodes move.
+//   - MapConfig: the versioned shard-map document (JSON) distributed to
+//     routers and daemons, listing each shard's replication group.
+//   - UnavailableError: the typed partial-result error a scatter-gather
+//     read returns when one or more shards could not answer in time.
+//
+// Each shard is an ordinary NNexus node (or primary/follower replication
+// group) serving only its slice of the ring; the router in internal/core
+// fans reads out to owning shards and merges locally.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"nnexus/internal/morph"
+)
+
+// DefaultVnodes is the number of virtual nodes each shard places on the
+// ring. 64 keeps the max/mean shard load within ~1.25 (verified by the
+// balance property test) while the ring stays small enough that lookups are
+// a short binary search.
+const DefaultVnodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring maps normalized first words to shard IDs by consistent hashing.
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	points []point
+	shards int
+	vnodes int
+}
+
+// NewRing builds the ring for n shards with the given number of virtual
+// nodes per shard (0 means DefaultVnodes). Construction is fully
+// deterministic: two processes building a ring for the same (n, vnodes)
+// always agree on every key's owner.
+func NewRing(n, vnodes int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		points: make([]point, 0, n*vnodes),
+		shards: n,
+		vnodes: vnodes,
+	}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodes; v++ {
+			key := fmt.Sprintf("shard-%d/vnode-%d", s, v)
+			r.points = append(r.points, point{hash: hash64(key), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit hash collision between vnode keys is effectively
+		// impossible, but break ties deterministically anyway so every
+		// process sorts identically.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// NumShards returns how many shards the ring distributes keys over.
+func (r *Ring) NumShards() int { return r.shards }
+
+// Vnodes returns the virtual nodes per shard.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Owner returns the shard owning the given normalized first word: the
+// shard of the first virtual node at or clockwise of the key's hash.
+func (r *Ring) Owner(word string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hash64(word)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].shard
+}
+
+// OwnerLabel returns the shard owning a raw (unnormalized) concept label:
+// the owner of its morph-folded first word. Labels whose every word
+// normalizes away hash the empty string, which is still deterministic.
+func (r *Ring) OwnerLabel(label string) int {
+	norm := morph.NormalizeLabel(label)
+	if i := strings.IndexByte(norm, ' '); i >= 0 {
+		norm = norm[:i]
+	}
+	return r.Owner(norm)
+}
+
+// hash64 is FNV-1a 64 with a splitmix64-style avalanche finalizer. The
+// finalizer matters: vnode keys are structurally similar strings
+// ("shard-0/vnode-1", "shard-0/vnode-2", ...) and raw FNV placements of
+// such near-identical keys cluster; the final mix spreads them uniformly
+// around the ring.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ShardSpec describes one shard's replication group in the shard map.
+type ShardSpec struct {
+	// ID is the shard's position on the ring: 0..len(shards)-1.
+	ID int `json:"id"`
+	// Addrs lists the shard group's node addresses. The first address is
+	// the bootstrap primary; the rest are replicas/election peers. A
+	// ring-aware client dials all of them and routes per the replication
+	// roles it discovers.
+	Addrs []string `json:"addrs"`
+}
+
+// MapConfig is the versioned shard-map document distributed to routers and
+// daemons. All parties serving or routing one corpus must hold maps with
+// the same Version; the version is bumped whenever shards are added so
+// routers can detect (and refuse to mix) topologies.
+type MapConfig struct {
+	Version int         `json:"version"`
+	Vnodes  int         `json:"vnodes,omitempty"`
+	Shards  []ShardSpec `json:"shards"`
+}
+
+// ParseMap decodes and validates a shard-map document.
+func ParseMap(data []byte) (*MapConfig, error) {
+	var m MapConfig
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadMap reads and validates a shard-map file.
+func LoadMap(path string) (*MapConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: load map: %w", err)
+	}
+	return ParseMap(data)
+}
+
+// Validate checks the map's internal consistency: at least one shard, IDs
+// forming exactly 0..n-1 (ring positions), and every shard naming at least
+// one address.
+func (m *MapConfig) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	if m.Vnodes < 0 {
+		return fmt.Errorf("shard: negative vnodes %d", m.Vnodes)
+	}
+	seen := make(map[int]bool, len(m.Shards))
+	for _, s := range m.Shards {
+		if s.ID < 0 || s.ID >= len(m.Shards) {
+			return fmt.Errorf("shard: shard id %d outside 0..%d", s.ID, len(m.Shards)-1)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("shard: duplicate shard id %d", s.ID)
+		}
+		seen[s.ID] = true
+		if len(s.Addrs) == 0 {
+			return fmt.Errorf("shard: shard %d has no addresses", s.ID)
+		}
+	}
+	return nil
+}
+
+// Ring builds the consistent-hash ring this map describes.
+func (m *MapConfig) Ring() *Ring {
+	return NewRing(len(m.Shards), m.Vnodes)
+}
+
+// Spec returns the spec of the shard with the given ID, or nil.
+func (m *MapConfig) Spec(id int) *ShardSpec {
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
+
+// UnavailableError reports that a scatter-gather read could not reach one
+// or more shards before its deadline. The accompanying result, when the
+// caller chose to accept it, covers only the shards that answered: links
+// owned by the listed shards may be missing, but every link present is
+// correct (partial-result degradation, not corruption).
+type UnavailableError struct {
+	// Shards lists the shard IDs that failed to answer, ascending.
+	Shards []int
+	// Err is the first underlying failure, for diagnostics.
+	Err error
+}
+
+func (e *UnavailableError) Error() string {
+	var b strings.Builder
+	b.WriteString("shard: unavailable: ")
+	for i, s := range e.Shards {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "shard %d", s)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+func (e *UnavailableError) Unwrap() error { return e.Err }

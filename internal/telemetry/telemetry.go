@@ -219,6 +219,17 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	f.child(nil).fn = fn
 }
 
+// CounterFuncLabeled registers one labeled child of a func-backed counter
+// family: the series for labelValues reads fn at scrape time. It is
+// CounterFunc for labeled families — a sharded engine uses it to expose its
+// concept-map scan counters under a per-shard label without maintaining a
+// shadow counter. All children of one family must be registered with the
+// same label names.
+func (r *Registry) CounterFuncLabeled(name, help string, labelNames, labelValues []string, fn func() float64) {
+	f := r.lookupOrCreate(name, help, KindCounter, labelNames, nil)
+	f.child(labelValues).fn = fn
+}
+
 // CounterVec is a family of counters sharing a name and label names.
 type CounterVec struct{ f *family }
 

@@ -1,0 +1,402 @@
+package nnexus_test
+
+// Shard chaos: a two-shard deployment assembled entirely from the public
+// facade, with one shard's primary killed mid-traffic. The acceptance bar:
+// reads and writes owned by the surviving shards never notice, scatter-gather
+// reads that do touch the dead shard degrade to typed partial results (every
+// link present is correct, missing ones are attributed to the listed shards),
+// the hit shard recovers through the same election machinery as an unsharded
+// cluster, and full results resume — all with no human in the loop.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"nnexus"
+)
+
+// shardOwnedWords returns one single-word label owned by each shard of the
+// ring, so tests can place entries (and aim link texts) at a chosen shard.
+func shardOwnedWords(t testing.TB, ring *nnexus.ShardRing) []string {
+	t.Helper()
+	words := []string{
+		"graph", "plane", "even", "space", "function", "metric",
+		"prime", "group", "field", "ring", "mobius", "number",
+		"lattice", "matrix", "tensor", "kernel",
+	}
+	owned := make([]string, ring.NumShards())
+	found := 0
+	for _, w := range words {
+		id := ring.OwnerLabel(w)
+		if owned[id] == "" {
+			owned[id] = w
+			if found++; found == ring.NumShards() {
+				return owned
+			}
+		}
+	}
+	t.Fatalf("no candidate word for every shard: %q", owned)
+	return nil
+}
+
+// startShardNode boots one standalone (single-node) shard daemon serving its
+// ring slice on ln. Used both at fleet boot and to restart a killed shard
+// against its original data directory and address.
+func startShardNode(t testing.TB, ring *nnexus.ShardRing, id int, dir string, ln net.Listener) (*nnexus.Engine, *nnexus.Server) {
+	t.Helper()
+	engine, err := nnexus.New(nnexus.Config{
+		Scheme:    nnexus.SampleMSC(10),
+		DataDir:   dir,
+		ShardRing: ring,
+		ShardID:   id,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := engine.ServeListener(ln, nil)
+	if err != nil {
+		engine.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); engine.Close() })
+	return engine, srv
+}
+
+// TestShardedNetworkLinking runs the scatter-gather router over real TCP
+// servers (one single-node daemon per shard) and asserts the results are
+// identical to a single unsharded engine holding the same corpus — the
+// network path reuses the same equivalence protocol the in-process fuzz
+// target proves, and wire.ShardMatch is lossless for Link reconstruction.
+func TestShardedNetworkLinking(t *testing.T) {
+	m := &nnexus.ShardMap{Version: 1, Shards: []nnexus.ShardSpec{{ID: 0}, {ID: 1}}}
+	for i := range m.Shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Shards[i].Addrs = []string{ln.Addr().String()}
+		startShardNode(t, m.Ring(), i, t.TempDir(), ln)
+	}
+
+	router, err := nnexus.DialSharded(m, nnexus.WithCallTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	reference, err := nnexus.New(nnexus.Config{Scheme: nnexus.SampleMSC(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reference.Close()
+
+	domain := nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://planetmath.org/{id}", Scheme: "msc",
+	}
+	if err := router.AddDomain(domain); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.AddDomain(domain); err != nil {
+		t.Fatal(err)
+	}
+	words := shardOwnedWords(t, m.Ring())
+	titles := append([]string{}, words...)
+	titles = append(titles, words[0]+" "+words[1], "metric space")
+	for _, title := range titles {
+		e := &nnexus.Entry{Domain: "planetmath.org", Title: title, Classes: []string{chaosClasses}}
+		id, err := router.AddEntry(e)
+		if err != nil {
+			t.Fatalf("sharded AddEntry(%q): %v", title, err)
+		}
+		ref := &nnexus.Entry{Domain: "planetmath.org", Title: title, Classes: []string{chaosClasses}}
+		refID, err := reference.AddEntry(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != refID {
+			t.Fatalf("ID sequences diverged: sharded %d, reference %d", id, refID)
+		}
+	}
+
+	texts := []string{
+		"",
+		words[0],
+		fmt.Sprintf("a %s meets a %s in a metric space", words[0], words[1]),
+		fmt.Sprintf("%s %s %s %s", words[0], words[1], words[0], words[1]),
+		"the metric space of a " + words[0]+" "+words[1],
+	}
+	for _, text := range texts {
+		got, err := router.LinkText(text, nnexus.LinkOptions{})
+		if err != nil {
+			t.Fatalf("sharded LinkText(%q): %v", text, err)
+		}
+		want, err := reference.LinkText(text, nnexus.LinkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sharded result diverged for %q:\n  sharded:   %+v\n  unsharded: %+v", text, got, want)
+		}
+	}
+}
+
+// TestChaosShardPartialResults kills a single-node shard outright: reads
+// owned by the surviving shard stay error-free, scatter-gather reads that
+// touch the dead shard return the typed *ShardUnavailableError naming
+// exactly that shard alongside a partial result whose present links are all
+// correct, and restarting the shard (same data directory, same address)
+// restores full results through the same router.
+func TestChaosShardPartialResults(t *testing.T) {
+	m := &nnexus.ShardMap{Version: 1, Shards: []nnexus.ShardSpec{{ID: 0}, {ID: 1}}}
+	dirs := make([]string, 2)
+	servers := make([]*nnexus.Server, 2)
+	engines := make([]*nnexus.Engine, 2)
+	for i := range m.Shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Shards[i].Addrs = []string{ln.Addr().String()}
+		dirs[i] = t.TempDir()
+		engines[i], servers[i] = startShardNode(t, m.Ring(), i, dirs[i], ln)
+	}
+	router, err := nnexus.DialSharded(m,
+		nnexus.WithCallTimeout(2*time.Second),
+		nnexus.WithMaxRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if err := router.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://planetmath.org/{id}", Scheme: "msc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	words := shardOwnedWords(t, m.Ring())
+	for _, w := range words {
+		if _, err := router.AddEntry(&nnexus.Entry{
+			Domain: "planetmath.org", Title: w, Classes: []string{chaosClasses},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mixed := words[0] + " and " + words[1]
+	full, err := router.LinkText(mixed, nnexus.LinkOptions{})
+	if err != nil {
+		t.Fatalf("pre-kill LinkText: %v", err)
+	}
+	if len(full.Links) != 2 {
+		t.Fatalf("pre-kill links = %d, want 2", len(full.Links))
+	}
+
+	// Abrupt shard-0 death. "and" may hash to either shard, so only the
+	// bare shard-1 word is guaranteed to scatter to shard 1 alone.
+	servers[0].Close()
+	engines[0].Close()
+
+	got, err := router.LinkText(words[1], nnexus.LinkOptions{})
+	if err != nil {
+		t.Fatalf("surviving-shard read failed during the outage: %v", err)
+	}
+	if len(got.Links) != 1 || got.Links[0].Label != words[1] {
+		t.Fatalf("surviving-shard read links = %+v, want [%s]", got.Links, words[1])
+	}
+
+	partial, err := router.LinkText(mixed, nnexus.LinkOptions{})
+	var unavail *nnexus.ShardUnavailableError
+	if !errors.As(err, &unavail) {
+		t.Fatalf("mixed read error = %v, want *ShardUnavailableError", err)
+	}
+	if len(unavail.Shards) != 1 || unavail.Shards[0] != 0 {
+		t.Fatalf("unavailable shards = %v, want [0]", unavail.Shards)
+	}
+	if partial == nil {
+		t.Fatal("typed partial error must carry the partial result")
+	}
+	if len(partial.Links) != 1 || partial.Links[0].Label != words[1] {
+		t.Fatalf("partial links = %+v, want only %q", partial.Links, words[1])
+	}
+
+	// Same data directory, same address: the shard rejoins and the router's
+	// lazily-redialing shard client resumes full results with no restart.
+	ln, err := net.Listen("tcp", m.Shards[0].Addrs[0])
+	if err != nil {
+		t.Fatalf("rebind shard 0 address: %v", err)
+	}
+	startShardNode(t, m.Ring(), 0, dirs[0], ln)
+	waitFor(t, "full results after the shard rejoined", func() bool {
+		res, err := router.LinkText(mixed, nnexus.LinkOptions{})
+		return err == nil && len(res.Links) == 2
+	})
+}
+
+// TestChaosShardFailover gives shard 0 a three-node election-enabled
+// replication group and kills its primary mid-traffic: shard 1 (a bystander
+// single-node shard) serves its reads and writes without interruption,
+// shard-0 reads ride over to the caught-up replicas, shard-0 writes resume
+// once the group elects a new primary (PR 7 machinery, unchanged), and the
+// write landed during the gap is linkable afterwards.
+func TestChaosShardFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard failover chaos is not -short")
+	}
+	m := &nnexus.ShardMap{Version: 1, Shards: []nnexus.ShardSpec{{ID: 0}, {ID: 1}}}
+
+	// Shard 0: three listeners bound first so every node can advertise the
+	// others' real ports, then node 0 as bootstrap primary, 1 and 2 as
+	// election-enabled followers — each serving only shard 0's ring slice.
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i], addrs[i] = ln, ln.Addr().String()
+	}
+	m.Shards[0].Addrs = addrs
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Shards[1].Addrs = []string{ln1.Addr().String()}
+	ring := m.Ring()
+
+	group := make([]*nnexus.Engine, 3)
+	groupSrv := make([]*nnexus.Server, 3)
+	for i := range lns {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		cfg := nnexus.Config{
+			Scheme:          nnexus.SampleMSC(10),
+			DataDir:         t.TempDir(),
+			ShardRing:       ring,
+			ShardID:         0,
+			ClusterPeers:    peers,
+			AdvertiseAddr:   addrs[i],
+			ElectionTimeout: failoverElectionTimeout,
+			QuorumTimeout:   5 * time.Second,
+			ReplicaName:     fmt.Sprintf("shard0-node%d", i),
+		}
+		if i == 0 {
+			cfg.ReplicationPrimary = true
+		} else {
+			cfg.FollowPrimary = addrs[0]
+		}
+		engine, err := nnexus.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, _, err := engine.ServeListener(lns[i], nil)
+		if err != nil {
+			engine.Close()
+			t.Fatal(err)
+		}
+		group[i], groupSrv[i] = engine, srv
+		t.Cleanup(func() { srv.Close(); engine.Close() })
+	}
+	startShardNode(t, ring, 1, t.TempDir(), ln1)
+
+	router, err := nnexus.DialSharded(m,
+		nnexus.WithReplicaProbeInterval(25*time.Millisecond),
+		nnexus.WithCallTimeout(3*time.Second),
+		nnexus.WithMaxRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if err := router.AddDomain(nnexus.Domain{
+		Name: "planetmath.org", URLTemplate: "http://planetmath.org/{id}", Scheme: "msc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	words := shardOwnedWords(t, ring)
+	for _, w := range words {
+		if _, err := router.AddEntry(&nnexus.Entry{
+			Domain: "planetmath.org", Title: w, Classes: []string{chaosClasses},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let shard 0's followers catch up before the kill so replica reads can
+	// serve the full concept map.
+	waitFor(t, "shard 0 followers caught up", func() bool {
+		for _, e := range group[1:] {
+			info := e.ReplicationInfo()
+			if !info["synced"].(bool) {
+				return false
+			}
+		}
+		return true
+	})
+	mixed := words[0] + " versus " + words[1]
+	if res, err := router.LinkText(mixed, nnexus.LinkOptions{}); err != nil || len(res.Links) != 2 {
+		t.Fatalf("pre-kill mixed read = %+v, %v; want 2 links", res, err)
+	}
+
+	// Abrupt primary death mid-traffic.
+	groupSrv[0].Close()
+	group[0].Close()
+	group[0], groupSrv[0] = nil, nil
+
+	// The bystander shard never notices: its writes succeed immediately and
+	// its single-word reads scatter to it alone.
+	if _, err := router.AddEntry(&nnexus.Entry{
+		Domain: "planetmath.org", Title: words[1] + " theorem", Classes: []string{chaosClasses},
+	}); err != nil {
+		t.Fatalf("bystander-shard write failed during shard 0's outage: %v", err)
+	}
+	if res, err := router.LinkText(words[1], nnexus.LinkOptions{}); err != nil || len(res.Links) != 1 {
+		t.Fatalf("bystander-shard read = %+v, %v; want 1 link", res, err)
+	}
+
+	// Shard-0 reads ride over to the replicas: full mixed results, allowing
+	// transient typed partials while the shard client re-routes.
+	waitFor(t, "mixed reads served by shard 0 replicas", func() bool {
+		res, err := router.LinkText(mixed, nnexus.LinkOptions{})
+		return err == nil && len(res.Links) == 2
+	})
+
+	// Shard-0 writes resume once the group elects a new primary.
+	var gapID int64
+	gapTitle := words[0] + " lemma"
+	waitFor(t, "shard 0 writes resumed after election", func() bool {
+		id, err := router.AddEntry(&nnexus.Entry{
+			Domain: "planetmath.org", Title: gapTitle, Classes: []string{chaosClasses},
+		})
+		if err != nil {
+			return false
+		}
+		gapID = id
+		return true
+	})
+	primaries := 0
+	for _, e := range group[1:] {
+		if info := e.ElectionInfo(); info != nil && info["role"].(string) == "primary" {
+			primaries++
+		}
+	}
+	if primaries != 1 {
+		t.Fatalf("shard 0 primaries after failover = %d, want exactly 1", primaries)
+	}
+	waitFor(t, "the gap write became linkable", func() bool {
+		res, err := router.LinkText(gapTitle, nnexus.LinkOptions{})
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Links {
+			if l.Label == gapTitle && l.Target == gapID {
+				return true
+			}
+		}
+		return false
+	})
+}
