@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build vet test race bench bench-json bench-compare matchscan chaos chaos-replication chaos-failover chaos-shard readscale openloop loadgate shardscale experiments fuzz cover clean
+.PHONY: build vet test race bench bench-json bench-compare matchscan chaos chaos-replication chaos-failover chaos-shard chaos-tenant readscale openloop loadgate shardscale tenantiso experiments fuzz cover clean
 
 build:
 	go build ./...
@@ -79,6 +79,13 @@ chaos-failover:
 chaos-shard:
 	go test -race -run '^TestChaosShard' ./...
 
+# The tenancy slice of the chaos suite: a hot tenant driven far past its
+# token-bucket limit by unpaced workers while a calm tenant's reads and
+# writes continue — every hot rejection a typed rateLimited error, the calm
+# tenant's latency bounded — always under the race detector.
+chaos-tenant:
+	go test -race -run '^TestChaosTenant' ./...
+
 # The read-scaling experiment (1 primary + 2 WAL-shipped replicas vs a
 # single node); regenerates the committed BENCH_PR5.json snapshot.
 readscale:
@@ -104,6 +111,12 @@ loadgate:
 shardscale:
 	go run ./cmd/nnexus-bench -exp shardscale -entries 400 -duration 2s -json BENCH_PR9.json
 
+# The tenant-isolation (noisy-neighbor) experiment: bystander link p99
+# while another corpus is driven past its rate limit; regenerates the
+# committed BENCH_PR10.json snapshot.
+tenantiso:
+	go run ./cmd/nnexus-bench -exp tenantiso -entries 600 -duration 10s -json BENCH_PR10.json
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	go run ./cmd/nnexus-bench -exp all
@@ -118,6 +131,7 @@ fuzz:
 	go test ./internal/morph -fuzz=FuzzNormalize -fuzztime=30s
 	go test ./internal/conceptmap -fuzz=FuzzAutomatonScanEquivalence -fuzztime=30s
 	go test ./internal/core -fuzz=FuzzShardedLinkEquivalence -fuzztime=30s
+	go test ./internal/core -fuzz=FuzzTenantLinkEquivalence -fuzztime=30s
 
 cover:
 	go test -cover ./...

@@ -67,6 +67,9 @@ func main() {
 
 		shardMapPath = flag.String("shard-map", "", "shard-map JSON file describing the sharded deployment; serve only this node's ring slice (requires -shard-id)")
 		shardID      = flag.Int("shard-id", 0, "this node's shard ID within -shard-map")
+
+		defaultCorpus = flag.String("default-corpus", "", `corpus namespace for entries and requests that name none (default "default")`)
+		tenantConfig  = flag.String("tenant-config", "", "tenant-policy JSON file: per-corpus rate limits, entry/byte quotas, and default cross-corpus link targets; SIGHUP re-reads it live")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nnexusd: ", log.LstdFlags)
@@ -117,6 +120,7 @@ func main() {
 
 	engine, err := nnexus.New(nnexus.Config{
 		Scheme:             s,
+		DefaultCorpus:      *defaultCorpus,
 		DataDir:            *dataDir,
 		SyncWrites:         *sync,
 		GroupCommitWindow:  *commitWindow,
@@ -154,7 +158,33 @@ func main() {
 		healthState.AddInfo("election", engine.ElectionInfo)
 	}
 
+	// Tenant policies: loaded once at boot, hot-reloaded on SIGHUP without
+	// restarting. A reload preserves each surviving corpus's token-bucket
+	// fill, so it never hands a saturated tenant a free burst.
+	var tenants *nnexus.TenantRegistry
+	if *tenantConfig != "" {
+		tcfg, err := nnexus.LoadTenantConfig(*tenantConfig)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		tenants = nnexus.NewTenantRegistry(tcfg)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := tenants.ReloadFile(*tenantConfig); err != nil {
+					logger.Printf("tenant-config reload failed (keeping previous policies): %v", err)
+				} else {
+					logger.Printf("tenant-config reloaded from %s", *tenantConfig)
+				}
+			}
+		}()
+	}
+
 	var srvOpts []nnexus.ServerOption
+	if tenants != nil {
+		srvOpts = append(srvOpts, nnexus.WithTenants(tenants))
+	}
 	if *maxConns > 0 {
 		srvOpts = append(srvOpts, nnexus.WithMaxConns(*maxConns))
 	}
@@ -180,6 +210,9 @@ func main() {
 		// format); -pprof additionally mounts the standard profiling
 		// handlers so a live daemon can be profiled under load.
 		httpOpts := []nnexus.HTTPOption{nnexus.WithHealth(healthState)}
+		if tenants != nil {
+			httpOpts = append(httpOpts, nnexus.WithHTTPTenants(tenants))
+		}
 		if *maxActive > 0 {
 			httpOpts = append(httpOpts, nnexus.WithMaxInFlight(*maxActive))
 		}

@@ -76,6 +76,35 @@ func IsOverloaded(err error) bool {
 	return se.Code == wire.CodeOverloaded || se.Code == wire.CodeUnavailable
 }
 
+// IsRateLimited reports whether err is a tenant rate-limit rejection: the
+// request's corpus exhausted its token bucket and the request was rejected
+// before execution. Like load shedding it is safe to retry after backoff,
+// and the client does so automatically.
+func IsRateLimited(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeRateLimited
+}
+
+// IsQuotaExceeded reports whether err is a tenant quota rejection: the
+// write would push its corpus past an entry-count or byte quota. It was
+// rejected before execution, but retrying unchanged will fail again, so the
+// client does NOT retry it.
+func IsQuotaExceeded(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeQuotaExceeded
+}
+
+// rejectedBeforeExecution reports whether the server rejected the request
+// without executing it — the class of typed errors that is retry-safe even
+// for mutating methods.
+func rejectedBeforeExecution(se *ServerError) bool {
+	switch se.Code {
+	case wire.CodeOverloaded, wire.CodeUnavailable, wire.CodeRateLimited:
+		return true
+	}
+	return false
+}
+
 // idempotent lists the methods safe to retry after a connection failure
 // that leaves the request's fate unknown. Mutating methods are only
 // retried on typed pre-execution rejections (see IsOverloaded) or when the
@@ -405,9 +434,11 @@ func (cc *clientConn) readLoop() {
 		}
 		if !r.IsOK() {
 			serr := &ServerError{Code: r.Code, Message: r.Error, Leader: r.Leader}
-			if IsOverloaded(serr) {
+			if rejectedBeforeExecution(serr) {
 				pc.err, pc.class = serr, failRejected
 			} else {
+				// quotaExceeded is also rejected-before-execution, but an
+				// unchanged retry cannot succeed — surface it immediately.
 				pc.err, pc.class = serr, failPermanent
 			}
 		} else {
@@ -663,6 +694,29 @@ func (c *Client) LinkEntry(id int64, mode, format string) (*LinkedText, error) {
 func (c *Client) LinkText(text string, classes []string, scheme, mode, format string) (*LinkedText, error) {
 	resp, err := c.call(&wire.Request{
 		Method:  wire.MethodLinkText,
+		Text:    text,
+		Classes: classes,
+		Scheme:  scheme,
+		Mode:    mode,
+		Format:  format,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromLinked(resp)
+}
+
+// LinkTextIn is LinkText with an explicit tenant link policy: the text
+// links on behalf of corpusName (rate limiting and telemetry attribute to
+// it) against the ordered target corpora — earlier targets win equal-span
+// ties; empty targets means self-linking within corpusName. An empty
+// corpusName selects the server's default corpus, making this a strict
+// superset of LinkText.
+func (c *Client) LinkTextIn(corpusName string, targets []string, text string, classes []string, scheme, mode, format string) (*LinkedText, error) {
+	resp, err := c.call(&wire.Request{
+		Method:  wire.MethodLinkText,
+		Corpus:  corpusName,
+		Targets: targets,
 		Text:    text,
 		Classes: classes,
 		Scheme:  scheme,

@@ -34,6 +34,11 @@ type batchItem struct {
 	id      int64  // source entry ID; 0 for free text
 	text    string // input text (entry body for entry items)
 	classes []string
+	// targets is the item's resolved link policy (ordered target corpora).
+	// Left empty for entry items, it resolves to the entry's own corpus in
+	// phase 1 (self-linking), so a relink batch spanning corpora keeps each
+	// entry inside its namespace.
+	targets []string
 	exclude int64
 	buf     *linkBuffers
 	res     *Result
@@ -150,13 +155,20 @@ func (e *Engine) runBatch(items []*batchItem, opts LinkOptions, workers int, abo
 					schemeOr(e.domainScheme(entry.Domain), e.scheme.Name()),
 					entry.Classes, e.scheme.Name())
 			}
+			if len(it.targets) == 0 {
+				// Entry items self-link inside their own namespace.
+				it.targets = []string{corpus.CorpusOrDefault(entry.Corpus)}
+			}
+		}
+		if len(it.targets) == 0 {
+			it.targets = []string{e.DefaultCorpus()}
 		}
 		if e.cfg.LaTeX {
 			it.text = latex.ToText(it.text)
 		}
 		it.buf = getLinkBuffers()
 		it.buf.tokens = tokenizer.TokenizeAppend(it.buf.tokens, it.text)
-		it.buf.matches = e.cmap.ScanAppend(it.buf.matches, it.buf.tokens)
+		e.scanCorpora(it.buf, it.targets, false)
 	})
 
 	view := e.captureBatchView(items)
@@ -169,13 +181,14 @@ func (e *Engine) runBatch(items []*batchItem, opts LinkOptions, workers int, abo
 		}
 		buf := it.buf
 		res := &Result{Source: it.id, Output: it.text}
+		rank := buf.targetRank(it.targets)
 		var anchors []render.Anchor
 		for _, m := range buf.matches {
 			if !e.cfg.LinkAllOccurrences && buf.linked[m.Label] {
 				res.Skips = append(res.Skips, Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: SkipDuplicate})
 				continue
 			}
-			link, skip := e.chooseTarget(m, view, buf, it.classes, it.exclude, mode, nil)
+			link, skip := e.chooseTarget(m, view, buf, it.classes, it.exclude, mode, rank, nil)
 			if skip != nil {
 				res.Skips = append(res.Skips, *skip)
 				continue
@@ -215,9 +228,10 @@ func (e *Engine) LinkBatch(texts []string, opts LinkOptions, workers int) ([]*Re
 	}
 	sourceClasses := e.mappers.Translate(
 		schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
+	_, targets := e.resolveLinkCorpora(&opts)
 	items := make([]*batchItem, len(texts))
 	for i, t := range texts {
-		items[i] = &batchItem{text: t, classes: sourceClasses, exclude: opts.ExcludeObject}
+		items[i] = &batchItem{text: t, classes: sourceClasses, targets: targets, exclude: opts.ExcludeObject}
 	}
 	var aborted atomic.Bool
 	e.runBatch(items, opts, workers, &aborted)
@@ -317,6 +331,9 @@ func (e *Engine) relinkShared(ids []int64, workers int) (map[int64]*Result, int,
 func (e *Engine) AddEntries(entries []*corpus.Entry) ([]int64, error) {
 	if len(entries) == 0 {
 		return nil, nil
+	}
+	for _, entry := range entries {
+		e.normalizeCorpus(entry)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

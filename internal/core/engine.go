@@ -153,17 +153,54 @@ type Config struct {
 	// ShardID is this engine's position on the ring (0-based). Only
 	// meaningful with ShardRing set.
 	ShardID int
+	// DefaultCorpus is the corpus namespace entries and link requests fall
+	// into when they name none. Empty means corpus.DefaultCorpus, which
+	// keeps single-corpus deployments (and pre-tenancy WALs) unchanged.
+	DefaultCorpus string
+}
+
+// namespace is one corpus's isolated index family: its own concept map
+// (and therefore its own compiled automaton and snapshot generations), its
+// own invalidation index, and its usage accounting for the tenant quota
+// layer. Hot-corpus writes touch only their own namespace, so a write
+// burst in one corpus never recompiles (or even dirties) another corpus's
+// automaton.
+type namespace struct {
+	name string
+	cmap *conceptmap.Map
+	inv  *invindex.Index
+	// entryCount/byteCount are the corpus's live usage, read lock-free by
+	// the serving layers' quota gates.
+	entryCount atomic.Int64
+	byteCount  atomic.Int64
+}
+
+func newNamespace(name string) *namespace {
+	return &namespace{
+		name: name,
+		cmap: conceptmap.New(),
+		inv:  invindex.New(invindex.WithAutoCompact(512, invindex.DefaultCompactBelow)),
+	}
 }
 
 // Engine is a fully assembled NNexus instance. All methods are safe for
 // concurrent use.
 type Engine struct {
-	cfg     Config
-	scheme  *classification.Scheme
-	store   *storage.Store
-	cmap    *conceptmap.Map
-	inv     *invindex.Index
-	pol     *policy.Table
+	cfg    Config
+	scheme *classification.Scheme
+	store  *storage.Store
+	// cmap/inv are the DEFAULT corpus's indexes — aliases into ns — so the
+	// single-corpus hot paths (and their bit-for-bit behaviour) are
+	// untouched by tenancy. Other corpora live only in ns.
+	cmap *conceptmap.Map
+	inv  *invindex.Index
+	// ns is the copy-on-write corpus → namespace table. Namespaces are
+	// created on first write to a corpus and never removed, the same COW
+	// shape as the domain table: lock-free loads on the link path, copied
+	// publishes under mu.
+	ns               atomic.Pointer[map[string]*namespace]
+	compilersStarted bool
+	pol              *policy.Table
 	mappers *ontomap.Registry
 	// rendered caches default-pipeline LinkEntry results until the
 	// invalidation machinery marks them stale (the paper's cache table).
@@ -207,13 +244,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		cfg:    cfg,
-		scheme: cfg.Scheme,
-		store:  cfg.Store,
-		cmap:   conceptmap.New(),
-		// The invalidation index compacts itself as the collection grows,
-		// keeping it near the size of a word index (paper §2.5).
-		inv:      invindex.New(invindex.WithAutoCompact(512, invindex.DefaultCompactBelow)),
+		cfg:      cfg,
+		scheme:   cfg.Scheme,
+		store:    cfg.Store,
 		pol:      policy.NewTable(),
 		mappers:  ontomap.NewRegistry(),
 		rendered: cache.NewLRU[int64, *Result](renderedCacheSize),
@@ -221,6 +254,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		invalid:  make(map[int64]bool),
 		nextID:   1,
 	}
+	// The default corpus's namespace exists from birth; its concept map and
+	// auto-compacting invalidation index (paper §2.5) double as e.cmap/e.inv
+	// so the single-corpus paths stay unchanged.
+	defNS := newNamespace(e.DefaultCorpus())
+	e.cmap, e.inv = defNS.cmap, defNS.inv
+	e.ns.Store(&map[string]*namespace{defNS.name: defNS})
 	e.domains.Store(&map[string]*corpus.Domain{})
 	if cfg.DistanceCacheSize >= 0 {
 		size := cfg.DistanceCacheSize
@@ -248,13 +287,102 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.CompileAutomaton {
 		// Start after load so the initial bulk of AddObject calls compiles
 		// once instead of once per loaded entry; the observer must be in
-		// place first so no build goes unrecorded.
-		if e.tel != nil {
-			e.cmap.SetBuildObserver(e.tel.observeAutomatonBuild)
+		// place first so no build goes unrecorded. Every loaded corpus gets
+		// its own compiler — namespaces compile independently, so a hot
+		// corpus's write bursts never trigger a cold corpus's rebuild.
+		for _, n := range e.nsMap() {
+			if e.tel != nil {
+				n.cmap.SetBuildObserver(e.tel.observeAutomatonBuild)
+			}
+			n.cmap.StartCompiler(automatonDebounce)
 		}
-		e.cmap.StartCompiler(automatonDebounce)
+		e.compilersStarted = true
 	}
 	return e, nil
+}
+
+// DefaultCorpus returns the corpus namespace unqualified requests and
+// entries fall into.
+func (e *Engine) DefaultCorpus() string {
+	return corpus.CorpusOrDefault(e.cfg.DefaultCorpus)
+}
+
+// normalizeCorpus resolves an entry's empty corpus ID to the engine
+// default, the single normalization point of the ingest paths.
+func (e *Engine) normalizeCorpus(entry *corpus.Entry) {
+	if entry.Corpus == "" {
+		entry.Corpus = e.DefaultCorpus()
+	}
+}
+
+// nsMap returns the current immutable corpus → namespace generation.
+func (e *Engine) nsMap() map[string]*namespace { return *e.ns.Load() }
+
+// nsFor returns a corpus's namespace, or nil when the corpus has never
+// been written. Lock-free; the link path's per-request lookup.
+func (e *Engine) nsFor(name string) *namespace { return e.nsMap()[name] }
+
+// nsEnsureLocked returns a corpus's namespace, creating and publishing it
+// on first sight. Callers hold e.mu (or run single-threaded construction).
+func (e *Engine) nsEnsureLocked(name string) *namespace {
+	if n := e.nsMap()[name]; n != nil {
+		return n
+	}
+	n := newNamespace(name)
+	if e.cfg.CompileAutomaton && e.compilersStarted {
+		if e.tel != nil {
+			n.cmap.SetBuildObserver(e.tel.observeAutomatonBuild)
+		}
+		n.cmap.StartCompiler(automatonDebounce)
+	}
+	old := e.nsMap()
+	next := make(map[string]*namespace, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = n
+	e.ns.Store(&next)
+	return n
+}
+
+// EntrySize is the byte footprint an entry charges against its corpus's
+// byte quota. The serving layers use it to pre-check tenant quotas before
+// dispatching a write.
+func EntrySize(e *corpus.Entry) int64 { return entrySize(e) }
+
+// entrySize is the byte footprint an entry charges against its corpus's
+// byte quota: the indexed text (title, concepts, classes, body).
+func entrySize(e *corpus.Entry) int64 {
+	n := len(e.Title) + len(e.Body)
+	for _, c := range e.Concepts {
+		n += len(c)
+	}
+	for _, c := range e.Classes {
+		n += len(c)
+	}
+	return int64(n)
+}
+
+// CorpusUsage reports a corpus's live entry count and indexed byte
+// footprint (0, 0 for unknown corpora). Lock-free; the serving layers'
+// quota gates read it per write request.
+func (e *Engine) CorpusUsage(name string) (entries, bytes int64) {
+	n := e.nsFor(corpus.CorpusOrDefault(name))
+	if n == nil {
+		return 0, 0
+	}
+	return n.entryCount.Load(), n.byteCount.Load()
+}
+
+// Corpora returns the corpus namespaces the engine holds, sorted.
+func (e *Engine) Corpora() []string {
+	m := e.nsMap()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // automatonDebounce is how long the background automaton compiler waits
@@ -262,11 +390,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 // batch updates) coalesce into one compile.
 const automatonDebounce = 25 * time.Millisecond
 
-// Close releases the engine's background resources (currently the concept
-// map's automaton compiler goroutine). The engine must not be used after
-// Close; it does not close the storage layer, which the caller owns.
+// Close releases the engine's background resources (every namespace's
+// automaton compiler goroutine). The engine must not be used after Close;
+// it does not close the storage layer, which the caller owns.
 func (e *Engine) Close() error {
-	e.cmap.StopCompiler()
+	for _, n := range e.nsMap() {
+		n.cmap.StopCompiler()
+	}
 	return nil
 }
 
@@ -291,9 +421,15 @@ func (e *Engine) load() error {
 			loadErr = fmt.Errorf("core: load entry %q: %w", key, err)
 			return false
 		}
+		// Pre-tenancy WAL records carry no corpus ID; they replay into the
+		// default namespace unchanged (the migration path).
+		e.normalizeCorpus(entry)
+		ns := e.nsEnsureLocked(entry.Corpus)
 		e.entries[entry.ID] = entry
-		e.cmap.AddObject(conceptmap.ObjectID(entry.ID), e.ownedLabels(entry.Labels()))
-		e.inv.AddText(entry.ID, entry.Body)
+		ns.cmap.AddObject(conceptmap.ObjectID(entry.ID), e.ownedLabels(entry.Labels()))
+		ns.inv.AddText(entry.ID, entry.Body)
+		ns.entryCount.Add(1)
+		ns.byteCount.Add(entrySize(entry))
 		if entry.Policy != "" {
 			if err := e.pol.Set(entry.ID, entry.Policy); err != nil {
 				loadErr = fmt.Errorf("core: load policy of entry %d: %w", entry.ID, err)
@@ -415,6 +551,7 @@ func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
 	if err := entry.Validate(); err != nil {
 		return 0, err
 	}
+	e.normalizeCorpus(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.domainMap()[entry.Domain]; !ok {
@@ -443,6 +580,23 @@ func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
 	return id, e.persistLocked(entry)
 }
 
+// IDCollisionError reports a PutEntry whose preassigned ID is already held
+// by an entry of a DIFFERENT corpus — the signature of two routers (or a
+// router and a standalone writer) assigning from diverged ID sequences.
+// The put is rejected before any state changes; silently overwriting would
+// destroy the other corpus's entry.
+type IDCollisionError struct {
+	ID       int64
+	Existing string // corpus that holds the ID
+	Incoming string // corpus attempting the put
+}
+
+func (e *IDCollisionError) Error() string {
+	return fmt.Sprintf("core: entry ID %d collision: held by corpus %q, put attempted by corpus %q "+
+		"(diverged router ID sequences; see ShardRouter's ID-recovery caveat)",
+		e.ID, e.Existing, e.Incoming)
+}
+
 // PutEntry stores an entry under a caller-assigned ID — the shard-mode
 // write path. The shard router assigns IDs from one global sequence and
 // fans the entry out to every shard owning one of its labels; each shard
@@ -452,6 +606,14 @@ func (e *Engine) AddEntry(entry *corpus.Entry) (int64, error) {
 // replaces it, like UpdateEntry. The engine's own nextID ratchets past
 // every put ID so a shard later promoted to standalone use never reissues
 // one.
+//
+// Cross-corpus collision guard (ROADMAP residual): a router recovers the
+// global ID sequence from the fleet maximum at startup ONLY, so two
+// routers started against overlapping fleets — or a router racing a
+// standalone writer — can assign the same ID to different corpora's
+// entries. A same-corpus re-put is a legitimate upsert; a put whose ID is
+// held by ANOTHER corpus is a sequence divergence and fails loudly with
+// *IDCollisionError instead of silently overwriting the victim entry.
 func (e *Engine) PutEntry(entry *corpus.Entry) error {
 	if entry.ID <= 0 {
 		return fmt.Errorf("core: putEntry needs a positive preassigned ID, got %d", entry.ID)
@@ -459,8 +621,12 @@ func (e *Engine) PutEntry(entry *corpus.Entry) error {
 	if err := entry.Validate(); err != nil {
 		return err
 	}
+	e.normalizeCorpus(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if existing := e.entries[entry.ID]; existing != nil && existing.Corpus != entry.Corpus {
+		return &IDCollisionError{ID: entry.ID, Existing: existing.Corpus, Incoming: entry.Corpus}
+	}
 	if _, ok := e.domainMap()[entry.Domain]; !ok {
 		return fmt.Errorf("core: unknown domain %q (AddDomain first)", entry.Domain)
 	}
@@ -505,6 +671,7 @@ func (e *Engine) UpdateEntry(entry *corpus.Entry) error {
 	if err := entry.Validate(); err != nil {
 		return err
 	}
+	e.normalizeCorpus(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	old, ok := e.entries[entry.ID]
@@ -544,8 +711,11 @@ func (e *Engine) RemoveEntry(id int64) error {
 	delete(e.entries, id)
 	delete(e.invalid, id)
 	e.rendered.Invalidate(id)
-	e.cmap.RemoveObject(conceptmap.ObjectID(id))
-	e.inv.Remove(id)
+	ns := e.nsEnsureLocked(entry.Corpus)
+	ns.cmap.RemoveObject(conceptmap.ObjectID(id))
+	ns.inv.Remove(id)
+	ns.entryCount.Add(-1)
+	ns.byteCount.Add(-entrySize(entry))
 	e.pol.Remove(id)
 	if e.store != nil {
 		if err := e.store.Delete(tableEntries, entryKey(id)); err != nil {
@@ -582,15 +752,31 @@ func (e *Engine) ownedLabels(labels []string) []string {
 	return out
 }
 
-// indexLocked (re)indexes an entry in the concept map, invalidation index,
-// and policy table. In shard mode only the ring slice's labels are indexed,
-// so the concept map and the automaton compiled from it stay ~1/N-sized.
+// indexLocked (re)indexes an entry in its corpus's concept map and
+// invalidation index, and the policy table. In shard mode only the ring
+// slice's labels are indexed, so the concept map and the automaton
+// compiled from it stay ~1/N-sized. The entry's corpus must already be
+// normalized. An entry moving corpora (UpdateEntry with a new corpus ID)
+// is removed from its old namespace's indexes first.
 func (e *Engine) indexLocked(entry *corpus.Entry) error {
 	e.rendered.Invalidate(entry.ID)
+	old := e.entries[entry.ID]
+	ns := e.nsEnsureLocked(entry.Corpus)
 	copied := *entry
 	e.entries[entry.ID] = &copied
-	e.cmap.AddObject(conceptmap.ObjectID(entry.ID), e.ownedLabels(entry.Labels()))
-	e.inv.AddText(entry.ID, entry.Body)
+	if old != nil {
+		oldNS := e.nsEnsureLocked(old.Corpus)
+		oldNS.entryCount.Add(-1)
+		oldNS.byteCount.Add(-entrySize(old))
+		if old.Corpus != entry.Corpus {
+			oldNS.cmap.RemoveObject(conceptmap.ObjectID(entry.ID))
+			oldNS.inv.Remove(entry.ID)
+		}
+	}
+	ns.cmap.AddObject(conceptmap.ObjectID(entry.ID), e.ownedLabels(entry.Labels()))
+	ns.inv.AddText(entry.ID, entry.Body)
+	ns.entryCount.Add(1)
+	ns.byteCount.Add(entrySize(entry))
 	if entry.Policy != "" {
 		if err := e.pol.Set(entry.ID, entry.Policy); err != nil {
 			return err
@@ -672,8 +858,15 @@ func (e *Engine) NumEntries() int {
 	return len(e.entries)
 }
 
-// NumConcepts returns the number of distinct concept labels indexed.
-func (e *Engine) NumConcepts() int { return e.cmap.Labels() }
+// NumConcepts returns the number of distinct concept labels indexed,
+// summed across every corpus namespace.
+func (e *Engine) NumConcepts() int {
+	total := 0
+	for _, n := range e.nsMap() {
+		total += n.cmap.Labels()
+	}
+	return total
+}
 
 // AutomatonInfo reports the concept map's compiled-automaton state: whether
 // one is published, how far it trails the snapshot generation, its size,
@@ -688,22 +881,33 @@ func (e *Engine) Scheme() *classification.Scheme { return e.scheme }
 // mode only owned labels are consulted: a label change belongs to the shard
 // that owns the label's ring slice (each shard invalidates its own
 // projections; see DESIGN.md for the cross-shard invalidation gap).
+//
+// Every corpus namespace's invalidation index is consulted: an entry in
+// corpus A whose body mentions the label may link against corpus B through
+// a cross-corpus target policy, so the safe set is the union (a cheap
+// superset — extra flags only cost a relink). The per-corpus telemetry
+// label records which namespace the invalidated entry belongs to.
 func (e *Engine) invalidateForLabelsLocked(labels []string, except int64) {
 	for _, label := range labels {
 		if !e.ownsLabel(label) {
 			continue
 		}
-		for _, id := range e.inv.Lookup(label) {
-			if id == except {
-				continue
-			}
-			e.rendered.Invalidate(id)
-			if !e.invalid[id] {
-				e.invalid[id] = true
-				e.met.invalidations.Add(1)
-				if e.store != nil {
-					// Best effort: invalidation flags are reconstructible.
-					_ = e.store.Put(tableInvalid, strconv.FormatInt(id, 10), []byte("1"))
+		for _, n := range e.nsMap() {
+			for _, id := range n.inv.Lookup(label) {
+				if id == except {
+					continue
+				}
+				e.rendered.Invalidate(id)
+				if !e.invalid[id] {
+					e.invalid[id] = true
+					e.met.invalidations.Add(1)
+					if e.tel != nil {
+						e.tel.corpusInvalidations(n.name).Inc()
+					}
+					if e.store != nil {
+						// Best effort: invalidation flags are reconstructible.
+						_ = e.store.Put(tableInvalid, strconv.FormatInt(id, 10), []byte("1"))
+					}
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -72,6 +73,17 @@ type LinkOptions struct {
 	// SourceScheme names the scheme of SourceClasses; empty means the
 	// engine's canonical scheme.
 	SourceScheme string
+	// SourceCorpus names the corpus on whose behalf the request links;
+	// empty means the engine's default corpus. It selects the default
+	// (self) link target and the per-tenant accounting label.
+	SourceCorpus string
+	// TargetCorpora is the ordered link policy: the corpora whose concept
+	// maps the text is linked against, earlier corpora winning equal-span
+	// candidate order. Empty means self-linking (the source corpus only) —
+	// the single-corpus behaviour. Cross-corpus steering works through the
+	// ontology mappers: a foreign corpus's entries have their classes
+	// translated into the canonical scheme before distances are measured.
+	TargetCorpora []string
 	// ExcludeObject suppresses one object as a link target (the source
 	// entry itself, when linking an entry).
 	ExcludeObject int64
@@ -79,6 +91,175 @@ type LinkOptions struct {
 	Mode Mode
 	// Format overrides the engine's configured output format.
 	Format *render.Format
+}
+
+// resolveLinkCorpora normalizes a request's link policy: the source corpus
+// (engine default when unnamed) and the ordered target corpora
+// (self-linking when unnamed).
+func (e *Engine) resolveLinkCorpora(opts *LinkOptions) (source string, targets []string) {
+	source = opts.SourceCorpus
+	if source == "" {
+		source = e.DefaultCorpus()
+	}
+	if len(opts.TargetCorpora) == 0 {
+		return source, []string{source}
+	}
+	targets = make([]string, len(opts.TargetCorpora))
+	for i, t := range opts.TargetCorpora {
+		targets[i] = corpus.CorpusOrDefault(t)
+	}
+	return source, targets
+}
+
+// scanCorpora scans buf.tokens against the target corpora's concept maps,
+// appending into buf.matches. The single-target path (the default) is the
+// unchanged per-namespace scan — automaton-served when auto is set and the
+// namespace's automaton is current — so a one-corpus deployment's scan is
+// bit-identical to the pre-tenancy engine. The multi-target path runs each
+// namespace's non-greedy all-position scan and merges them into the one
+// greedy leftmost-longest sequence a single map holding the union of the
+// targets' labels would produce (the ShardRouter merge, across corpora
+// instead of ring slices). An unknown target corpus contributes nothing.
+func (e *Engine) scanCorpora(buf *linkBuffers, targets []string, auto bool) (usedAutomaton bool) {
+	if len(targets) == 1 {
+		ns := e.nsFor(targets[0])
+		if ns == nil {
+			return false
+		}
+		if auto {
+			buf.matches, usedAutomaton = ns.cmap.ScanAppendAuto(buf.matches, buf.tokens)
+			return usedAutomaton
+		}
+		buf.matches = ns.cmap.ScanAppend(buf.matches, buf.tokens)
+		return false
+	}
+	e.scanAllCorpora(buf, targets)
+	buf.matches = mergeGreedy(buf.matches, buf.multi, buf.multiOrigin)
+	return false
+}
+
+// scanAllCorpora fills buf.multi with every target namespace's all-position
+// matches and buf.multiOrigin with the producing target's index.
+func (e *Engine) scanAllCorpora(buf *linkBuffers, targets []string) {
+	all := buf.multi[:0]
+	org := buf.multiOrigin[:0]
+	for ti, t := range targets {
+		ns := e.nsFor(t)
+		if ns == nil {
+			continue
+		}
+		start := len(all)
+		all = ns.cmap.ScanAllAppend(all, buf.tokens)
+		for i := start; i < len(all); i++ {
+			org = append(org, ti)
+		}
+	}
+	buf.multi, buf.multiOrigin = all, org
+}
+
+// mergeGreedy turns per-target all-position matches into the greedy
+// leftmost-longest non-overlapping sequence, appended to dst. At each
+// position the longest span wins; identical spans produced by several
+// targets merge their candidate lists in target order, so the ordered link
+// policy is preserved down to candidate resolution.
+func mergeGreedy(dst, all []conceptmap.Match, origin []int) []conceptmap.Match {
+	if len(all) == 0 {
+		return dst
+	}
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ma, mb := &all[idx[a]], &all[idx[b]]
+		if ma.TokenStart != mb.TokenStart {
+			return ma.TokenStart < mb.TokenStart
+		}
+		if ma.TokenEnd != mb.TokenEnd {
+			return ma.TokenEnd > mb.TokenEnd // longest first
+		}
+		return origin[idx[a]] < origin[idx[b]] // target order
+	})
+	cursor := 0 // next token position available for a match
+	for i := 0; i < len(idx); {
+		m := all[idx[i]]
+		if m.TokenStart < cursor {
+			i++
+			continue
+		}
+		// m is the longest match at this start. Fold in the candidates of
+		// every identical span (other targets), in target order.
+		j := i + 1
+		for ; j < len(idx); j++ {
+			n := &all[idx[j]]
+			if n.TokenStart != m.TokenStart || n.TokenEnd != m.TokenEnd {
+				break
+			}
+		}
+		if j > i+1 {
+			merged := make([]conceptmap.ObjectID, 0, (j-i)*2)
+			for k := i; k < j; k++ {
+				merged = append(merged, all[idx[k]].Candidates...)
+			}
+			m.Candidates = merged
+		}
+		dst = append(dst, m)
+		cursor = m.TokenEnd
+		i = j
+	}
+	return dst
+}
+
+// mergeAll is mergeGreedy's non-greedy sibling, for the shard-scan path:
+// every start position keeps its longest span (identical spans from several
+// targets merge candidates in target order), but no cursor consumes
+// positions — the router's global greedy merge does that downstream.
+func mergeAll(dst, all []conceptmap.Match, origin []int) []conceptmap.Match {
+	if len(all) == 0 {
+		return dst
+	}
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ma, mb := &all[idx[a]], &all[idx[b]]
+		if ma.TokenStart != mb.TokenStart {
+			return ma.TokenStart < mb.TokenStart
+		}
+		if ma.TokenEnd != mb.TokenEnd {
+			return ma.TokenEnd > mb.TokenEnd // longest first
+		}
+		return origin[idx[a]] < origin[idx[b]] // target order
+	})
+	for i := 0; i < len(idx); {
+		m := all[idx[i]]
+		// Keep only the longest span at this start; fold identical spans.
+		j := i + 1
+		for ; j < len(idx); j++ {
+			n := &all[idx[j]]
+			if n.TokenStart != m.TokenStart {
+				break
+			}
+		}
+		merged := m.Candidates
+		folded := false
+		for k := i + 1; k < j; k++ {
+			n := &all[idx[k]]
+			if n.TokenEnd != m.TokenEnd {
+				continue
+			}
+			if !folded {
+				merged = append(make([]conceptmap.ObjectID, 0, len(m.Candidates)*2), m.Candidates...)
+				folded = true
+			}
+			merged = append(merged, n.Candidates...)
+		}
+		m.Candidates = merged
+		dst = append(dst, m)
+		i = j
+	}
+	return dst
 }
 
 // linkBuffers holds the per-request scratch state of one LinkText run.
@@ -101,6 +282,33 @@ type linkBuffers struct {
 	steered map[int64]bool
 	// entries is the per-call candidate snapshot (see captureView).
 	entries map[int64]*corpus.Entry
+	// multi/multiOrigin are the multi-target scan scratch: the per-target
+	// all-position matches and, parallel to them, the index of the target
+	// corpus that produced each. Unused on the single-target path.
+	multi       []conceptmap.Match
+	multiOrigin []int
+	// rank is the corpus → target-order scratch of a multi-target request.
+	rank map[string]int
+}
+
+// targetRank builds the corpus → position map of a multi-target link
+// policy (nil for the single-target default, which keeps that path free of
+// map lookups). Earlier targets win equal-priority tie-breaks.
+func (b *linkBuffers) targetRank(targets []string) map[string]int {
+	if len(targets) <= 1 {
+		return nil
+	}
+	if b.rank == nil {
+		b.rank = make(map[string]int, len(targets))
+	} else {
+		clear(b.rank)
+	}
+	for i, t := range targets {
+		if _, ok := b.rank[t]; !ok {
+			b.rank[t] = i
+		}
+	}
+	return b.rank
 }
 
 var linkBufPool = sync.Pool{
@@ -197,6 +405,7 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 		format = *opts.Format
 	}
 	sourceClasses := e.mappers.Translate(schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
+	source, targets := e.resolveLinkCorpora(&opts)
 
 	var (
 		st    *stageTimes
@@ -219,14 +428,14 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 		st.tokenize = now.Sub(mark)
 		mark = now
 	}
-	var usedAutomaton bool
-	buf.matches, usedAutomaton = e.cmap.ScanAppendAuto(buf.matches, buf.tokens)
+	usedAutomaton := e.scanCorpora(buf, targets, true)
 	matches := buf.matches
 	if st != nil {
 		st.match = time.Since(mark)
 		st.matchAutomaton = usedAutomaton
 	}
 	view := e.captureView(matches, buf)
+	rank := buf.targetRank(targets)
 
 	res := &Result{Output: text}
 	var anchors []render.Anchor
@@ -235,7 +444,7 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 			res.Skips = append(res.Skips, Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: SkipDuplicate})
 			continue
 		}
-		link, skip := e.chooseTarget(m, view, buf, sourceClasses, opts.ExcludeObject, mode, st)
+		link, skip := e.chooseTarget(m, view, buf, sourceClasses, opts.ExcludeObject, mode, rank, st)
 		if skip != nil {
 			res.Skips = append(res.Skips, *skip)
 			continue
@@ -256,6 +465,9 @@ func (e *Engine) LinkText(text string, opts LinkOptions) (*Result, error) {
 	}
 	res.Output = out
 	e.met.countResult(res)
+	if e.tel != nil {
+		e.tel.corpusLinks(source).Add(int64(len(res.Links)))
+	}
 	if st != nil {
 		st.render = time.Since(mark)
 		e.tel.observeLink(st, time.Since(start), res)
@@ -271,6 +483,11 @@ func (e *Engine) LinkEntry(id int64, opts LinkOptions) (*Result, error) {
 		return nil, fmt.Errorf("core: link of unknown entry %d", id)
 	}
 	opts.ExcludeObject = id
+	if opts.SourceCorpus == "" {
+		// An entry links on behalf of its own corpus: self-linking by
+		// default, and per-tenant accounting under its own label.
+		opts.SourceCorpus = entry.Corpus
+	}
 	if len(opts.SourceClasses) == 0 {
 		opts.SourceClasses = entry.Classes
 		if opts.SourceScheme == "" {
@@ -364,7 +581,12 @@ func (e *Engine) RelinkInvalidatedParallel(workers int) (map[int64]*Result, erro
 // reads comes from the per-call view and the scheme's lock-free distance
 // rows, so the match loop acquires no engine locks. st, when non-nil,
 // accumulates the wall time spent in the policy and steering stages.
-func (e *Engine) chooseTarget(m conceptmap.Match, view linkView, buf *linkBuffers, sourceClasses []string, exclude int64, mode Mode, st *stageTimes) (*Link, *Skip) {
+// rank, when non-nil, is the multi-target link policy's corpus order:
+// after steering, candidates from earlier target corpora win ties over
+// later ones (before domain priority and lowest ID). Nil — the
+// single-target default — keeps the tie-break identical to the
+// single-corpus engine.
+func (e *Engine) chooseTarget(m conceptmap.Match, view linkView, buf *linkBuffers, sourceClasses []string, exclude int64, mode Mode, rank map[string]int, st *stageTimes) (*Link, *Skip) {
 	mode = mode.resolve()
 	skip := func(reason string) *Skip {
 		return &Skip{Label: m.Label, Start: m.ByteStart, End: m.ByteEnd, Reason: reason}
@@ -478,13 +700,27 @@ func (e *Engine) chooseTarget(m conceptmap.Match, view linkView, buf *linkBuffer
 		}
 	}
 
-	// Tie-break: domain priority (lower wins), then lowest object ID.
+	// Tie-break: target-corpus order (multi-target policies only; earlier
+	// targets win), then domain priority (lower wins), then lowest object
+	// ID.
+	rankOf := func(c *corpus.Entry) int {
+		if rank == nil {
+			return 0
+		}
+		if r, ok := rank[c.Corpus]; ok {
+			return r
+		}
+		return len(rank)
+	}
 	winner := cands[0]
+	winnerRank := rankOf(winner)
 	winnerPrio := view.domainPriority(winner.Domain)
 	for _, c := range cands[1:] {
+		r := rankOf(c)
 		p := view.domainPriority(c.Domain)
-		if p < winnerPrio || (p == winnerPrio && c.ID < winner.ID) {
-			winner, winnerPrio = c, p
+		if r < winnerRank ||
+			(r == winnerRank && (p < winnerPrio || (p == winnerPrio && c.ID < winner.ID))) {
+			winner, winnerRank, winnerPrio = c, r, p
 		}
 	}
 

@@ -88,6 +88,9 @@ func (e *Engine) applyReplicatedLocked(ops []storage.BatchOp) error {
 // records, which replicate separately — but cache drops must happen locally
 // because the primary performs them even for entries it already flagged.
 func (e *Engine) applyReplicatedEntryLocked(entry *corpus.Entry) error {
+	// The corpus ID rides inside the replicated entry JSON; pre-tenancy
+	// records (no field) land in the default namespace like on the primary.
+	e.normalizeCorpus(entry)
 	old := e.entries[entry.ID]
 	if err := e.indexLocked(entry); err != nil {
 		return fmt.Errorf("core: index replicated entry %d: %w", entry.ID, err)
@@ -113,8 +116,11 @@ func (e *Engine) removeReplicatedLocked(id int64) {
 	delete(e.entries, id)
 	delete(e.invalid, id)
 	e.rendered.Invalidate(id)
-	e.cmap.RemoveObject(conceptmap.ObjectID(id))
-	e.inv.Remove(id)
+	ns := e.nsEnsureLocked(entry.Corpus)
+	ns.cmap.RemoveObject(conceptmap.ObjectID(id))
+	ns.inv.Remove(id)
+	ns.entryCount.Add(-1)
+	ns.byteCount.Add(-entrySize(entry))
 	e.pol.Remove(id)
 }
 
@@ -123,11 +129,13 @@ func (e *Engine) removeReplicatedLocked(id int64) {
 // invalidateForLabelsLocked it touches no invalidation flags and no store.
 func (e *Engine) invalidateRenderedLocked(labels []string, except int64) {
 	for _, label := range labels {
-		for _, id := range e.inv.Lookup(label) {
-			if id == except {
-				continue
+		for _, n := range e.nsMap() {
+			for _, id := range n.inv.Lookup(label) {
+				if id == except {
+					continue
+				}
+				e.rendered.Invalidate(id)
 			}
-			e.rendered.Invalidate(id)
 		}
 	}
 }
@@ -155,10 +163,13 @@ func (e *Engine) dropDomainLocked(name string) {
 func (e *Engine) ResetReplicated(ops []storage.BatchOp) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for id := range e.entries {
+	for id, entry := range e.entries {
 		e.rendered.Invalidate(id)
-		e.cmap.RemoveObject(conceptmap.ObjectID(id))
-		e.inv.Remove(id)
+		ns := e.nsEnsureLocked(entry.Corpus)
+		ns.cmap.RemoveObject(conceptmap.ObjectID(id))
+		ns.inv.Remove(id)
+		ns.entryCount.Add(-1)
+		ns.byteCount.Add(-entrySize(entry))
 		e.pol.Remove(id)
 	}
 	e.entries = make(map[int64]*corpus.Entry)

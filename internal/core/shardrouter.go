@@ -191,6 +191,19 @@ type ShardRouter struct {
 	// nextID is the router's global entry-ID sequence, recovered at
 	// construction from the shard fleet's max. One router must own the
 	// sequence (single-writer deployment; see DESIGN.md).
+	//
+	// KNOWN HAZARD (multi-router): recovery happens at startup ONLY. Two
+	// routers booted against the same fleet both resume from the same fleet
+	// max and then allocate overlapping IDs — each PutEntry silently
+	// overwrites the other router's entry of the same ID. With multi-tenant
+	// corpora this is worse than a lost update: the colliding entries can
+	// belong to DIFFERENT corpora, so one tenant's write would replace
+	// another tenant's entry cross-namespace. The engine now fails such a
+	// cross-corpus ID reuse loudly (Engine.PutEntry returns
+	// *IDCollisionError instead of overwriting), turning the silent
+	// corruption into a detectable error. Same-corpus collisions remain
+	// indistinguishable from legitimate updates; a fleet-wide sequence
+	// lease is the real fix and stays on the ROADMAP.
 	nextID atomic.Int64
 
 	calls   chan *shardCall

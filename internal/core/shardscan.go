@@ -55,12 +55,22 @@ func (e *Engine) ScanShard(dst []ResolvedMatch, tokens []tokenizer.Token, opts L
 		mode = e.cfg.Mode.resolve()
 	}
 	sourceClasses := e.mappers.Translate(schemeOr(opts.SourceScheme, e.scheme.Name()), opts.SourceClasses, e.scheme.Name())
+	_, targets := e.resolveLinkCorpora(&opts)
 
 	buf := getLinkBuffers()
 	defer putLinkBuffers(buf)
-	buf.matches = e.cmap.ScanAllAppend(buf.matches, tokens)
+	if len(targets) == 1 {
+		if ns := e.nsFor(targets[0]); ns != nil {
+			buf.matches = ns.cmap.ScanAllAppend(buf.matches, tokens)
+		}
+	} else {
+		buf.tokens = append(buf.tokens, tokens...)
+		e.scanAllCorpora(buf, targets)
+		buf.matches = mergeAll(buf.matches, buf.multi, buf.multiOrigin)
+	}
 	matches := buf.matches
 	view := e.captureView(matches, buf)
+	rank := buf.targetRank(targets)
 
 	for _, m := range matches {
 		rm := ResolvedMatch{
@@ -70,7 +80,7 @@ func (e *Engine) ScanShard(dst []ResolvedMatch, tokens []tokenizer.Token, opts L
 			ByteStart:  m.ByteStart,
 			ByteEnd:    m.ByteEnd,
 		}
-		link, skip := e.chooseTarget(m, view, buf, sourceClasses, opts.ExcludeObject, mode, nil)
+		link, skip := e.chooseTarget(m, view, buf, sourceClasses, opts.ExcludeObject, mode, rank, nil)
 		if skip != nil {
 			rm.Skip = skip.Reason
 		} else {

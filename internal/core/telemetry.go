@@ -2,6 +2,7 @@ package core
 
 import (
 	"strconv"
+	"sync"
 	"time"
 
 	"nnexus/internal/conceptmap"
@@ -80,6 +81,41 @@ type engineTelemetry struct {
 	// Shared-view link batches (LinkBatch / the wire linkBatch method).
 	batchRuns  *telemetry.Counter
 	batchItems *telemetry.Counter
+
+	// Per-corpus (tenant) attribution. Children are resolved lazily because
+	// corpora appear at runtime; the cache keeps the post-warmup hot path to
+	// one mutex-guarded map hit per operation.
+	corpusMu     sync.Mutex
+	corpusLnVec  *telemetry.CounterVec
+	corpusInvVec *telemetry.CounterVec
+	corpusLn     map[string]*telemetry.Counter
+	corpusInv    map[string]*telemetry.Counter
+}
+
+// corpusLinks returns the nnexus_corpus_links_total child for corpus,
+// creating and caching it on first use.
+func (t *engineTelemetry) corpusLinks(corpus string) *telemetry.Counter {
+	t.corpusMu.Lock()
+	c := t.corpusLn[corpus]
+	if c == nil {
+		c = t.corpusLnVec.With(corpus)
+		t.corpusLn[corpus] = c
+	}
+	t.corpusMu.Unlock()
+	return c
+}
+
+// corpusInvalidations returns the nnexus_corpus_invalidations_total child
+// for corpus, creating and caching it on first use.
+func (t *engineTelemetry) corpusInvalidations(corpus string) *telemetry.Counter {
+	t.corpusMu.Lock()
+	c := t.corpusInv[corpus]
+	if c == nil {
+		c = t.corpusInvVec.With(corpus)
+		t.corpusInv[corpus] = c
+	}
+	t.corpusMu.Unlock()
+	return c
 }
 
 // newEngineTelemetry registers the engine's metric families on reg and
@@ -158,6 +194,13 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 	t.batchItems = reg.Counter("nnexus_link_batch_items_total",
 		"Texts linked through shared-view link batches.")
 
+	t.corpusLnVec = reg.CounterVec("nnexus_corpus_links_total",
+		"Hyperlinks created, attributed to the source corpus.", "corpus")
+	t.corpusInvVec = reg.CounterVec("nnexus_corpus_invalidations_total",
+		"Entry invalidations triggered by concept-set changes, by corpus.", "corpus")
+	t.corpusLn = make(map[string]*telemetry.Counter)
+	t.corpusInv = make(map[string]*telemetry.Counter)
+
 	// Automaton metric family: scan-path split, build lifecycle, and the
 	// size/staleness of the published automaton (all read from the concept
 	// map's own atomic counters at scrape time, so the lock-free scan path
@@ -228,8 +271,14 @@ func newEngineTelemetry(e *Engine, reg *telemetry.Registry) *engineTelemetry {
 		"Entries currently held by the rendered-output cache.",
 		func() float64 { return float64(e.rendered.Len()) })
 	reg.GaugeFunc("nnexus_invalidation_index_keys",
-		"Words and phrases tracked by the invalidation index.",
-		func() float64 { return float64(e.inv.Keys()) })
+		"Words and phrases tracked by the invalidation indexes (all corpora).",
+		func() float64 {
+			total := 0
+			for _, n := range e.nsMap() {
+				total += n.inv.Keys()
+			}
+			return float64(total)
+		})
 	if e.dist != nil {
 		reg.CounterFunc("nnexus_distance_cache_hits_total",
 			"Steering pairwise distance cache hits.",

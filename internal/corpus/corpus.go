@@ -12,11 +12,31 @@ import (
 	"strings"
 )
 
+// DefaultCorpus is the corpus namespace entries belong to when none is
+// named. Pre-tenancy deployments never wrote a corpus ID, so their whole
+// collection decodes into this namespace unchanged — the migration path is
+// the zero value.
+const DefaultCorpus = "default"
+
+// CorpusOrDefault normalizes a corpus ID: empty means DefaultCorpus.
+func CorpusOrDefault(name string) string {
+	if name == "" {
+		return DefaultCorpus
+	}
+	return name
+}
+
 // Entry is one object of a collaborative corpus together with the metadata
 // NNexus links by: the concept labels it defines and its subject classes.
 type Entry struct {
 	// ID is the engine-wide numeric identity, assigned at AddEntry time.
+	// IDs are global across corpora (one sequence), so cross-corpus
+	// tie-breaks and shard routing stay deterministic.
 	ID int64 `json:"id"`
+	// Corpus names the tenant namespace the entry belongs to. Empty decodes
+	// as DefaultCorpus (pre-tenancy WAL records omit the field), and the
+	// engine normalizes it at ingest.
+	Corpus string `json:"corpus,omitempty"`
 	// Domain names the corpus the entry belongs to (e.g. "planetmath.org").
 	Domain string `json:"domain"`
 	// ExternalID is the entry's identity within its own domain (used in

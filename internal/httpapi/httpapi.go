@@ -37,18 +37,21 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"nnexus/internal/core"
 	"nnexus/internal/corpus"
 	"nnexus/internal/health"
 	"nnexus/internal/render"
 	"nnexus/internal/telemetry"
+	"nnexus/internal/tenant"
 )
 
 // Handler serves the HTTP API for one engine.
@@ -61,6 +64,14 @@ type Handler struct {
 	leader      func() string
 	isPrimary   func() bool
 	res         *resilience
+
+	// tenants, when non-nil, applies the same per-corpus rate limits and
+	// write quotas as the TCP layer: 429 + Retry-After for an exhausted
+	// token bucket, 403 with code "quotaExceeded" for a quota violation —
+	// both decided before the engine call executes.
+	tenants        *tenant.Registry
+	tenantRequests *telemetry.CounterVec
+	tenantRejected *telemetry.CounterVec
 }
 
 // Option customises a Handler.
@@ -90,6 +101,14 @@ func WithNotPrimary(leader func() string) Option {
 	return func(h *Handler) { h.leader = leader }
 }
 
+// WithTenants attaches a tenant registry: tenant-attributable routes
+// (/api/link, entry writes, import) are charged against their corpus's
+// token bucket and write quotas before the engine executes anything. Nil
+// (the default) disables enforcement.
+func WithTenants(r *tenant.Registry) Option {
+	return func(h *Handler) { h.tenants = r }
+}
+
 // WithDynamicPrimary gates mutating routes on a failover-cluster node whose
 // role changes at runtime: each mutating request consults isPrimary() and is
 // served normally on the current primary or answered with the WithNotPrimary
@@ -116,6 +135,10 @@ func New(engine *core.Engine, opts ...Option) *Handler {
 		opt(h)
 	}
 	h.res = newResilience(reg, h.maxInFlight)
+	h.tenantRequests = reg.CounterVec("nnexus_http_tenant_requests_total",
+		"Tenant-attributable HTTP requests admitted past the tenant gate, by corpus.", "corpus")
+	h.tenantRejected = reg.CounterVec("nnexus_http_tenant_rejected_total",
+		"HTTP requests rejected by the tenant gate, by corpus and reason.", "corpus", "reason")
 	m := newHTTPMetrics(reg)
 	routes := []struct {
 		pattern string // method + route, for mux registration
@@ -199,11 +222,69 @@ func (h *Handler) notPrimary(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// corpusOf resolves a request's corpus name against the engine's default.
+func (h *Handler) corpusOf(name string) string {
+	if name == "" {
+		return h.engine.DefaultCorpus()
+	}
+	return corpus.CorpusOrDefault(name)
+}
+
+// tenantAllow charges one request against corpusName's token bucket. On
+// rejection it answers 429 with a Retry-After header and a typed JSON body
+// (code "rateLimited") and reports false; the engine never ran, so the
+// client may retry after the backoff, mirroring the wire contract.
+func (h *Handler) tenantAllow(w http.ResponseWriter, corpusName string) bool {
+	if h.tenants == nil {
+		return true
+	}
+	if err := h.tenants.Allow(corpusName); err != nil {
+		var rl *tenant.RateLimitedError
+		retry := 1
+		if errors.As(err, &rl) && rl.RetryAfter > 0 {
+			retry = int(rl.RetryAfter/time.Second) + 1
+		}
+		h.tenantRejected.With(corpusName, "rateLimited").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": err.Error(), "code": "rateLimited",
+		})
+		return false
+	}
+	h.tenantRequests.With(corpusName).Inc()
+	return true
+}
+
+// tenantQuota pre-checks a write of addEntries entries / addBytes bytes
+// against corpusName's quotas. On violation it answers 403 with a typed
+// JSON body (code "quotaExceeded") and reports false — rejected before
+// execution, but an unchanged retry cannot succeed.
+func (h *Handler) tenantQuota(w http.ResponseWriter, corpusName string, addEntries, addBytes int64) bool {
+	if h.tenants == nil {
+		return true
+	}
+	usedEntries, usedBytes := h.engine.CorpusUsage(corpusName)
+	if err := h.tenants.CheckQuota(corpusName, usedEntries, usedBytes, addEntries, addBytes); err != nil {
+		h.tenantRejected.With(corpusName, "quotaExceeded").Inc()
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": err.Error(), "code": "quotaExceeded",
+		})
+		return false
+	}
+	return true
+}
+
 // linkRequest is the /api/link request body.
 type linkRequest struct {
 	Text    string   `json:"text"`
 	Classes []string `json:"classes,omitempty"`
 	Scheme  string   `json:"scheme,omitempty"`
+	// Corpus names the tenant corpus the text links on behalf of (rate
+	// limiting, accounting, default link target); empty means the engine's
+	// default corpus. Targets is the ordered cross-corpus link policy;
+	// empty means self-linking.
+	Corpus  string   `json:"corpus,omitempty"`
+	Targets []string `json:"targets,omitempty"`
 	Mode    string   `json:"mode,omitempty"`
 	Format  string   `json:"format,omitempty"`
 }
@@ -224,6 +305,12 @@ func (h *Handler) link(w http.ResponseWriter, r *http.Request) {
 				req.Classes = append(req.Classes, strings.TrimSpace(c))
 			}
 		}
+		req.Corpus = r.PostFormValue("corpus")
+		if ts := strings.TrimSpace(r.PostFormValue("targets")); ts != "" {
+			for _, t := range strings.Split(ts, ",") {
+				req.Targets = append(req.Targets, strings.TrimSpace(t))
+			}
+		}
 		req.Mode = r.PostFormValue("mode")
 		req.Format = r.PostFormValue("format")
 	} else {
@@ -239,6 +326,11 @@ func (h *Handler) link(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.SourceClasses = req.Classes
 	opts.SourceScheme = req.Scheme
+	opts.SourceCorpus = req.Corpus
+	opts.TargetCorpora = req.Targets
+	if !h.tenantAllow(w, h.corpusOf(req.Corpus)) {
+		return
+	}
 	res, err := h.engine.LinkText(req.Text, opts)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -251,6 +343,10 @@ func (h *Handler) createEntry(w http.ResponseWriter, r *http.Request) {
 	var entry corpus.Entry
 	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&entry); err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cn := h.corpusOf(entry.Corpus)
+	if !h.tenantAllow(w, cn) || !h.tenantQuota(w, cn, 1, core.EntrySize(&entry)) {
 		return
 	}
 	id, err := h.engine.AddEntry(&entry)
@@ -285,6 +381,16 @@ func (h *Handler) updateEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry.ID = id
+	cn := h.corpusOf(entry.Corpus)
+	addEntries, addBytes := int64(0), core.EntrySize(&entry)
+	if old, found := h.engine.Entry(id); found {
+		addBytes -= core.EntrySize(old)
+	} else {
+		addEntries = 1
+	}
+	if !h.tenantAllow(w, cn) || !h.tenantQuota(w, cn, addEntries, addBytes) {
+		return
+	}
 	if err := h.engine.UpdateEntry(&entry); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -353,6 +459,17 @@ func (h *Handler) relink(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) importOAI(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	_, _, err := corpus.ImportOAIStream(io.LimitReader(r.Body, 256<<20), func(entry *corpus.Entry) error {
+		// Quota is enforced per entry against live usage, so a stream
+		// cannot blow through a corpus's quota in one request; the entries
+		// already imported stay.
+		if h.tenants != nil {
+			cn := h.corpusOf(entry.Corpus)
+			usedEntries, usedBytes := h.engine.CorpusUsage(cn)
+			if qerr := h.tenants.CheckQuota(cn, usedEntries, usedBytes, 1, core.EntrySize(entry)); qerr != nil {
+				h.tenantRejected.With(cn, "quotaExceeded").Inc()
+				return qerr
+			}
+		}
 		if _, err := h.engine.AddEntry(entry); err != nil {
 			return err
 		}
@@ -360,6 +477,13 @@ func (h *Handler) importOAI(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		if tenant.IsQuotaExceeded(err) {
+			writeJSON(w, http.StatusForbidden, map[string]interface{}{
+				"error": fmt.Sprintf("imported %d entries, then: %v", n, err),
+				"code":  "quotaExceeded", "imported": n,
+			})
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("imported %d entries, then: %w", n, err))
 		return
 	}

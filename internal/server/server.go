@@ -35,6 +35,7 @@ import (
 	"nnexus/internal/render"
 	"nnexus/internal/replication"
 	"nnexus/internal/telemetry"
+	"nnexus/internal/tenant"
 	"nnexus/internal/tokenizer"
 	"nnexus/internal/wire"
 )
@@ -78,6 +79,11 @@ type Server struct {
 	// followers confirmed its WAL offset durable (bounded by quorumTimeout).
 	quorumAcks    int
 	quorumTimeout time.Duration
+
+	// tenants, when non-nil, gates every tenant-attributable request through
+	// the per-corpus token bucket and write quotas before dispatch (see
+	// tenantGate). Nil disables tenancy enforcement entirely.
+	tenants *tenant.Registry
 
 	maxRequestBytes int64
 	idleTimeout     time.Duration
@@ -140,6 +146,12 @@ type serverTelemetry struct {
 	pipelineDepth *telemetry.Histogram
 	byMethod      map[string]*telemetry.Counter
 	unknown       *telemetry.Counter
+
+	// Per-tenant attribution: requests admitted and requests rejected by the
+	// tenant gate, labeled by corpus (and rejection reason). Children resolve
+	// through the registry's own series cache — corpora appear at runtime.
+	tenantRequests *telemetry.CounterVec
+	tenantRejected *telemetry.CounterVec
 }
 
 func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
@@ -170,6 +182,10 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 		pipelineDepth: reg.Histogram("nnexus_tcp_pipeline_depth",
 			"Requests in flight on a connection at dispatch time.",
 			1, 2, 4, 8, 16, 32, 64, 128),
+		tenantRequests: reg.CounterVec("nnexus_tenant_requests_total",
+			"Tenant-attributable requests admitted past the tenant gate, by corpus.", "corpus"),
+		tenantRejected: reg.CounterVec("nnexus_tenant_rejected_total",
+			"Requests rejected by the tenant gate, by corpus and reason.", "corpus", "reason"),
 	}
 	t.byMethod = make(map[string]*telemetry.Counter)
 	for _, m := range []string{
@@ -290,6 +306,16 @@ func WithQuorumAcks(k int, timeout time.Duration) Option {
 			s.quorumTimeout = timeout
 		}
 	}
+}
+
+// WithTenants attaches a tenant registry: every tenant-attributable request
+// is charged against its corpus's token bucket before dispatch (typed
+// rateLimited rejection when empty), and writes are checked against the
+// corpus's entry-count and byte quotas (typed quotaExceeded rejection). Both
+// rejections happen before the request executes, so they are retry-safe in
+// the same sense as load shedding. Nil (the default) disables enforcement.
+func WithTenants(r *tenant.Registry) Option {
+	return func(s *Server) { s.tenants = r }
 }
 
 // WithMaxPipeline bounds how many requests one connection may have in
@@ -584,6 +610,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			respCh <- connResp{resp: wire.ErrCoded(&req, wire.CodeOverloaded, errOverloaded)}
 			continue
 		}
+		if s.tenants != nil {
+			// Gate inline, like the shed path: a rejected request never
+			// takes a pipeline slot or spawns a handler goroutine, so a
+			// tenant hammering past its limit costs admission control
+			// only, not per-request dispatch machinery.
+			if resp := s.tenantGate(&req); resp != nil {
+				respCh <- connResp{resp: resp}
+				continue
+			}
+		}
 		sem <- struct{}{} // pipeline window slot
 		depth := s.beginRequest(conn)
 		if s.tel != nil {
@@ -642,10 +678,10 @@ func (s *Server) connWriter(conn net.Conn, ch <-chan connResp, done chan<- struc
 // client-visible latency, not on server-side work).
 func (s *Server) handleWithTimeout(req *wire.Request) *wire.Response {
 	if s.handlerTimeout <= 0 {
-		return s.Handle(req)
+		return s.handleUngated(req)
 	}
 	ch := make(chan *wire.Response, 1)
-	go func() { ch <- s.Handle(req) }()
+	go func() { ch <- s.handleUngated(req) }()
 	timer := time.NewTimer(s.handlerTimeout)
 	defer timer.Stop()
 	select {
@@ -690,7 +726,19 @@ func (m *meteredReader) Read(p []byte) (int, error) {
 // tracked alongside. A panicking handler is recovered into a typed
 // "internal" error response and counted in nnexus_panics_recovered_total,
 // so one poisoned request cannot kill the daemon.
-func (s *Server) Handle(req *wire.Request) (resp *wire.Response) {
+func (s *Server) Handle(req *wire.Request) *wire.Response {
+	if s.tenants != nil {
+		if resp := s.tenantGate(req); resp != nil {
+			return resp
+		}
+	}
+	return s.handleUngated(req)
+}
+
+// handleUngated is Handle minus the tenant gate, for the connection reader
+// loop, which has already gated the request inline (gating again would
+// charge the token bucket twice for one request).
+func (s *Server) handleUngated(req *wire.Request) (resp *wire.Response) {
 	start := time.Now()
 	defer func() {
 		r := recover()
@@ -738,6 +786,95 @@ func (s *Server) currentPrimary() *replication.Primary {
 		return s.node.CurrentPrimary()
 	}
 	return s.primary
+}
+
+// requestCorpus resolves the corpus a request acts on behalf of: the
+// request's own corpus attribute, the carried entry's, or the engine's
+// default — so pre-tenancy clients are accounted under the default corpus.
+func (s *Server) requestCorpus(req *wire.Request) string {
+	c := req.Corpus
+	if c == "" && req.Entry != nil {
+		c = req.Entry.Corpus
+	}
+	if c == "" {
+		return s.engine.DefaultCorpus()
+	}
+	return corpus.CorpusOrDefault(c)
+}
+
+// tenantGate enforces per-corpus rate limits and write quotas BEFORE
+// dispatch: the connection reader loop calls it inline (so rejections skip
+// the pipeline machinery entirely) and Handle calls it for in-process
+// callers. A non-nil response is a typed rejection (rateLimited or
+// quotaExceeded): the request never executed, so even mutating methods are
+// retry-safe in the load-shedding sense. Replication/election traffic is
+// infrastructure, not tenant traffic, and passes untouched.
+func (s *Server) tenantGate(req *wire.Request) *wire.Response {
+	switch req.Method {
+	case wire.MethodPing, wire.MethodReplSubscribe, wire.MethodReplSnapshot,
+		wire.MethodReplAck, wire.MethodReplStatus, wire.MethodReplVote,
+		wire.MethodReplLead:
+		return nil
+	}
+	corpusName := s.requestCorpus(req)
+	if err := s.tenants.Allow(corpusName); err != nil {
+		if s.tel != nil {
+			s.tel.tenantRejected.With(corpusName, "rateLimited").Inc()
+		}
+		return wire.ErrCoded(req, wire.CodeRateLimited, err)
+	}
+	var addEntries, addBytes int64
+	switch req.Method {
+	case wire.MethodAddEntry:
+		if req.Entry != nil {
+			addEntries, addBytes = 1, wireEntrySize(req.Entry)
+		}
+	case wire.MethodAddEntries:
+		for _, e := range req.Entries {
+			addEntries++
+			addBytes += wireEntrySize(e)
+		}
+	case wire.MethodUpdateEntry, wire.MethodPutEntry:
+		// Replacements charge the size delta; a fresh ID charges the whole
+		// entry.
+		if req.Entry != nil {
+			addBytes = wireEntrySize(req.Entry)
+			if old, ok := s.engine.Entry(req.Entry.ID); ok {
+				addBytes -= core.EntrySize(old)
+			} else {
+				addEntries = 1
+			}
+		}
+	default:
+		if s.tel != nil {
+			s.tel.tenantRequests.With(corpusName).Inc()
+		}
+		return nil
+	}
+	usedEntries, usedBytes := s.engine.CorpusUsage(corpusName)
+	if err := s.tenants.CheckQuota(corpusName, usedEntries, usedBytes, addEntries, addBytes); err != nil {
+		if s.tel != nil {
+			s.tel.tenantRejected.With(corpusName, "quotaExceeded").Inc()
+		}
+		return wire.ErrCoded(req, wire.CodeQuotaExceeded, err)
+	}
+	if s.tel != nil {
+		s.tel.tenantRequests.With(corpusName).Inc()
+	}
+	return nil
+}
+
+// wireEntrySize mirrors core.EntrySize over the wire form, so the quota
+// pre-check does not have to convert the entry twice.
+func wireEntrySize(e *wire.Entry) int64 {
+	n := len(e.Title) + len(e.Body)
+	for _, c := range e.Concepts {
+		n += len(c)
+	}
+	for _, c := range e.Classes {
+		n += len(c)
+	}
+	return int64(n)
 }
 
 func (s *Server) dispatch(req *wire.Request) (*wire.Response, error) {
@@ -904,6 +1041,9 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 			return nil, errors.New("addEntry: missing entry")
 		}
 		entry := req.Entry.ToCorpus()
+		if entry.Corpus == "" {
+			entry.Corpus = req.Corpus
+		}
 		id, err := s.engine.AddEntry(entry)
 		if err != nil {
 			return nil, err
@@ -916,7 +1056,11 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 		if req.Entry == nil {
 			return nil, errors.New("updateEntry: missing entry")
 		}
-		if err := s.engine.UpdateEntry(req.Entry.ToCorpus()); err != nil {
+		entry := req.Entry.ToCorpus()
+		if entry.Corpus == "" {
+			entry.Corpus = req.Corpus
+		}
+		if err := s.engine.UpdateEntry(entry); err != nil {
 			return nil, err
 		}
 		return wire.OK(req), nil
@@ -1008,6 +1152,9 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 		entries := make([]*corpus.Entry, len(req.Entries))
 		for i, e := range req.Entries {
 			entries[i] = e.ToCorpus()
+			if entries[i].Corpus == "" {
+				entries[i].Corpus = req.Corpus
+			}
 		}
 		ids, err := s.engine.AddEntries(entries)
 		if err != nil {
@@ -1094,7 +1241,11 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 		if req.Entry == nil {
 			return nil, errors.New("putEntry: missing entry")
 		}
-		if err := s.engine.PutEntry(req.Entry.ToCorpus()); err != nil {
+		entry := req.Entry.ToCorpus()
+		if entry.Corpus == "" {
+			entry.Corpus = req.Corpus
+		}
+		if err := s.engine.PutEntry(entry); err != nil {
 			return nil, err
 		}
 		return wire.OK(req), nil
@@ -1106,6 +1257,8 @@ func (s *Server) dispatchMethod(req *wire.Request) (*wire.Response, error) {
 
 func linkOptions(req *wire.Request) (core.LinkOptions, error) {
 	var opts core.LinkOptions
+	opts.SourceCorpus = req.Corpus
+	opts.TargetCorpora = req.Targets
 	switch strings.ToLower(req.Mode) {
 	case "", "default":
 		opts.Mode = core.ModeDefault

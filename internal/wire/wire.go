@@ -118,6 +118,16 @@ type Request struct {
 	Mode    string   `xml:"mode,omitempty"`
 	Format  string   `xml:"format,omitempty"`
 
+	// Corpus names the tenant corpus the request acts on behalf of: the
+	// source corpus of link methods and the rate-limit/quota accounting
+	// label of every method. Empty means the server's default corpus, which
+	// is how pre-tenancy clients keep working unchanged.
+	Corpus string `xml:"corpus,attr,omitempty"`
+	// Targets is the ordered cross-corpus link policy of link methods: the
+	// corpora to link against, earlier ones winning equal-span ties. Empty
+	// means self-linking (Corpus only).
+	Targets []string `xml:"targets>corpus,omitempty"`
+
 	// Batch fields: Entries for addEntries, Texts for linkBatch, Objects
 	// for relinkBatch (empty Objects = relink everything invalidated).
 	Entries []*Entry `xml:"entries>entry,omitempty"`
@@ -180,6 +190,14 @@ const (
 	// the quorum guarantee is degraded, so the caller must not assume the
 	// write survives a primary failover.
 	CodeQuorumUnavailable = "quorumUnavailable"
+	// CodeRateLimited: the request's corpus is over its tenant rate limit.
+	// Rejected before execution — safe to retry after backoff, even for
+	// mutating methods (same contract as overloaded/unavailable).
+	CodeRateLimited = "rateLimited"
+	// CodeQuotaExceeded: the write would push its corpus past a tenant
+	// entry-count or byte quota. Rejected before execution; retrying without
+	// freeing space or raising the quota will fail again.
+	CodeQuotaExceeded = "quotaExceeded"
 )
 
 // Response is one server→client message.
@@ -302,6 +320,7 @@ type Domain struct {
 // Entry mirrors corpus.Entry on the wire.
 type Entry struct {
 	ID         int64    `xml:"id,attr,omitempty"`
+	Corpus     string   `xml:"corpus,attr,omitempty"`
 	Domain     string   `xml:"domain,attr,omitempty"`
 	ExternalID string   `xml:"externalid,attr,omitempty"`
 	Title      string   `xml:"title"`
@@ -387,6 +406,7 @@ type Stats struct {
 func (e *Entry) ToCorpus() *corpus.Entry {
 	return &corpus.Entry{
 		ID:         e.ID,
+		Corpus:     e.Corpus,
 		Domain:     e.Domain,
 		ExternalID: e.ExternalID,
 		Title:      e.Title,
@@ -401,6 +421,7 @@ func (e *Entry) ToCorpus() *corpus.Entry {
 func FromCorpus(e *corpus.Entry) *Entry {
 	return &Entry{
 		ID:         e.ID,
+		Corpus:     e.Corpus,
 		Domain:     e.Domain,
 		ExternalID: e.ExternalID,
 		Title:      e.Title,

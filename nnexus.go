@@ -63,6 +63,7 @@ import (
 	"nnexus/internal/shard"
 	"nnexus/internal/storage"
 	"nnexus/internal/telemetry"
+	"nnexus/internal/tenant"
 )
 
 // Core data types, re-exported from the implementation packages.
@@ -129,7 +130,55 @@ type (
 	ShardBackend = core.ShardBackend
 	// LocalShardBackend serves a router from in-process shard engines.
 	LocalShardBackend = core.LocalShardBackend
+	// TenantPolicy is one corpus's resource envelope: token-bucket rate
+	// limit, entry/byte quotas, and default cross-corpus link targets.
+	TenantPolicy = tenant.Policy
+	// TenantConfig maps corpus IDs to tenant policies (the -tenant-config
+	// JSON shape).
+	TenantConfig = tenant.Config
+	// TenantRegistry is a deployment's live tenant-policy table; wire it
+	// into the serving layers with WithTenants / WithHTTPTenants. Hot-reload
+	// it with Reload/ReloadFile (nnexusd does this on SIGHUP).
+	TenantRegistry = tenant.Registry
+	// TenantRateLimitedError is the typed pre-execution rejection a corpus's
+	// token bucket raises; detect it with errors.As or IsTenantRateLimited.
+	TenantRateLimitedError = tenant.RateLimitedError
+	// TenantQuotaExceededError is the typed pre-execution rejection a write
+	// past a corpus's entry/byte quota raises.
+	TenantQuotaExceededError = tenant.QuotaExceededError
 )
+
+// DefaultCorpusName is the namespace entries and link requests fall into
+// when they name no corpus; single-corpus deployments live entirely inside
+// it and behave exactly as before multi-tenancy existed.
+const DefaultCorpusName = corpus.DefaultCorpus
+
+// NewTenantRegistry builds a tenant-policy registry from a config. A zero
+// TenantConfig admits everything.
+func NewTenantRegistry(cfg TenantConfig) *TenantRegistry { return tenant.NewRegistry(cfg) }
+
+// LoadTenantConfig reads and parses a tenant-config JSON file (the format
+// accepted by nnexusd -tenant-config; see the tenant package docs).
+func LoadTenantConfig(path string) (TenantConfig, error) { return tenant.LoadFile(path) }
+
+// IsTenantRateLimited reports whether err is (or wraps) a tenant
+// rate-limit rejection.
+func IsTenantRateLimited(err error) bool { return tenant.IsRateLimited(err) }
+
+// IsTenantQuotaExceeded reports whether err is (or wraps) a tenant quota
+// rejection.
+func IsTenantQuotaExceeded(err error) bool { return tenant.IsQuotaExceeded(err) }
+
+// WithTenants enforces a tenant-policy registry on the XML socket server:
+// per-corpus token buckets gate every request and entry/byte quotas gate
+// writes, both rejected BEFORE execution with the typed rateLimited /
+// quotaExceeded error codes.
+func WithTenants(r *TenantRegistry) ServerOption { return server.WithTenants(r) }
+
+// WithHTTPTenants is WithTenants for the HTTP API handler: rate-limited
+// requests answer 429 + Retry-After, quota rejections answer 403, both with
+// the same typed error codes as the wire protocol.
+func WithHTTPTenants(r *TenantRegistry) HTTPOption { return httpapi.WithTenants(r) }
 
 // LoadConfig reads an XML deployment configuration file.
 func LoadConfig(path string) (*DeployConfig, error) { return config.Load(path) }
@@ -215,6 +264,16 @@ func NewMapper(from, to string) *Mapper {
 	return ontomap.NewMapper(from, to)
 }
 
+// NewMSCToWikipediaMapper returns the built-in ontology mapper translating
+// MSC top-level area codes into Wikipedia category names — the steering
+// bridge a PlanetMath-classified corpus needs to link into a
+// Wikipedia-classified one.
+func NewMSCToWikipediaMapper() *Mapper { return ontomap.NewMSCToWikipedia() }
+
+// NewWikipediaToMSCMapper returns the inverse built-in mapper (Wikipedia
+// category names → MSC area codes).
+func NewWikipediaToMSCMapper() *Mapper { return ontomap.NewWikipediaToMSC() }
+
 // Config configures an Engine.
 type Config struct {
 	// Scheme is the canonical classification scheme used for link
@@ -237,6 +296,10 @@ type Config struct {
 	Format Format
 	// AllowSelfLinks permits entries to link to their own concepts.
 	AllowSelfLinks bool
+	// DefaultCorpus is the corpus namespace entries and link requests fall
+	// into when they name none. Empty means DefaultCorpusName ("default").
+	// Single-corpus deployments never need to set it.
+	DefaultCorpus string
 	// LinkAllOccurrences links every occurrence of a concept label rather
 	// than only the first (the deployed system links only the first, "to
 	// reduce visual clutter").
@@ -430,6 +493,7 @@ func New(cfg Config) (*Engine, error) {
 		Mode:               cfg.Mode,
 		Format:             cfg.Format,
 		AllowSelfLinks:     cfg.AllowSelfLinks,
+		DefaultCorpus:      cfg.DefaultCorpus,
 		LinkAllOccurrences: cfg.LinkAllOccurrences,
 		TieRanker:          cfg.TieRanker,
 		LaTeX:              cfg.LaTeX,
@@ -611,6 +675,20 @@ func (e *Engine) NumConcepts() int { return e.core.NumConcepts() }
 
 // Scheme returns the engine's canonical classification scheme.
 func (e *Engine) Scheme() *Scheme { return e.core.Scheme() }
+
+// DefaultCorpus returns the corpus namespace unqualified entries and link
+// requests fall into.
+func (e *Engine) DefaultCorpus() string { return e.core.DefaultCorpus() }
+
+// Corpora returns the names of every corpus namespace holding entries,
+// sorted.
+func (e *Engine) Corpora() []string { return e.core.Corpora() }
+
+// CorpusUsage returns a corpus's current footprint — its entry count and
+// indexed bytes — the numbers tenant quotas are enforced against.
+func (e *Engine) CorpusUsage(name string) (entries, bytes int64) {
+	return e.core.CorpusUsage(name)
+}
 
 // SetPolicy installs (or with empty text removes) an entry's linking
 // policy, e.g. "forbid even\nallow even from 11-XX".
